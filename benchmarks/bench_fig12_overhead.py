@@ -1,0 +1,51 @@
+"""Section VI overhead analysis derived from Fig. 12(a) and (b).
+
+The paper observes that the cost of translation is *bounded by the response
+behaviour of the legacy protocols*: relative to the legacy response time of
+the client's own protocol, case 6 (Bonjour to SLP) costs roughly a 600 %
+increase while case 1 (SLP to UPnP) costs only about 5 %, and every
+connector stays within the discovery-protocol timeout budget (OpenSLP's
+default is 15 seconds).  This benchmark regenerates those ratios.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import run_fig12a, run_fig12b
+from repro.evaluation.tables import overhead_ratios
+
+
+def test_overhead_ratios_match_the_papers_analysis(repetitions, capsys, benchmark):
+    def build():
+        legacy = run_fig12a(repetitions=repetitions)
+        connectors = run_fig12b(repetitions=repetitions)
+        return legacy, connectors
+
+    legacy, connectors = benchmark.pedantic(build, rounds=1, iterations=1)
+    ratios = dict(overhead_ratios(legacy, connectors))
+
+    with capsys.disabled():
+        print()
+        print("Connector translation time relative to the source protocol's legacy lookup")
+        print("-" * 74)
+        for label, percentage in sorted(ratios.items()):
+            print(f"{label:<22} {percentage:8.1f} %")
+
+    # Case 1 (SLP to UPnP): a small fraction of the 6 s legacy SLP lookup.
+    assert ratios["1. SLP to UPnP"] < 20.0
+    # Case 6 (Bonjour to SLP): several times the legacy Bonjour lookup.
+    assert ratios["6. Bonjour to SLP"] > 300.0
+    # Every connector completes within the discovery timeout budget (15 s).
+    for summary in connectors:
+        assert summary.max_ms < 15_000
+
+
+def test_benchmark_overhead_table_generation(benchmark):
+    """Wall-clock cost of producing the full overhead analysis at low repetition count."""
+
+    def build():
+        legacy = run_fig12a(repetitions=5)
+        connectors = run_fig12b(repetitions=3)
+        return overhead_ratios(legacy, connectors)
+
+    ratios = benchmark(build)
+    assert len(ratios) == 6

@@ -1,0 +1,56 @@
+"""Fig. 12(a): response time measures for legacy discovery protocols.
+
+Regenerates the paper's table — min / median / max over 100 repeated
+lookups for each of SLP, Bonjour and UPnP running end to end on their own
+(no Starlink involved) — and checks the qualitative shape: SLP is the slow
+protocol (about six seconds, dominated by the OpenSLP service behaviour),
+UPnP sits around one second and Bonjour under a second.
+
+The pytest-benchmark measurement times one complete simulated legacy SLP
+lookup (event processing cost on this machine; virtual time is excluded
+by construction).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import measure_legacy_protocol, run_fig12a
+from repro.evaluation.tables import PAPER_FIG12A, format_fig12a
+from repro.evaluation.workloads import legacy_scenario
+
+
+def test_fig12a_legacy_response_times(repetitions, capsys, benchmark):
+    summaries = benchmark.pedantic(
+        run_fig12a, kwargs={"repetitions": repetitions}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_fig12a(summaries))
+
+    measured = {summary.label: summary for summary in summaries}
+    # Shape: ordering of the three protocols matches the paper.
+    assert measured["SLP"].median_ms > measured["UPnP"].median_ms > measured["Bonjour"].median_ms
+    # Magnitudes stay in the paper's ballpark (within a factor of two).
+    for label, (_, paper_median, _) in PAPER_FIG12A.items():
+        ratio = measured[label].median_ms / paper_median
+        assert 0.5 < ratio < 2.0, f"{label}: measured {measured[label].median_ms:.0f} ms vs paper {paper_median} ms"
+    # Internal consistency of each row.
+    for summary in summaries:
+        assert summary.min_ms <= summary.median_ms <= summary.max_ms
+        assert summary.count == repetitions
+
+
+def test_benchmark_one_legacy_slp_lookup(benchmark):
+    def run_once():
+        scenario = legacy_scenario("SLP")
+        return scenario.lookup()
+
+    result = benchmark(run_once)
+    assert result.found
+
+
+def test_benchmark_one_legacy_upnp_lookup(benchmark):
+    def run_once():
+        scenario = legacy_scenario("UPnP")
+        return scenario.lookup()
+
+    assert benchmark(run_once).found

@@ -1,0 +1,71 @@
+"""Fig. 12(b): translation times of the six Starlink connectors.
+
+Regenerates the paper's table: for each of the six directed protocol pairs,
+the time from the first message received by the framework until the last
+translated output is sent, over 100 repeated bridged lookups.  The shape
+assertions encode the paper's findings:
+
+* cases whose *target* is SLP (3: UPnP to SLP, 6: Bonjour to SLP) inherit
+  the SLP service's multi-second answer time;
+* every other case translates in a few hundred milliseconds — cheaper than
+  the legacy lookup of the client's own protocol;
+* within each row min <= median <= max.
+
+The pytest-benchmark measurement times one complete bridged lookup of the
+cheapest (SLP to Bonjour) and the most message-intensive (SLP to UPnP)
+cases, i.e. the real processing cost of the generic interpreters.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import run_fig12b
+from repro.evaluation.tables import PAPER_FIG12B, format_fig12b
+from repro.evaluation.workloads import bridged_scenario
+
+
+def test_fig12b_connector_translation_times(repetitions, capsys, benchmark):
+    summaries = benchmark.pedantic(
+        run_fig12b, kwargs={"repetitions": repetitions}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(format_fig12b(summaries))
+
+    measured = {summary.label: summary for summary in summaries}
+
+    slow = ["3. UPnP to SLP", "6. Bonjour to SLP"]
+    fast = ["1. SLP to UPnP", "2. SLP to Bonjour", "4. UPnP to Bonjour", "5. Bonjour to UPnP"]
+
+    # Who wins: every SLP-targeted connector is slower than every other connector.
+    assert min(measured[label].median_ms for label in slow) > max(
+        measured[label].median_ms for label in fast
+    )
+    # Roughly by what factor: the paper sees ~20x between the groups; accept >10x.
+    assert (
+        min(measured[label].median_ms for label in slow)
+        / max(measured[label].median_ms for label in fast)
+        > 10
+    )
+    # Magnitudes stay within a factor of two of the paper's medians.
+    for label, (_, paper_median, _) in PAPER_FIG12B.items():
+        ratio = measured[label].median_ms / paper_median
+        assert 0.5 < ratio < 2.0, f"{label}: measured {measured[label].median_ms:.0f} ms vs paper {paper_median} ms"
+    for summary in summaries:
+        assert summary.min_ms <= summary.median_ms <= summary.max_ms
+        assert summary.count == repetitions
+
+
+def test_benchmark_one_bridged_lookup_slp_to_bonjour(benchmark):
+    def run_once():
+        scenario = bridged_scenario(2)
+        return scenario.lookup()
+
+    assert benchmark(run_once).found
+
+
+def test_benchmark_one_bridged_lookup_slp_to_upnp(benchmark):
+    def run_once():
+        scenario = bridged_scenario(1)
+        return scenario.lookup()
+
+    assert benchmark(run_once).found

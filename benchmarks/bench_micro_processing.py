@@ -1,0 +1,128 @@
+"""Micro-benchmarks of the framework's processing building blocks.
+
+Section VI attributes Starlink's intrinsic overhead to "additional
+behaviour (translations, extra protocol messages etc.)".  These
+pytest-benchmark measurements break that overhead down into its parts on
+real wall-clock time:
+
+* parsing and composing binary (SLP, DNS) and text (SSDP, HTTP) messages
+  with the generic MDL interpreters,
+* applying translation-logic assignments,
+* evaluating the semantic-equivalence operator,
+* loading MDL and bridge models from XML (the runtime-deployment cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridges.specs import slp_to_upnp_bridge
+from repro.core.automata.merge import derive_equivalence
+from repro.core.mdl.base import create_composer, create_parser
+from repro.core.mdl.xml_loader import dumps_mdl, loads_mdl
+from repro.core.message import AbstractMessage
+from repro.core.translation.xml_loader import dumps_bridge, loads_bridge
+from repro.protocols.http.mdl import HTTP_OK, http_mdl
+from repro.protocols.mdns.mdl import DNS_RESPONSE, mdns_mdl
+from repro.protocols.slp.mdl import SLP_SRVREQ, slp_mdl
+from repro.protocols.ssdp.mdl import SSDP_MSEARCH, ssdp_mdl
+
+
+def _slp_request() -> AbstractMessage:
+    message = AbstractMessage(SLP_SRVREQ)
+    message.set("Version", 2, type_name="Integer")
+    message.set("XID", 9, type_name="Integer")
+    message.set("LangTag", "en")
+    message.set("SRVType", "service:test")
+    return message
+
+
+def test_benchmark_compose_binary_slp(benchmark):
+    composer = create_composer(slp_mdl())
+    message = _slp_request()
+    data = benchmark(lambda: composer.compose(message))
+    assert len(data) > 20
+
+
+def test_benchmark_parse_binary_slp(benchmark):
+    composer = create_composer(slp_mdl())
+    parser = create_parser(slp_mdl())
+    data = composer.compose(_slp_request())
+    parsed = benchmark(lambda: parser.parse(data))
+    assert parsed["SRVType"] == "service:test"
+
+
+def test_benchmark_parse_binary_dns(benchmark):
+    composer = create_composer(mdns_mdl())
+    parser = create_parser(mdns_mdl())
+    response = AbstractMessage(DNS_RESPONSE)
+    response.set("AnswerName", "_test._tcp.local", type_name="FQDN")
+    response.set("RDATA", "http://h:9000/service")
+    data = composer.compose(response)
+    parsed = benchmark(lambda: parser.parse(data))
+    assert parsed["RDATA"] == "http://h:9000/service"
+
+
+def test_benchmark_compose_text_ssdp(benchmark):
+    composer = create_composer(ssdp_mdl())
+    search = AbstractMessage(SSDP_MSEARCH)
+    search.set("URI", "*")
+    search.set("Version", "HTTP/1.1")
+    search.set("ST", "urn:schemas-upnp-org:service:test:1")
+    data = benchmark(lambda: composer.compose(search))
+    assert data.startswith(b"M-SEARCH")
+
+
+def test_benchmark_parse_text_http(benchmark):
+    composer = create_composer(http_mdl())
+    parser = create_parser(http_mdl())
+    ok = AbstractMessage(HTTP_OK)
+    ok.set("URI", "200")
+    ok.set("Version", "OK")
+    ok.set("Body", "<root><URLBase>http://h:1/s</URLBase></root>" * 5)
+    data = composer.compose(ok)
+    parsed = benchmark(lambda: parser.parse(data))
+    assert "URLBase" in parsed["Body"]
+
+
+def test_benchmark_translation_assignments(benchmark):
+    bridge = slp_to_upnp_bridge()
+    translation = bridge.merged.translation
+    request = _slp_request()
+    ok = AbstractMessage(HTTP_OK).set("Body", "<URLBase>http://h:1/s</URLBase>")
+
+    def apply():
+        reply = AbstractMessage("SLP_SrvReply")
+        translation.apply(reply, {"SLP_SrvReq": request, "HTTP_OK": ok})
+        return reply
+
+    reply = benchmark(apply)
+    assert reply["URLEntry"] == "http://h:1/s"
+
+
+def test_benchmark_semantic_equivalence_check(benchmark):
+    bridge = slp_to_upnp_bridge()
+    mandatory = {
+        message.name: message.mandatory_fields
+        for spec in bridge.mdl_specs.values()
+        for message in spec.messages
+    }
+    equivalence = derive_equivalence(bridge.merged.translation, mandatory)
+    holds = benchmark(
+        lambda: equivalence.holds_for_names("SLP_SrvReply", ["HTTP_OK", "SLP_SrvReq"])
+    )
+    assert holds
+
+
+def test_benchmark_load_mdl_from_xml(benchmark):
+    document = dumps_mdl(slp_mdl())
+    spec = benchmark(lambda: loads_mdl(document))
+    assert spec.protocol == "SLP"
+
+
+def test_benchmark_load_bridge_from_xml(benchmark):
+    merged = slp_to_upnp_bridge().merged
+    document = dumps_bridge(merged)
+    automata = list(merged.automata.values())
+    reloaded = benchmark(lambda: loads_bridge(document, automata))
+    assert len(reloaded.deltas) == 3

@@ -1,0 +1,70 @@
+"""Section V-C development-effort claim: model sizes.
+
+The paper reports that a merged automaton (with its translation logic) is
+*"typically around 100 lines of XML"*, and stresses that protocol models
+are written once and reused across cases.  This benchmark serialises every
+model of the reproduction to its XML form and reports the line counts,
+asserting they stay in the order of magnitude the paper claims (tens to a
+few hundreds of lines — models, not code).
+"""
+
+from __future__ import annotations
+
+from repro.bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
+from repro.core.automata.xml_loader import dumps_automaton
+from repro.core.mdl.xml_loader import dumps_mdl
+from repro.core.translation.xml_loader import dumps_bridge
+from repro.protocols.http.mdl import http_mdl
+from repro.protocols.mdns.mdl import mdns_mdl
+from repro.protocols.slp.mdl import slp_mdl
+from repro.protocols.ssdp.mdl import ssdp_mdl
+
+
+def _lines(text: str) -> int:
+    return len([line for line in text.splitlines() if line.strip()])
+
+
+def test_model_sizes_match_the_papers_development_effort_claim(capsys, benchmark):
+    def measure():
+        mdl_lines = {
+            "SLP MDL": _lines(dumps_mdl(slp_mdl())),
+            "SSDP MDL": _lines(dumps_mdl(ssdp_mdl())),
+            "HTTP MDL": _lines(dumps_mdl(http_mdl())),
+            "mDNS MDL": _lines(dumps_mdl(mdns_mdl())),
+        }
+        bridge_lines = {}
+        automaton_lines = {}
+        for case, builder in BRIDGE_BUILDERS.items():
+            merged = builder().merged
+            bridge_lines[f"case {case}: {CASE_NAMES[case]}"] = _lines(dumps_bridge(merged))
+            for automaton in merged.automata.values():
+                automaton_lines.setdefault(
+                    f"{automaton.name} coloured automaton", _lines(dumps_automaton(automaton))
+                )
+        return mdl_lines, automaton_lines, bridge_lines
+
+    mdl_lines, automaton_lines, bridge_lines = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    with capsys.disabled():
+        print()
+        print("Model sizes (non-blank lines of XML)")
+        print("-" * 56)
+        for section in (mdl_lines, automaton_lines, bridge_lines):
+            for label, count in section.items():
+                print(f"{label:<40} {count:>6}")
+            print("-" * 56)
+
+    # Coloured automata are tiny (the paper's Figs. 1-3 and 9).
+    assert all(count < 40 for count in automaton_lines.values())
+    # Merged automata + translation logic sit around the paper's ~100 lines.
+    assert all(30 <= count <= 300 for count in bridge_lines.values())
+    # MDLs are written once per protocol and are of the same order.
+    assert all(20 <= count <= 200 for count in mdl_lines.values())
+
+
+def test_benchmark_bridge_document_serialisation(benchmark):
+    merged = BRIDGE_BUILDERS[1]().merged
+    document = benchmark(lambda: dumps_bridge(merged))
+    assert "<Bridge" in document

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints the regenerated table (or matrix) next to the
+paper's published numbers, and additionally uses pytest-benchmark to time
+the real (wall-clock) cost of the operation under test.  The simulated
+latencies reproduce the *shape* of Fig. 12; the wall-clock timings expose
+the framework's actual processing cost on this machine.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Repetitions used for the simulated tables.  The paper uses 100; the
+#: simulation is fast enough to match it.
+REPETITIONS = int(os.environ.get("REPRO_BENCH_REPETITIONS", "100"))
+
+
+@pytest.fixture(scope="session")
+def repetitions() -> int:
+    return REPETITIONS

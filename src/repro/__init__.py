@@ -1,0 +1,48 @@
+"""Starlink reproduction: runtime interoperability between heterogeneous middleware protocols.
+
+A Python reproduction of *Starlink: runtime interoperability between
+heterogeneous middleware protocols* (Bromberg, Grace, Réveillère — ICDCS
+2011).  The package provides:
+
+* ``repro.core`` — abstract messages, the Message Description Language with
+  generic runtime parsers/composers, k-coloured and merged automata,
+  translation logic, and the automata/bridge engines;
+* ``repro.network`` — the network engine abstraction with a deterministic
+  discrete-event simulation and a loopback socket implementation;
+* ``repro.protocols`` — the discovery protocol substrates (SLP, SSDP, HTTP,
+  mDNS/Bonjour, UPnP) plus simulated legacy endpoints;
+* ``repro.bridges`` — the six case-study bridges, a runtime registry and the
+  hand-coded / ESB ablation baselines;
+* ``repro.evaluation`` — the harness regenerating the paper's Fig. 12 tables.
+
+Quickstart::
+
+    from repro.bridges import slp_to_bonjour_bridge
+    from repro.network import SimulatedNetwork
+    from repro.protocols.mdns import BonjourResponder
+    from repro.protocols.slp import SLPUserAgent
+
+    network = SimulatedNetwork()
+    bridge = slp_to_bonjour_bridge()
+    bridge.deploy(network)
+    network.attach(BonjourResponder())
+    client = SLPUserAgent()
+    network.attach(client)
+    result = client.lookup(network, "service:test")
+    print(result.url)
+"""
+
+from .core.engine.bridge import StarlinkBridge
+from .core.message import AbstractMessage, PrimitiveField, StructuredField
+from .network.simulated import SimulatedNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "StarlinkBridge",
+    "AbstractMessage",
+    "PrimitiveField",
+    "StructuredField",
+    "SimulatedNetwork",
+]

@@ -1,0 +1,29 @@
+"""The paper's six discovery bridges, a runtime registry and ablation baselines."""
+
+from .baseline import EsbStyleSlpToBonjourBridge, HandCodedSlpToBonjourBridge
+from .registry import BridgeRegistry, default_registry
+from .specs import (
+    BRIDGE_BUILDERS,
+    CASE_NAMES,
+    bonjour_to_slp_bridge,
+    bonjour_to_upnp_bridge,
+    slp_to_bonjour_bridge,
+    slp_to_upnp_bridge,
+    upnp_to_bonjour_bridge,
+    upnp_to_slp_bridge,
+)
+
+__all__ = [
+    "slp_to_upnp_bridge",
+    "slp_to_bonjour_bridge",
+    "upnp_to_slp_bridge",
+    "upnp_to_bonjour_bridge",
+    "bonjour_to_upnp_bridge",
+    "bonjour_to_slp_bridge",
+    "BRIDGE_BUILDERS",
+    "CASE_NAMES",
+    "BridgeRegistry",
+    "default_registry",
+    "HandCodedSlpToBonjourBridge",
+    "EsbStyleSlpToBonjourBridge",
+]

@@ -1,0 +1,75 @@
+"""Bridge registry: pick the right merged automaton for a protocol pair.
+
+The paper's vision is that when two systems with unknown protocols want to
+interact, the framework selects (or generates) the interoperability logic
+for that particular pair at runtime.  The registry is the selection half of
+that story: given the client-side and service-side protocol names it
+returns a freshly built :class:`~repro.core.engine.bridge.StarlinkBridge`.
+New pairs can be registered at runtime, so the mechanism is open to
+protocols beyond the three of the case study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.engine.bridge import StarlinkBridge
+from ..core.errors import ConfigurationError
+from .specs import (
+    bonjour_to_slp_bridge,
+    bonjour_to_upnp_bridge,
+    slp_to_bonjour_bridge,
+    slp_to_upnp_bridge,
+    upnp_to_bonjour_bridge,
+    upnp_to_slp_bridge,
+)
+
+__all__ = ["BridgeRegistry", "default_registry"]
+
+BridgeBuilder = Callable[..., StarlinkBridge]
+
+
+class BridgeRegistry:
+    """Maps ``(client protocol, service protocol)`` pairs to bridge builders."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[Tuple[str, str], BridgeBuilder] = {}
+
+    @staticmethod
+    def _normalise(protocol: str) -> str:
+        return protocol.strip().lower()
+
+    def register(self, client: str, service: str, builder: BridgeBuilder) -> None:
+        self._builders[(self._normalise(client), self._normalise(service))] = builder
+
+    def supports(self, client: str, service: str) -> bool:
+        return (self._normalise(client), self._normalise(service)) in self._builders
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        return sorted(self._builders)
+
+    def build(self, client: str, service: str, **kwargs: object) -> StarlinkBridge:
+        """Instantiate the bridge connecting ``client`` to ``service``."""
+        key = (self._normalise(client), self._normalise(service))
+        try:
+            builder = self._builders[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"no bridge registered for client protocol '{client}' and "
+                f"service protocol '{service}'"
+            ) from None
+        return builder(**kwargs)
+
+    def register_defaults(self) -> "BridgeRegistry":
+        self.register("slp", "upnp", slp_to_upnp_bridge)
+        self.register("slp", "bonjour", slp_to_bonjour_bridge)
+        self.register("upnp", "slp", upnp_to_slp_bridge)
+        self.register("upnp", "bonjour", upnp_to_bonjour_bridge)
+        self.register("bonjour", "upnp", bonjour_to_upnp_bridge)
+        self.register("bonjour", "slp", bonjour_to_slp_bridge)
+        return self
+
+
+def default_registry() -> BridgeRegistry:
+    """Registry pre-populated with the paper's six discovery cases."""
+    return BridgeRegistry().register_defaults()

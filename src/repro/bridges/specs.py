@@ -1,0 +1,357 @@
+"""The six discovery-interoperability bridges of the paper's case study.
+
+Section V evaluates Starlink on three service-discovery protocols — SLP,
+UPnP (SSDP + HTTP) and Bonjour (mDNS) — across all six directed pairs:
+
+1. SLP client  -> UPnP service      (Fig. 4: the SLP/SSDP/HTTP merged automaton)
+2. SLP client  -> Bonjour service   (Fig. 10: the SLP/mDNS merged automaton)
+3. UPnP client -> SLP service
+4. UPnP client -> Bonjour service
+5. Bonjour client -> UPnP service
+6. Bonjour client -> SLP service
+
+Each function below builds the corresponding :class:`StarlinkBridge`: the
+merged automaton (component coloured automata + δ-transitions) together
+with its translation logic, plus the MDL specifications of the protocols
+involved.  Everything is expressed with the high-level models only — no
+protocol-specific executable code — which is the paper's central claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.automata.merge import LambdaAction, MergedAutomaton
+from ..core.engine.bridge import StarlinkBridge
+from ..core.translation.logic import MessageFieldRef, TranslationLogic
+from ..protocols.http import (
+    HTTP_GET,
+    HTTP_OK,
+    http_client_automaton,
+    http_mdl,
+    http_server_automaton,
+)
+from ..protocols.mdns import (
+    DNS_QUESTION,
+    DNS_RESPONSE,
+    mdns_mdl,
+    mdns_requester_automaton,
+    mdns_responder_automaton,
+)
+from ..protocols.slp import (
+    SLP_SRVREPLY,
+    SLP_SRVREQ,
+    slp_mdl,
+    slp_requester_automaton,
+    slp_responder_automaton,
+)
+from ..protocols.ssdp import (
+    SSDP_MSEARCH,
+    SSDP_RESP,
+    ssdp_mdl,
+    ssdp_requester_automaton,
+    ssdp_responder_automaton,
+)
+
+__all__ = [
+    "slp_to_upnp_bridge",
+    "slp_to_bonjour_bridge",
+    "upnp_to_slp_bridge",
+    "upnp_to_bonjour_bridge",
+    "bonjour_to_upnp_bridge",
+    "bonjour_to_slp_bridge",
+    "BRIDGE_BUILDERS",
+    "CASE_NAMES",
+]
+
+_SSDP_GROUP_HOSTPORT = "239.255.255.250:1900"
+
+
+def _msearch_boilerplate(translation: TranslationLogic, source_message: str, source_field: str) -> None:
+    """Constant SSDP M-SEARCH fields every bridge acting as a UPnP client needs."""
+    translation.assign(f"{SSDP_MSEARCH}.URI", f"{source_message}.{source_field}", "constant", "*")
+    translation.assign(
+        f"{SSDP_MSEARCH}.Version", f"{source_message}.{source_field}", "constant", "HTTP/1.1"
+    )
+    translation.assign(
+        f"{SSDP_MSEARCH}.HOST", f"{source_message}.{source_field}", "constant", _SSDP_GROUP_HOSTPORT
+    )
+    translation.assign(
+        f"{SSDP_MSEARCH}.MAN", f"{source_message}.{source_field}", "constant", '"ssdp:discover"'
+    )
+    translation.assign(f"{SSDP_MSEARCH}.MX", f"{source_message}.{source_field}", "constant", "3")
+
+
+def _ssdp_response_boilerplate(translation: TranslationLogic) -> None:
+    """Constant fields of the SSDP response a bridge serves to a control point."""
+    translation.assign(f"{SSDP_RESP}.URI", f"{SSDP_MSEARCH}.ST", "constant", "200")
+    translation.assign(f"{SSDP_RESP}.Version", f"{SSDP_MSEARCH}.ST", "constant", "OK")
+    translation.assign(
+        f"{SSDP_RESP}.CACHE-CONTROL", f"{SSDP_MSEARCH}.ST", "constant", "max-age=1800"
+    )
+    translation.assign(
+        f"{SSDP_RESP}.SERVER", f"{SSDP_MSEARCH}.ST", "constant", "Starlink/1.0 UPnP/1.0"
+    )
+    translation.assign(
+        f"{SSDP_RESP}.USN", f"{SSDP_MSEARCH}.ST", "constant", "uuid:starlink-bridge::upnp"
+    )
+    translation.assign(f"{SSDP_RESP}.ST", f"{SSDP_MSEARCH}.ST")
+    translation.assign(
+        f"{SSDP_RESP}.LOCATION", f"{SSDP_MSEARCH}.ST", "bridge_http_location", "HTTP", "/description.xml"
+    )
+
+
+def _http_ok_boilerplate(translation: TranslationLogic, url_source: str) -> None:
+    """Constant fields of the HTTP 200 OK a bridge serves to a control point."""
+    translation.assign(f"{HTTP_OK}.URI", url_source, "constant", "200")
+    translation.assign(f"{HTTP_OK}.Version", url_source, "constant", "OK")
+    translation.assign(f"{HTTP_OK}.Server", url_source, "constant", "Starlink/1.0")
+    translation.assign(f"{HTTP_OK}.Content-Type", url_source, "constant", "text/xml")
+    translation.assign(f"{HTTP_OK}.Body", url_source, "device_description")
+
+
+def _http_get_from_location(translation: TranslationLogic) -> None:
+    """Derive the HTTP GET of the device description from the SSDP LOCATION."""
+    translation.assign(f"{HTTP_GET}.URI", f"{SSDP_RESP}.LOCATION", "url_path")
+    translation.assign(f"{HTTP_GET}.Host", f"{SSDP_RESP}.LOCATION", "url_host")
+    translation.assign(f"{HTTP_GET}.Connection", f"{SSDP_RESP}.LOCATION", "constant", "close")
+
+
+# ----------------------------------------------------------------------
+# Case 1: SLP client -> UPnP service (Fig. 4 of the paper)
+# ----------------------------------------------------------------------
+def slp_to_upnp_bridge(**kwargs: object) -> StarlinkBridge:
+    """SLP lookup answered by a UPnP device (the paper's Fig. 4/5 merge)."""
+    slp = slp_responder_automaton("SLP")
+    ssdp = ssdp_requester_automaton("SSDP")
+    http = http_client_automaton("HTTP")
+
+    translation = TranslationLogic()
+    translation.declare_equivalent(SSDP_MSEARCH, SLP_SRVREQ)
+    translation.declare_equivalent(HTTP_GET, SSDP_RESP)
+    translation.declare_equivalent(SLP_SRVREPLY, HTTP_OK)
+
+    translation.assign(f"{SSDP_MSEARCH}.ST", f"{SLP_SRVREQ}.SRVType", "upnp_service_type")
+    _msearch_boilerplate(translation, SLP_SRVREQ, "SRVType")
+    _http_get_from_location(translation)
+    translation.assign(f"{SLP_SRVREPLY}.URLEntry", f"{HTTP_OK}.Body", "url_base")
+    translation.assign(f"{SLP_SRVREPLY}.XID", f"{SLP_SRVREQ}.XID")
+    translation.assign(f"{SLP_SRVREPLY}.LangTag", f"{SLP_SRVREQ}.LangTag")
+
+    merged = MergedAutomaton(
+        "slp-to-upnp", [slp, ssdp, http], translation, initial_automaton="SLP"
+    )
+    merged.add_delta("SLP.s11", "SSDP.s20")
+    merged.add_delta(
+        "SSDP.s22",
+        "HTTP.s30",
+        actions=[LambdaAction("set_host", (MessageFieldRef(SSDP_RESP, "LOCATION"),))],
+    )
+    merged.add_delta("HTTP.s32", "SLP.s11")
+
+    return StarlinkBridge(
+        merged,
+        {"SLP": slp_mdl(), "SSDP": ssdp_mdl(), "HTTP": http_mdl()},
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 2: SLP client -> Bonjour service (Fig. 10 of the paper)
+# ----------------------------------------------------------------------
+def slp_to_bonjour_bridge(**kwargs: object) -> StarlinkBridge:
+    """SLP lookup answered by a Bonjour responder (the paper's Fig. 10 merge)."""
+    slp = slp_responder_automaton("SLP")
+    mdns = mdns_requester_automaton("mDNS")
+
+    translation = TranslationLogic()
+    translation.declare_equivalent(DNS_QUESTION, SLP_SRVREQ)
+    translation.declare_equivalent(SLP_SRVREPLY, DNS_RESPONSE)
+
+    translation.assign(f"{DNS_QUESTION}.DomainName", f"{SLP_SRVREQ}.SRVType", "service_type_to_dns")
+    translation.assign(f"{DNS_QUESTION}.ID", f"{SLP_SRVREQ}.XID")
+    translation.assign(f"{DNS_QUESTION}.QDCount", f"{SLP_SRVREQ}.SRVType", "constant", "1")
+    translation.assign(f"{DNS_QUESTION}.QType", f"{SLP_SRVREQ}.SRVType", "constant", "16")
+    translation.assign(f"{DNS_QUESTION}.QClass", f"{SLP_SRVREQ}.SRVType", "constant", "1")
+    translation.assign(f"{SLP_SRVREPLY}.URLEntry", f"{DNS_RESPONSE}.RDATA")
+    translation.assign(f"{SLP_SRVREPLY}.XID", f"{SLP_SRVREQ}.XID")
+    translation.assign(f"{SLP_SRVREPLY}.LangTag", f"{SLP_SRVREQ}.LangTag")
+
+    merged = MergedAutomaton(
+        "slp-to-bonjour", [slp, mdns], translation, initial_automaton="SLP"
+    )
+    merged.add_delta("SLP.s11", "mDNS.s40")
+    merged.add_delta("mDNS.s42", "SLP.s11")
+
+    return StarlinkBridge(
+        merged, {"SLP": slp_mdl(), "mDNS": mdns_mdl()}, **kwargs  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 3: UPnP client -> SLP service
+# ----------------------------------------------------------------------
+def upnp_to_slp_bridge(**kwargs: object) -> StarlinkBridge:
+    """UPnP control-point lookup answered by an SLP service agent."""
+    ssdp = ssdp_responder_automaton("SSDP")
+    http = http_server_automaton("HTTP")
+    slp = slp_requester_automaton("SLP")
+
+    translation = TranslationLogic()
+    translation.declare_equivalent(SLP_SRVREQ, SSDP_MSEARCH)
+    translation.declare_equivalent(SSDP_RESP, SLP_SRVREPLY)
+    translation.declare_equivalent(HTTP_OK, SLP_SRVREPLY)
+
+    translation.assign(f"{SLP_SRVREQ}.SRVType", f"{SSDP_MSEARCH}.ST", "slp_service_type")
+    translation.assign(f"{SLP_SRVREQ}.LangTag", f"{SSDP_MSEARCH}.ST", "constant", "en")
+    translation.assign(f"{SLP_SRVREQ}.Version", f"{SSDP_MSEARCH}.ST", "constant", "2")
+    translation.assign(f"{SLP_SRVREQ}.XID", f"{SSDP_MSEARCH}.ST", "constant", "4660")
+    _ssdp_response_boilerplate(translation)
+    _http_ok_boilerplate(translation, f"{SLP_SRVREPLY}.URLEntry")
+
+    merged = MergedAutomaton(
+        "upnp-to-slp", [ssdp, http, slp], translation, initial_automaton="SSDP"
+    )
+    merged.add_delta("SSDP.r21", "SLP.c10")
+    merged.add_delta("SLP.c12", "SSDP.r21")
+    merged.add_delta("SSDP.r22", "HTTP.h30")
+
+    return StarlinkBridge(
+        merged,
+        {"SSDP": ssdp_mdl(), "HTTP": http_mdl(), "SLP": slp_mdl()},
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 4: UPnP client -> Bonjour service
+# ----------------------------------------------------------------------
+def upnp_to_bonjour_bridge(**kwargs: object) -> StarlinkBridge:
+    """UPnP control-point lookup answered by a Bonjour responder."""
+    ssdp = ssdp_responder_automaton("SSDP")
+    http = http_server_automaton("HTTP")
+    mdns = mdns_requester_automaton("mDNS")
+
+    translation = TranslationLogic()
+    translation.declare_equivalent(DNS_QUESTION, SSDP_MSEARCH)
+    translation.declare_equivalent(SSDP_RESP, DNS_RESPONSE)
+    translation.declare_equivalent(HTTP_OK, DNS_RESPONSE)
+
+    translation.assign(f"{DNS_QUESTION}.DomainName", f"{SSDP_MSEARCH}.ST", "service_type_to_dns")
+    translation.assign(f"{DNS_QUESTION}.QDCount", f"{SSDP_MSEARCH}.ST", "constant", "1")
+    translation.assign(f"{DNS_QUESTION}.QType", f"{SSDP_MSEARCH}.ST", "constant", "16")
+    translation.assign(f"{DNS_QUESTION}.QClass", f"{SSDP_MSEARCH}.ST", "constant", "1")
+    _ssdp_response_boilerplate(translation)
+    _http_ok_boilerplate(translation, f"{DNS_RESPONSE}.RDATA")
+
+    merged = MergedAutomaton(
+        "upnp-to-bonjour", [ssdp, http, mdns], translation, initial_automaton="SSDP"
+    )
+    merged.add_delta("SSDP.r21", "mDNS.s40")
+    merged.add_delta("mDNS.s42", "SSDP.r21")
+    merged.add_delta("SSDP.r22", "HTTP.h30")
+
+    return StarlinkBridge(
+        merged,
+        {"SSDP": ssdp_mdl(), "HTTP": http_mdl(), "mDNS": mdns_mdl()},
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 5: Bonjour client -> UPnP service
+# ----------------------------------------------------------------------
+def bonjour_to_upnp_bridge(**kwargs: object) -> StarlinkBridge:
+    """Bonjour browse answered by a UPnP device."""
+    mdns = mdns_responder_automaton("mDNS")
+    ssdp = ssdp_requester_automaton("SSDP")
+    http = http_client_automaton("HTTP")
+
+    translation = TranslationLogic()
+    translation.declare_equivalent(SSDP_MSEARCH, DNS_QUESTION)
+    translation.declare_equivalent(HTTP_GET, SSDP_RESP)
+    translation.declare_equivalent(DNS_RESPONSE, HTTP_OK)
+
+    translation.assign(f"{SSDP_MSEARCH}.ST", f"{DNS_QUESTION}.DomainName", "upnp_service_type")
+    _msearch_boilerplate(translation, DNS_QUESTION, "DomainName")
+    _http_get_from_location(translation)
+    translation.assign(f"{DNS_RESPONSE}.RDATA", f"{HTTP_OK}.Body", "url_base")
+    translation.assign(f"{DNS_RESPONSE}.ID", f"{DNS_QUESTION}.ID")
+    translation.assign(f"{DNS_RESPONSE}.AnswerName", f"{DNS_QUESTION}.DomainName")
+    translation.assign(f"{DNS_RESPONSE}.ANCount", f"{DNS_QUESTION}.DomainName", "constant", "1")
+    translation.assign(f"{DNS_RESPONSE}.AType", f"{DNS_QUESTION}.QType")
+    translation.assign(f"{DNS_RESPONSE}.AClass", f"{DNS_QUESTION}.QClass")
+    translation.assign(f"{DNS_RESPONSE}.TTL", f"{DNS_QUESTION}.DomainName", "constant", "120")
+
+    merged = MergedAutomaton(
+        "bonjour-to-upnp", [mdns, ssdp, http], translation, initial_automaton="mDNS"
+    )
+    merged.add_delta("mDNS.r41", "SSDP.s20")
+    merged.add_delta(
+        "SSDP.s22",
+        "HTTP.s30",
+        actions=[LambdaAction("set_host", (MessageFieldRef(SSDP_RESP, "LOCATION"),))],
+    )
+    merged.add_delta("HTTP.s32", "mDNS.r41")
+
+    return StarlinkBridge(
+        merged,
+        {"mDNS": mdns_mdl(), "SSDP": ssdp_mdl(), "HTTP": http_mdl()},
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+# ----------------------------------------------------------------------
+# Case 6: Bonjour client -> SLP service
+# ----------------------------------------------------------------------
+def bonjour_to_slp_bridge(**kwargs: object) -> StarlinkBridge:
+    """Bonjour browse answered by an SLP service agent."""
+    mdns = mdns_responder_automaton("mDNS")
+    slp = slp_requester_automaton("SLP")
+
+    translation = TranslationLogic()
+    translation.declare_equivalent(SLP_SRVREQ, DNS_QUESTION)
+    translation.declare_equivalent(DNS_RESPONSE, SLP_SRVREPLY)
+
+    translation.assign(f"{SLP_SRVREQ}.SRVType", f"{DNS_QUESTION}.DomainName", "slp_service_type")
+    translation.assign(f"{SLP_SRVREQ}.LangTag", f"{DNS_QUESTION}.DomainName", "constant", "en")
+    translation.assign(f"{SLP_SRVREQ}.Version", f"{DNS_QUESTION}.DomainName", "constant", "2")
+    translation.assign(f"{SLP_SRVREQ}.XID", f"{DNS_QUESTION}.ID")
+    translation.assign(f"{DNS_RESPONSE}.RDATA", f"{SLP_SRVREPLY}.URLEntry")
+    translation.assign(f"{DNS_RESPONSE}.ID", f"{DNS_QUESTION}.ID")
+    translation.assign(f"{DNS_RESPONSE}.AnswerName", f"{DNS_QUESTION}.DomainName")
+    translation.assign(f"{DNS_RESPONSE}.ANCount", f"{DNS_QUESTION}.DomainName", "constant", "1")
+    translation.assign(f"{DNS_RESPONSE}.AType", f"{DNS_QUESTION}.QType")
+    translation.assign(f"{DNS_RESPONSE}.AClass", f"{DNS_QUESTION}.QClass")
+    translation.assign(f"{DNS_RESPONSE}.TTL", f"{DNS_QUESTION}.DomainName", "constant", "120")
+
+    merged = MergedAutomaton(
+        "bonjour-to-slp", [mdns, slp], translation, initial_automaton="mDNS"
+    )
+    merged.add_delta("mDNS.r41", "SLP.c10")
+    merged.add_delta("SLP.c12", "mDNS.r41")
+
+    return StarlinkBridge(
+        merged, {"mDNS": mdns_mdl(), "SLP": slp_mdl()}, **kwargs  # type: ignore[arg-type]
+    )
+
+
+#: Bridge builders keyed by the paper's case number (Fig. 12(b)).
+BRIDGE_BUILDERS: Dict[int, Callable[..., StarlinkBridge]] = {
+    1: slp_to_upnp_bridge,
+    2: slp_to_bonjour_bridge,
+    3: upnp_to_slp_bridge,
+    4: upnp_to_bonjour_bridge,
+    5: bonjour_to_upnp_bridge,
+    6: bonjour_to_slp_bridge,
+}
+
+#: Human-readable case names, matching Fig. 12(b) row labels.
+CASE_NAMES: Dict[int, str] = {
+    1: "SLP to UPnP",
+    2: "SLP to Bonjour",
+    3: "UPnP to SLP",
+    4: "UPnP to Bonjour",
+    5: "Bonjour to UPnP",
+    6: "Bonjour to SLP",
+}

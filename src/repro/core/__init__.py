@@ -1,0 +1,43 @@
+"""Core Starlink models and engines.
+
+This package holds the paper's primary contribution: abstract messages,
+the Message Description Language with its generic parsers/composers,
+k-coloured and merged automata, translation logic, and the runtime engines
+that execute them.
+"""
+
+from .errors import (
+    AutomatonError,
+    ComposeError,
+    ConfigurationError,
+    EngineError,
+    MDLError,
+    MergeError,
+    MessageError,
+    NetworkError,
+    NotMergeableError,
+    ParseError,
+    StarlinkError,
+    TranslationError,
+)
+from .fieldpath import FieldPath
+from .message import AbstractMessage, PrimitiveField, StructuredField
+
+__all__ = [
+    "AbstractMessage",
+    "PrimitiveField",
+    "StructuredField",
+    "FieldPath",
+    "StarlinkError",
+    "MessageError",
+    "MDLError",
+    "ParseError",
+    "ComposeError",
+    "AutomatonError",
+    "MergeError",
+    "NotMergeableError",
+    "TranslationError",
+    "EngineError",
+    "NetworkError",
+    "ConfigurationError",
+]

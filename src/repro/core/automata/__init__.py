@@ -1,0 +1,35 @@
+"""k-coloured automata, semantic equivalence and merged automata."""
+
+from .color import NetworkColor
+from .colored import Action, ColoredAutomaton, State, Transition
+from .merge import (
+    DeltaTransition,
+    LambdaAction,
+    MergedAutomaton,
+    check_mergeable,
+    derive_equivalence,
+)
+from .semantics import FieldCorrespondence, SemanticEquivalence
+from .synthesis import synthesize_merge, translation_from_equivalence
+from .xml_loader import dump_automaton, dumps_automaton, load_automaton, loads_automaton
+
+__all__ = [
+    "NetworkColor",
+    "Action",
+    "State",
+    "Transition",
+    "ColoredAutomaton",
+    "SemanticEquivalence",
+    "FieldCorrespondence",
+    "LambdaAction",
+    "DeltaTransition",
+    "MergedAutomaton",
+    "check_mergeable",
+    "derive_equivalence",
+    "synthesize_merge",
+    "translation_from_equivalence",
+    "load_automaton",
+    "loads_automaton",
+    "dump_automaton",
+    "dumps_automaton",
+]

@@ -1,0 +1,162 @@
+"""Network colours for k-coloured automata.
+
+Section III-B: protocols differ not only in behaviour but in how they use
+the network — transport protocol, port, unicast vs. multicast, synchronous
+vs. asynchronous responses.  Starlink captures these low-level semantics by
+*colouring* automaton states: a colour is the image, under a perfect hash
+function ``f``, of the list of key/value pairs describing the network
+details.  Two states with the same colour can be connected by ordinary
+send/receive transitions; crossing colours requires a δ-transition.
+
+Here a :class:`NetworkColor` is an immutable mapping of those key/value
+pairs.  The "perfect hash" of the paper is realised by using the canonical
+sorted tuple of pairs itself as the colour key — trivially collision-free —
+while :attr:`NetworkColor.value` additionally exposes a short stable
+hexadecimal digest for display, as in the paper's ``k`` notation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["NetworkColor"]
+
+#: Attribute names used by the paper's examples (Figs. 1-3 and 9).
+TRANSPORT = "transport_protocol"
+PORT = "port"
+MODE = "mode"
+MULTICAST = "multicast"
+GROUP = "group"
+
+
+class NetworkColor(Mapping[str, str]):
+    """An immutable set of network attributes identifying one colour ``k``."""
+
+    def __init__(self, attributes: Optional[Mapping[str, object]] = None, **kwargs: object) -> None:
+        merged: Dict[str, str] = {}
+        for source in (attributes or {}), kwargs:
+            for key, value in source.items():
+                merged[str(key)] = str(value)
+        if not merged:
+            raise ConfigurationError("a network colour needs at least one attribute")
+        self._attributes: Tuple[Tuple[str, str], ...] = tuple(sorted(merged.items()))
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def udp_multicast(cls, group: str, port: int, mode: str = "async") -> "NetworkColor":
+        """Colour of a multicast UDP protocol such as SLP, SSDP or mDNS."""
+        return cls(
+            {
+                TRANSPORT: "udp",
+                PORT: port,
+                MODE: mode,
+                MULTICAST: "yes",
+                GROUP: group,
+            }
+        )
+
+    @classmethod
+    def tcp_unicast(cls, port: int, mode: str = "sync") -> "NetworkColor":
+        """Colour of a unicast TCP protocol such as HTTP."""
+        return cls(
+            {
+                TRANSPORT: "tcp",
+                PORT: port,
+                MODE: mode,
+                MULTICAST: "no",
+            }
+        )
+
+    @classmethod
+    def udp_unicast(cls, port: int, mode: str = "async") -> "NetworkColor":
+        """Colour of a unicast UDP protocol."""
+        return cls(
+            {
+                TRANSPORT: "udp",
+                PORT: port,
+                MODE: mode,
+                MULTICAST: "no",
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str) -> str:
+        for existing_key, value in self._attributes:
+            if existing_key == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(key for key, _ in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    # ------------------------------------------------------------------
+    # colour identity
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> Tuple[Tuple[str, str], ...]:
+        """The canonical, collision-free colour key (the paper's ``k``)."""
+        return self._attributes
+
+    @property
+    def value(self) -> str:
+        """A short stable digest of the colour key, for display/logging."""
+        digest = hashlib.sha1(repr(self._attributes).encode("utf-8")).hexdigest()
+        return digest[:8]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NetworkColor):
+            return self._attributes == other._attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value}" for key, value in self._attributes)
+        return f"NetworkColor({inner})"
+
+    # ------------------------------------------------------------------
+    # network attribute helpers
+    # ------------------------------------------------------------------
+    @property
+    def transport(self) -> str:
+        return self.get(TRANSPORT, "udp")
+
+    @property
+    def port(self) -> int:
+        try:
+            return int(self.get(PORT, "0"))
+        except ValueError:
+            return 0
+
+    @property
+    def mode(self) -> str:
+        return self.get(MODE, "async")
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.get(MULTICAST, "no").lower() in {"yes", "true", "1"}
+
+    @property
+    def group(self) -> Optional[str]:
+        return self.get(GROUP)
+
+    @property
+    def is_synchronous(self) -> bool:
+        return self.mode == "sync"
+
+    def with_attributes(self, **overrides: object) -> "NetworkColor":
+        """Return a new colour with some attributes replaced."""
+        attributes = dict(self._attributes)
+        attributes.update({str(key): str(value) for key, value in overrides.items()})
+        return NetworkColor(attributes)

@@ -1,0 +1,181 @@
+"""The semantic-equivalence operator ``|=`` of Section III-C.
+
+The paper defines ``n |= m⃗``: an outgoing message ``n`` is semantically
+equivalent to a sequence of received messages ``m⃗`` iff *every mandatory
+field of n* has a semantically equivalent field in one of the messages of
+``m⃗`` (equation 1).  This is the prerequisite that justifies a δ-transition
+between two coloured automata.
+
+The relation needs two ingredients supplied by the interoperability model:
+
+* **message equivalences** — which message kinds may stand in for one
+  another (Fig. 5 lines 1-3: ``SSDP_M-Search |= SLP_SrvReq`` ...);
+* **field correspondences** — which field of which message provides the
+  content of a mandatory field (these are exactly the assignments of the
+  translation logic, Fig. 5 lines 4-9, so a
+  :class:`SemanticEquivalence` can be derived from a
+  :class:`~repro.core.translation.logic.TranslationLogic`).
+
+The operator is usable both at *model* level (message names and field
+labels, used when checking mergeability before deployment) and at
+*instance* level (actual :class:`~repro.core.message.AbstractMessage`
+objects stored in state queues, used by the engine at runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..message import AbstractMessage
+
+__all__ = ["FieldCorrespondence", "SemanticEquivalence"]
+
+
+@dataclass(frozen=True)
+class FieldCorrespondence:
+    """States that ``target_message.target_field`` can be filled from
+    ``source_message.source_field`` (possibly through a translation
+    function — the function itself lives in the translation logic; here we
+    only care that a correspondence exists)."""
+
+    target_message: str
+    target_field: str
+    source_message: str
+    source_field: str
+
+
+class SemanticEquivalence:
+    """The ``|=`` relation over messages and fields."""
+
+    def __init__(
+        self,
+        message_pairs: Optional[Iterable[Tuple[str, str]]] = None,
+        correspondences: Optional[Iterable[FieldCorrespondence]] = None,
+        mandatory_fields: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        #: Unordered message-kind equivalences (``SSDP_M-Search |= SLP_SrvReq``).
+        self._message_pairs: Set[frozenset] = set()
+        for left, right in message_pairs or []:
+            self._message_pairs.add(frozenset((left, right)))
+        self._correspondences: List[FieldCorrespondence] = list(correspondences or [])
+        #: Mandatory field labels per message kind (``Mfields`` in the paper),
+        #: typically taken from the MDL message specifications.
+        self._mandatory: Dict[str, List[str]] = {
+            name: list(labels) for name, labels in (mandatory_fields or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def declare_equivalent(self, left: str, right: str) -> "SemanticEquivalence":
+        self._message_pairs.add(frozenset((left, right)))
+        return self
+
+    def add_correspondence(self, correspondence: FieldCorrespondence) -> "SemanticEquivalence":
+        self._correspondences.append(correspondence)
+        return self
+
+    def set_mandatory_fields(self, message: str, labels: Sequence[str]) -> "SemanticEquivalence":
+        self._mandatory[message] = list(labels)
+        return self
+
+    @property
+    def correspondences(self) -> List[FieldCorrespondence]:
+        return list(self._correspondences)
+
+    @property
+    def message_pairs(self) -> List[Tuple[str, str]]:
+        return [tuple(sorted(pair)) for pair in sorted(self._message_pairs, key=sorted)]
+
+    # ------------------------------------------------------------------
+    # message-level relation
+    # ------------------------------------------------------------------
+    def messages_equivalent(self, left: str, right: str) -> bool:
+        """True when the two message kinds were declared equivalent."""
+        if left == right:
+            return True
+        return frozenset((left, right)) in self._message_pairs
+
+    def mandatory_fields(self, message: str) -> List[str]:
+        """``Mfields(message)``: declared mandatory fields, possibly empty."""
+        return list(self._mandatory.get(message, []))
+
+    # ------------------------------------------------------------------
+    # the |= operator, model level
+    # ------------------------------------------------------------------
+    def field_supported(self, target_message: str, target_field: str, sources: Sequence[str]) -> bool:
+        """True when some source message kind can supply ``target_field``.
+
+        Support comes either from an explicit field correspondence whose
+        source message is in ``sources``, or — mirroring the common-label
+        fallback used when protocols share vocabulary — from a source
+        message declared equivalent to the target carrying a field of the
+        same label (only checkable at instance level; at model level we
+        accept declared correspondences only).
+        """
+        for correspondence in self._correspondences:
+            if (
+                correspondence.target_message == target_message
+                and correspondence.target_field == target_field
+                and correspondence.source_message in sources
+            ):
+                return True
+        # A field may also be filled from the *target protocol's own* prior
+        # messages (e.g. SLP_SrvReply.XID copied from SLP_SrvReq.XID); such
+        # self-correspondences are declared too, so nothing more to do here.
+        return False
+
+    def holds_for_names(
+        self,
+        target_message: str,
+        received_messages: Sequence[str],
+        target_mandatory: Optional[Sequence[str]] = None,
+    ) -> bool:
+        """Model-level ``n |= m⃗`` over message *names*.
+
+        ``target_mandatory`` overrides the registered mandatory fields of
+        the target message (useful when the MDL is not loaded).
+        """
+        mandatory = list(target_mandatory) if target_mandatory is not None else self.mandatory_fields(target_message)
+        if not mandatory:
+            # With no mandatory fields the condition is vacuously true, but
+            # the paper still requires the messages be *semantically* related:
+            # at least one declared equivalence with a received message.
+            return any(
+                self.messages_equivalent(target_message, received)
+                for received in received_messages
+            )
+        return all(
+            self.field_supported(target_message, field_label, received_messages)
+            for field_label in mandatory
+        )
+
+    # ------------------------------------------------------------------
+    # the |= operator, instance level
+    # ------------------------------------------------------------------
+    def holds(
+        self,
+        target: AbstractMessage,
+        received: Sequence[AbstractMessage],
+    ) -> bool:
+        """Instance-level ``n |= m⃗`` over abstract-message instances.
+
+        Every mandatory field of ``target`` must be obtainable from one of
+        the ``received`` instances, either through a declared field
+        correspondence or by carrying a field with the same label.
+        """
+        received_names = [msg.name for msg in received]
+        for field_label in target.mandatory_fields:
+            if self.field_supported(target.name, field_label, received_names):
+                continue
+            if any(msg.has(field_label) for msg in received):
+                continue
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticEquivalence(pairs={len(self._message_pairs)}, "
+            f"correspondences={len(self._correspondences)})"
+        )

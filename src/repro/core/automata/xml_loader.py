@@ -1,0 +1,177 @@
+"""XML form of coloured automata.
+
+The Starlink prototype loads behaviour models from XML content
+(Section IV-B).  This module defines the XML document shape for a
+k-coloured automaton so that protocol behaviour can be distributed as data
+files, mirroring the paper's Figs. 1-3 and 9::
+
+    <ColoredAutomaton name="SLP" protocol="SLP">
+      <Color>
+        <transport_protocol>udp</transport_protocol>
+        <port>427</port>
+        <mode>async</mode>
+        <multicast>yes</multicast>
+        <group>239.255.255.253</group>
+      </Color>
+      <State name="s10" initial="true"/>
+      <State name="s11" accepting="true"/>
+      <Transition source="s10" action="?" message="SLP_SrvReq" target="s11"/>
+      <Transition source="s11" action="!" message="SLP_SrvReply" target="s10"/>
+    </ColoredAutomaton>
+
+A ``<State>`` may carry its own ``<Color>`` child to override the automaton
+default (needed only for multi-colour automata, which single protocols never
+are).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from ..errors import AutomatonError
+from .color import NetworkColor
+from .colored import Action, ColoredAutomaton
+
+__all__ = ["load_automaton", "loads_automaton", "dump_automaton", "dumps_automaton"]
+
+
+def loads_automaton(document: str) -> ColoredAutomaton:
+    """Parse a coloured automaton from an XML string."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise AutomatonError(f"malformed automaton XML: {exc}") from exc
+    return _from_element(root)
+
+
+def load_automaton(path: Union[str, "os.PathLike[str]"]) -> ColoredAutomaton:  # noqa: F821
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_automaton(handle.read())
+
+
+def dumps_automaton(automaton: ColoredAutomaton) -> str:
+    """Serialise a coloured automaton to an XML string."""
+    root = _to_element(automaton)
+    _indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def dump_automaton(
+    automaton: ColoredAutomaton, path: Union[str, "os.PathLike[str]"]
+) -> None:  # noqa: F821
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_automaton(automaton))
+
+
+# ----------------------------------------------------------------------
+def _color_from_element(element: ET.Element) -> NetworkColor:
+    attributes = {child.tag: (child.text or "").strip() for child in element}
+    return NetworkColor(attributes)
+
+
+def _color_to_element(color: NetworkColor, tag: str = "Color") -> ET.Element:
+    element = ET.Element(tag)
+    for key, value in color.key:
+        child = ET.SubElement(element, key)
+        child.text = value
+    return element
+
+
+def _from_element(root: ET.Element) -> ColoredAutomaton:
+    if root.tag != "ColoredAutomaton":
+        raise AutomatonError(
+            f"expected <ColoredAutomaton> root element, got <{root.tag}>"
+        )
+    name = root.get("name", "")
+    if not name:
+        raise AutomatonError("<ColoredAutomaton> needs a name attribute")
+    automaton = ColoredAutomaton(name, protocol=root.get("protocol", name))
+
+    default_color: Optional[NetworkColor] = None
+    color_element = root.find("Color")
+    if color_element is not None:
+        default_color = _color_from_element(color_element)
+
+    for state_element in root.findall("State"):
+        state_name = state_element.get("name", "")
+        if not state_name:
+            raise AutomatonError("every <State> needs a name attribute")
+        state_color_element = state_element.find("Color")
+        if state_color_element is not None:
+            color = _color_from_element(state_color_element)
+        elif default_color is not None:
+            color = default_color
+        else:
+            raise AutomatonError(
+                f"state '{state_name}' has no colour and the automaton declares no default"
+            )
+        automaton.add_state(
+            state_name,
+            color,
+            initial=state_element.get("initial", "false").lower() == "true",
+            accepting=state_element.get("accepting", "false").lower() == "true",
+        )
+
+    for transition_element in root.findall("Transition"):
+        action_text = transition_element.get("action", "")
+        try:
+            action = Action(action_text)
+        except ValueError:
+            raise AutomatonError(
+                f"transition action must be '?' or '!', got {action_text!r}"
+            ) from None
+        automaton.add_transition(
+            transition_element.get("source", ""),
+            action,
+            transition_element.get("message", ""),
+            transition_element.get("target", ""),
+        )
+    return automaton
+
+
+def _to_element(automaton: ColoredAutomaton) -> ET.Element:
+    root = ET.Element(
+        "ColoredAutomaton", {"name": automaton.name, "protocol": automaton.protocol}
+    )
+    colors = automaton.colors()
+    default_color = next(iter(colors)) if len(colors) == 1 else None
+    if default_color is not None:
+        root.append(_color_to_element(default_color))
+    initial = automaton.initial_state
+    for state_name, state in automaton.states.items():
+        attributes = {"name": state_name}
+        if state_name == initial:
+            attributes["initial"] = "true"
+        if state.accepting:
+            attributes["accepting"] = "true"
+        state_element = ET.SubElement(root, "State", attributes)
+        if default_color is None or state.color != default_color:
+            state_element.append(_color_to_element(state.color))
+    for transition in automaton.transitions:
+        ET.SubElement(
+            root,
+            "Transition",
+            {
+                "source": transition.source,
+                "action": transition.action.value,
+                "message": transition.message,
+                "target": transition.target,
+            },
+        )
+    return root
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    pad = "\n" + "  " * level
+    if len(element):
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not element[-1].tail or not element[-1].tail.strip():
+            element[-1].tail = pad
+    elif level and (not element.tail or not element.tail.strip()):
+        element.tail = pad

@@ -1,0 +1,14 @@
+"""Runtime engines: λ-actions, the automata engine and the bridge API."""
+
+from .actions import ActionRegistry, default_action_registry
+from .automata_engine import AutomataEngine, ProtocolBinding, SessionRecord
+from .bridge import StarlinkBridge
+
+__all__ = [
+    "ActionRegistry",
+    "default_action_registry",
+    "AutomataEngine",
+    "ProtocolBinding",
+    "SessionRecord",
+    "StarlinkBridge",
+]

@@ -1,0 +1,100 @@
+"""Network-layer λ-actions executed on δ-transitions.
+
+The paper's δ-transitions carry a sequence ``{λ}`` of actions performed at
+the network layer while crossing from one protocol to another.  The example
+used throughout the paper is ``set_host(host, port)``: the address of the
+HTTP server is only known from the content of the SSDP response, so the
+δ-transition extracts those fields and points the next TCP connection at
+them (Fig. 5, line 11).
+
+Actions are registered by name so new network-layer behaviours can be
+plugged in at runtime, like marshallers and translation functions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Sequence
+
+from ..automata.merge import DeltaTransition
+from ..errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .automata_engine import AutomataEngine
+
+__all__ = ["ActionRegistry", "default_action_registry"]
+
+
+#: An action handler receives the executing engine, the δ-transition being
+#: crossed, and the already-resolved argument values.
+ActionHandler = Callable[["AutomataEngine", DeltaTransition, List[Any]], None]
+
+
+class ActionRegistry:
+    """Runtime-extensible registry of λ-action handlers."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, ActionHandler] = {}
+
+    def register(self, name: str, handler: ActionHandler) -> None:
+        self._handlers[name] = handler
+
+    def has(self, name: str) -> bool:
+        return name in self._handlers
+
+    def names(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def execute(
+        self,
+        name: str,
+        engine: "AutomataEngine",
+        delta: DeltaTransition,
+        values: Sequence[Any],
+    ) -> None:
+        try:
+            handler = self._handlers[name]
+        except KeyError:
+            raise EngineError(f"unknown lambda-action '{name}'") from None
+        handler(engine, delta, list(values))
+
+    def register_defaults(self) -> "ActionRegistry":
+        self.register("set_host", _set_host)
+        self.register("noop", _noop)
+        return self
+
+
+def default_action_registry() -> ActionRegistry:
+    """Return a fresh registry with the built-in λ-actions."""
+    return ActionRegistry().register_defaults()
+
+
+# ----------------------------------------------------------------------
+def _set_host(engine: "AutomataEngine", delta: DeltaTransition, values: List[Any]) -> None:
+    """``set_host(host, port)`` — aim the next connection of the target automaton.
+
+    The first argument is the host (an IP address, a host name, or a full
+    URL from which the host is extracted); the optional second argument is
+    the port (defaults to the target automaton's colour port).
+    """
+    if not values:
+        raise EngineError("set_host needs at least a host argument")
+    host = str(values[0])
+    if "://" in host:
+        from urllib.parse import urlparse
+
+        parsed = urlparse(host)
+        port = parsed.port
+        host = parsed.hostname or host
+        if port is not None and len(values) < 2:
+            values = [host, port]
+    port_value = None
+    if len(values) > 1 and values[1] not in (None, "", 0):
+        try:
+            port_value = int(values[1])
+        except (TypeError, ValueError):
+            raise EngineError(f"set_host port argument {values[1]!r} is not an integer") from None
+    engine.force_destination(delta.target_automaton, host, port_value)
+
+
+def _noop(engine: "AutomataEngine", delta: DeltaTransition, values: List[Any]) -> None:
+    """An action that does nothing (useful in tests and as a placeholder)."""

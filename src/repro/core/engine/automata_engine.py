@@ -1,0 +1,371 @@
+"""The Automata Engine: runtime execution of merged automata.
+
+Section IV-B of the paper: the Automata Engine interprets the loaded
+behaviour model — the merged automaton plus its translation logic — and
+drives the message parsers/composers and the network engine accordingly.
+It reacts to three kinds of states:
+
+* **receiving states** listen for a message on the state colour's network
+  endpoint; a parsed message whose name matches an outgoing
+  receive-transition is pushed onto the state queue and the automaton
+  advances;
+* **sending states** construct the outgoing abstract message (filling its
+  fields by executing the translation-logic assignments), compose it with
+  the MDL composer of the protocol and hand it to the network engine with
+  the network semantics of the state colour;
+* **bridge (δ) states** neither send nor receive: they execute the λ-actions
+  of the δ-transition (e.g. ``set_host``) and move execution to the next
+  protocol's automaton.
+
+The engine is implemented as a reactive :class:`~repro.network.engine.NetworkNode`
+so the same code runs unchanged on the discrete-event simulation and on the
+socket engine.  Each completed client interaction is recorded as a
+:class:`SessionRecord`, which is what the performance evaluation measures
+(time from the first message received by the framework to the last
+translated output sent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ...network.addressing import Endpoint, Transport
+from ...network.engine import NetworkEngine, NetworkNode
+from ..automata.colored import Action, ColoredAutomaton
+from ..automata.merge import DeltaTransition, MergedAutomaton
+from ..errors import ConfigurationError, EngineError, ParseError
+from ..mdl.base import MessageComposer, MessageParser, create_composer, create_parser
+from ..mdl.spec import MDLSpec
+from ..message import AbstractMessage
+from .actions import ActionRegistry, default_action_registry
+
+__all__ = ["SessionRecord", "ProtocolBinding", "AutomataEngine"]
+
+
+@dataclass
+class SessionRecord:
+    """Measurements of one complete interoperability session."""
+
+    started_at: float
+    finished_at: float = 0.0
+    messages_received: int = 0
+    messages_sent: int = 0
+    received_names: List[str] = field(default_factory=list)
+    sent_names: List[str] = field(default_factory=list)
+
+    @property
+    def translation_time(self) -> float:
+        """Paper metric: first message received -> last translated output sent."""
+        return max(0.0, self.finished_at - self.started_at)
+
+
+@dataclass
+class ProtocolBinding:
+    """Per-component-automaton runtime resources."""
+
+    automaton: ColoredAutomaton
+    parser: MessageParser
+    composer: MessageComposer
+    local_endpoint: Endpoint
+    #: Destination forced by a ``set_host`` λ-action (overrides peer/colour).
+    forced_destination: Optional[Endpoint] = None
+    #: Peer endpoint learnt from the last received message on this automaton.
+    peer: Optional[Endpoint] = None
+
+
+class AutomataEngine(NetworkNode):
+    """Executes one merged automaton on top of a network engine."""
+
+    def __init__(
+        self,
+        merged: MergedAutomaton,
+        mdl_specs: Mapping[str, MDLSpec],
+        host: str = "starlink.bridge",
+        base_port: int = 41000,
+        actions: Optional[ActionRegistry] = None,
+        processing_delay: float = 0.0,
+        name: str = "",
+    ) -> None:
+        """Create an engine for ``merged``.
+
+        ``mdl_specs`` maps each component automaton's *name* to the MDL
+        specification of its protocol (used to build the parser and
+        composer).  ``processing_delay`` adds a fixed delay (seconds) to
+        every outgoing send, modelling the framework's own translation cost
+        on the virtual clock of a simulation; it defaults to zero.
+        """
+        self.merged = merged
+        self.name = name or f"starlink:{merged.name}"
+        self.host = host
+        self.actions = actions if actions is not None else default_action_registry()
+        self.processing_delay = processing_delay
+        self._bindings: Dict[str, ProtocolBinding] = {}
+        port = base_port
+        for automaton_name, automaton in merged.automata.items():
+            spec = mdl_specs.get(automaton_name)
+            if spec is None:
+                raise ConfigurationError(
+                    f"no MDL specification supplied for automaton '{automaton_name}'"
+                )
+            color = next(iter(automaton.colors()))
+            endpoint = Endpoint(host, port, color.transport)
+            port += 1
+            self._bindings[automaton_name] = ProtocolBinding(
+                automaton=automaton,
+                parser=create_parser(spec),
+                composer=create_composer(spec),
+                local_endpoint=endpoint,
+            )
+        self._current: Tuple[str, str] = merged.initial_state
+        self._instances: Dict[str, AbstractMessage] = {}
+        self._taken_deltas: Set[int] = set()
+        self._session: Optional[SessionRecord] = None
+        #: Completed sessions, in order.
+        self.sessions: List[SessionRecord] = []
+        #: Parse failures observed (timestamp, automaton, error text).
+        self.parse_failures: List[Tuple[float, str, str]] = []
+        self._engine: Optional[NetworkEngine] = None
+
+    # ------------------------------------------------------------------
+    # NetworkNode interface
+    # ------------------------------------------------------------------
+    def unicast_endpoints(self) -> List[Endpoint]:
+        return [binding.local_endpoint for binding in self._bindings.values()]
+
+    def multicast_groups(self) -> List[Endpoint]:
+        """The engine joins the multicast group of the client-facing colour.
+
+        That is where legacy client requests arrive; responses from legacy
+        services come back unicast to the engine's own endpoints.
+        """
+        initial_automaton, initial_state = self.merged.initial_state
+        color = self.merged.state(initial_automaton, initial_state).color
+        if color.is_multicast and color.group:
+            return [Endpoint(color.group, color.port, color.transport)]
+        return []
+
+    def on_attached(self, engine: NetworkEngine) -> None:
+        self._engine = engine
+
+    # ------------------------------------------------------------------
+    # public helpers
+    # ------------------------------------------------------------------
+    @property
+    def current_state(self) -> Tuple[str, str]:
+        """The ``(automaton, state)`` the engine is currently in."""
+        return self._current
+
+    def binding(self, automaton_name: str) -> ProtocolBinding:
+        try:
+            return self._bindings[automaton_name]
+        except KeyError:
+            raise EngineError(
+                f"engine has no binding for automaton '{automaton_name}'"
+            ) from None
+
+    def local_endpoint(self, automaton_name: str) -> Endpoint:
+        return self.binding(automaton_name).local_endpoint
+
+    def force_destination(
+        self, automaton_name: str, host: str, port: Optional[int] = None
+    ) -> None:
+        """Point the next send of ``automaton_name`` at ``host`` (set_host)."""
+        binding = self.binding(automaton_name)
+        color = next(iter(binding.automaton.colors()))
+        binding.forced_destination = Endpoint(
+            host, port if port is not None else color.port, color.transport
+        )
+
+    def translation_context(self) -> Dict[str, Any]:
+        """Context passed to translation functions (bridge endpoints etc.)."""
+        return {
+            "bridge_endpoints": {
+                name: (binding.local_endpoint.host, binding.local_endpoint.port)
+                for name, binding in self._bindings.items()
+            },
+            "bridge_host": self.host,
+        }
+
+    def reset_session(self) -> None:
+        """Forget all per-session state and return to the initial state."""
+        self.merged.reset()
+        self._instances.clear()
+        self._taken_deltas.clear()
+        for binding in self._bindings.values():
+            binding.forced_destination = None
+            binding.peer = None
+        self._current = self.merged.initial_state
+        self._session = None
+
+    # ------------------------------------------------------------------
+    # datagram handling
+    # ------------------------------------------------------------------
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        self._engine = engine
+        automaton_name = self._automaton_for_destination(destination)
+        if automaton_name is None:
+            return
+        binding = self._bindings[automaton_name]
+        current_automaton, current_state = self._current
+        if current_automaton != automaton_name:
+            # Message for a protocol we are not currently expecting input from;
+            # legacy retransmissions and stray multicast traffic land here.
+            return
+        automaton = binding.automaton
+        if not automaton.is_receive_state(current_state):
+            return
+        try:
+            message = binding.parser.parse(data)
+        except ParseError as exc:
+            self.parse_failures.append((engine.now(), automaton_name, str(exc)))
+            return
+        transition = self._matching_receive(automaton, current_state, message.name)
+        if transition is None:
+            return
+
+        if self._session is None:
+            self._session = SessionRecord(started_at=engine.now())
+        self._session.messages_received += 1
+        self._session.received_names.append(message.name)
+
+        binding.peer = source
+        automaton.state(current_state).store(message)
+        self._instances[message.name] = message
+        self._current = (automaton_name, transition.target)
+        self._advance(engine)
+
+    def _automaton_for_destination(self, destination: Endpoint) -> Optional[str]:
+        if destination.is_multicast:
+            initial_automaton, initial_state = self.merged.initial_state
+            color = self.merged.state(initial_automaton, initial_state).color
+            if color.group == destination.host and color.port == destination.port:
+                return initial_automaton
+            return None
+        for name, binding in self._bindings.items():
+            endpoint = binding.local_endpoint
+            if endpoint.host == destination.host and endpoint.port == destination.port:
+                return name
+        return None
+
+    @staticmethod
+    def _matching_receive(
+        automaton: ColoredAutomaton, state_name: str, message_name: str
+    ):
+        for transition in automaton.transitions_from(state_name, Action.RECEIVE):
+            if transition.message == message_name:
+                return transition
+        return None
+
+    # ------------------------------------------------------------------
+    # advancing through delta / send states
+    # ------------------------------------------------------------------
+    def _advance(self, engine: NetworkEngine) -> None:
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 1000:
+                raise EngineError(
+                    f"automata engine did not reach a quiescent state (at {self._current})"
+                )
+            automaton_name, state_name = self._current
+            automaton = self._bindings[automaton_name].automaton
+
+            delta = self._next_delta(automaton_name, state_name)
+            if delta is not None:
+                self._taken_deltas.add(id(delta))
+                self._execute_delta(delta)
+                self._current = (delta.target_automaton, delta.target_state)
+                continue
+
+            send_transitions = automaton.transitions_from(state_name, Action.SEND)
+            if send_transitions:
+                transition = send_transitions[0]
+                self._send(engine, automaton_name, state_name, transition.message)
+                self._current = (automaton_name, transition.target)
+                continue
+
+            if automaton.transitions_from(state_name, Action.RECEIVE):
+                # Wait for the next datagram.
+                return
+
+            # Terminal state: the interoperability session is complete.
+            self._finish_session(engine)
+            return
+
+    def _next_delta(self, automaton_name: str, state_name: str) -> Optional[DeltaTransition]:
+        for delta in self.merged.deltas_from(automaton_name, state_name):
+            if id(delta) not in self._taken_deltas:
+                return delta
+        return None
+
+    def _execute_delta(self, delta: DeltaTransition) -> None:
+        for action in delta.actions:
+            values = []
+            for argument in action.arguments:
+                instance = self._instances.get(argument.message)
+                if instance is None:
+                    raise EngineError(
+                        f"lambda-action {action} references message "
+                        f"'{argument.message}' which has not been received"
+                    )
+                values.append(instance.get(argument.field))
+            self.actions.execute(action.name, self, delta, values)
+
+    def _send(
+        self,
+        engine: NetworkEngine,
+        automaton_name: str,
+        state_name: str,
+        message_name: str,
+    ) -> None:
+        binding = self._bindings[automaton_name]
+        automaton = binding.automaton
+        state = automaton.state(state_name)
+
+        outgoing = AbstractMessage(message_name, protocol=automaton.protocol)
+        self.merged.translation.apply(
+            outgoing, self._instances, context=self.translation_context()
+        )
+        data = binding.composer.compose(outgoing)
+
+        destination = self._destination_for(binding, state.color)
+        engine.send(
+            data,
+            source=binding.local_endpoint,
+            destination=destination,
+            delay=self.processing_delay,
+        )
+
+        state.store(outgoing)
+        self._instances[message_name] = outgoing
+        if self._session is None:
+            self._session = SessionRecord(started_at=engine.now())
+        self._session.messages_sent += 1
+        self._session.sent_names.append(message_name)
+        self._session.finished_at = engine.now() + self.processing_delay
+
+    def _destination_for(self, binding: ProtocolBinding, color) -> Endpoint:
+        if binding.forced_destination is not None:
+            return binding.forced_destination
+        if binding.peer is not None:
+            return binding.peer
+        if color.is_multicast and color.group:
+            return Endpoint(color.group, color.port, color.transport)
+        raise EngineError(
+            f"no destination known for sends of automaton '{binding.automaton.name}': "
+            "the colour is unicast, no peer has been learnt and no set_host action ran"
+        )
+
+    def _finish_session(self, engine: NetworkEngine) -> None:
+        if self._session is not None:
+            if self._session.finished_at == 0.0:
+                self._session.finished_at = engine.now()
+            self.sessions.append(self._session)
+        self.reset_session()

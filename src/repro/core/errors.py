@@ -1,0 +1,105 @@
+"""Exception hierarchy for the Starlink reproduction.
+
+Every error raised by the library derives from :class:`StarlinkError`, so
+applications embedding the framework can catch a single base class.  The
+sub-classes mirror the major subsystems of the paper: message modelling,
+MDL interpretation (parsing/composing), automata execution, merging, and
+translation.
+"""
+
+from __future__ import annotations
+
+
+class StarlinkError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class MessageError(StarlinkError):
+    """Problems with abstract messages (unknown fields, bad field kinds)."""
+
+
+class FieldNotFoundError(MessageError, KeyError):
+    """A field path did not resolve to a field of an abstract message."""
+
+    def __init__(self, path: str, message_name: str = "") -> None:
+        self.path = path
+        self.message_name = message_name
+        where = f" in message '{message_name}'" if message_name else ""
+        super().__init__(f"field path '{path}' not found{where}")
+
+
+class TypeSystemError(StarlinkError):
+    """Unknown field types or marshalling failures."""
+
+
+class MarshallingError(TypeSystemError):
+    """A value could not be converted to or from its wire representation."""
+
+
+class MDLError(StarlinkError):
+    """Errors in Message Description Language specifications."""
+
+
+class MDLSpecificationError(MDLError):
+    """The MDL specification itself is malformed or inconsistent."""
+
+
+class ParseError(MDLError):
+    """A concrete network message could not be parsed into an abstract message."""
+
+
+class ComposeError(MDLError):
+    """An abstract message could not be composed into a concrete message."""
+
+
+class AutomatonError(StarlinkError):
+    """Errors building or executing a (k-coloured) automaton."""
+
+
+class InvalidTransitionError(AutomatonError):
+    """A transition refers to unknown states or is otherwise invalid."""
+
+
+class ColorMismatchError(AutomatonError):
+    """A send/receive transition crosses states with different colours.
+
+    The paper requires that ordinary transitions connect states of the same
+    colour; only delta-transitions may change colour.
+    """
+
+
+class MergeError(StarlinkError):
+    """The merge constraints of Section III-C are not satisfied."""
+
+
+class NotMergeableError(MergeError):
+    """Two automata have no valid delta-transitions and cannot interoperate."""
+
+
+class TranslationError(StarlinkError):
+    """Errors applying translation logic (assignments, functions, actions)."""
+
+
+class EngineError(StarlinkError):
+    """Errors raised by the automata engine or the bridge runtime."""
+
+
+class NetworkError(StarlinkError):
+    """Errors raised by a network engine implementation."""
+
+
+class DeliveryError(NetworkError):
+    """A message could not be delivered to any endpoint."""
+
+
+class TimeoutError_(NetworkError):
+    """A blocking receive exceeded its deadline.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`TimeoutError`; it still *inherits* from the built-in so callers
+    may catch either.
+    """
+
+
+class ConfigurationError(StarlinkError):
+    """A model or engine was configured inconsistently."""

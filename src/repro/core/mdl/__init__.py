@@ -1,0 +1,65 @@
+"""Message Description Language: specifications, parsers and composers.
+
+The public surface of this subpackage:
+
+* :class:`~repro.core.mdl.spec.MDLSpec` and its component classes describe a
+  protocol's message formats;
+* :func:`~repro.core.mdl.base.create_parser` /
+  :func:`~repro.core.mdl.base.create_composer` instantiate the generic
+  interpreters for the binary or text dialect;
+* :func:`~repro.core.mdl.xml_loader.load_mdl` /
+  :func:`~repro.core.mdl.xml_loader.dump_mdl` move specifications to and
+  from their XML document form.
+"""
+
+from .base import MessageComposer, MessageParser, create_composer, create_parser
+from .binary import BinaryMessageComposer, BinaryMessageParser
+from .functions import (
+    FieldFunctionContext,
+    FieldFunctionRegistry,
+    default_function_registry,
+)
+from .spec import (
+    FieldFunctionSpec,
+    FieldSpec,
+    FieldsDirective,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeKind,
+    SizeSpec,
+    TypeDecl,
+)
+from .text import TextMessageComposer, TextMessageParser
+from .xml_loader import dump_mdl, dumps_mdl, load_mdl, loads_mdl
+
+__all__ = [
+    "MDLKind",
+    "MDLSpec",
+    "SizeKind",
+    "SizeSpec",
+    "FieldSpec",
+    "FieldsDirective",
+    "FieldFunctionSpec",
+    "HeaderSpec",
+    "MessageRule",
+    "MessageSpec",
+    "TypeDecl",
+    "MessageParser",
+    "MessageComposer",
+    "create_parser",
+    "create_composer",
+    "BinaryMessageParser",
+    "BinaryMessageComposer",
+    "TextMessageParser",
+    "TextMessageComposer",
+    "FieldFunctionRegistry",
+    "FieldFunctionContext",
+    "default_function_registry",
+    "load_mdl",
+    "loads_mdl",
+    "dump_mdl",
+    "dumps_mdl",
+]

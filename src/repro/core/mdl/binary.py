@@ -1,0 +1,228 @@
+"""Generic parser and composer for binary MDL specifications.
+
+These are the runtime interpreters of Section IV-A for binary protocols
+such as SLP (Fig. 7) and DNS/Bonjour.  Neither class contains any
+protocol-specific code: all protocol knowledge comes from the
+:class:`~repro.core.mdl.spec.MDLSpec` loaded at construction time, the
+pluggable marshallers of the type registry, and the field functions.
+
+Parsing walks the header field specs in order, decoding each field with the
+marshaller of its declared type and the length given by its size spec
+(fixed bits, a byte count read from an earlier length field, the message
+remainder, or a self-describing encoding).  The message body spec is then
+selected with the header ``<Rule>`` (e.g. ``FunctionID=1``) and parsed the
+same way.
+
+Composing resolves every field's value (explicit value from the abstract
+message, rule constant, field-function result, or a type-appropriate
+default), measures marshalled lengths so that length fields and
+``f-length``/``f-total-length`` functions can be filled in automatically,
+and then writes all fields in specification order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ComposeError, ParseError
+from ..message import AbstractMessage
+from ..typesys import BitBuffer, Marshaller
+from .base import MessageComposer, MessageParser
+from .functions import FieldFunctionContext
+from .spec import FieldSpec, MessageSpec, SizeKind
+
+__all__ = ["BinaryMessageParser", "BinaryMessageComposer"]
+
+
+class BinaryMessageParser(MessageParser):
+    """Interprets a binary MDL to parse byte arrays into abstract messages."""
+
+    def parse(self, data: bytes) -> AbstractMessage:
+        if self.spec.header is None:
+            raise ParseError(f"MDL for {self.spec.protocol} has no header section")
+        buffer = BitBuffer(data)
+        values: Dict[str, Any] = {}
+        ordered: List[Tuple[str, Any]] = []
+        try:
+            for field_spec in self.spec.header.fields:
+                value = self._parse_field(buffer, field_spec, values)
+                values[field_spec.label] = value
+                ordered.append((field_spec.label, value))
+            message_spec = self.spec.select_message(values)
+            for field_spec in message_spec.fields:
+                value = self._parse_field(buffer, field_spec, values)
+                values[field_spec.label] = value
+                ordered.append((field_spec.label, value))
+        except ParseError:
+            raise
+        except Exception as exc:
+            raise ParseError(
+                f"failed to parse {self.spec.protocol} message: {exc}"
+            ) from exc
+
+        message = AbstractMessage(
+            message_spec.name,
+            mandatory=message_spec.mandatory_fields,
+            protocol=self.spec.protocol,
+        )
+        for label, value in ordered:
+            message.set(label, value, type_name=self.spec.type_of(label))
+        return message
+
+    # ------------------------------------------------------------------
+    def _parse_field(
+        self, buffer: BitBuffer, field_spec: FieldSpec, values: Dict[str, Any]
+    ) -> Any:
+        marshaller = self.types.get(self.spec.type_of(field_spec.label))
+        length_bits = self._length_bits(field_spec, values)
+        try:
+            return marshaller.unmarshal(buffer, length_bits)
+        except Exception as exc:
+            raise ParseError(
+                f"cannot decode field '{field_spec.label}' of {self.spec.protocol}: {exc}"
+            ) from exc
+
+    def _length_bits(self, field_spec: FieldSpec, values: Dict[str, Any]) -> Optional[int]:
+        size = field_spec.size
+        if size.kind is SizeKind.FIXED_BITS:
+            return size.bits
+        if size.kind is SizeKind.FIELD_REFERENCE:
+            reference_value = values.get(size.reference)
+            if reference_value is None:
+                raise ParseError(
+                    f"field '{field_spec.label}' needs length field '{size.reference}' "
+                    "which has not been parsed yet"
+                )
+            try:
+                return int(reference_value) * 8
+            except (TypeError, ValueError) as exc:
+                raise ParseError(
+                    f"length field '{size.reference}' holds non-numeric value "
+                    f"{reference_value!r}"
+                ) from exc
+        if size.kind in (SizeKind.REMAINDER, SizeKind.SELF_DESCRIBING):
+            return None
+        raise ParseError(
+            f"binary MDL for {self.spec.protocol} cannot use delimiter-sized field "
+            f"'{field_spec.label}'"
+        )
+
+
+class BinaryMessageComposer(MessageComposer):
+    """Interprets a binary MDL to compose abstract messages into bytes."""
+
+    def compose(self, message: AbstractMessage) -> bytes:
+        if self.spec.header is None:
+            raise ComposeError(f"MDL for {self.spec.protocol} has no header section")
+        try:
+            message_spec = self.spec.message(message.name)
+        except Exception as exc:
+            raise ComposeError(str(exc)) from exc
+
+        all_fields = list(self.spec.header.fields) + list(message_spec.fields)
+        values = self._resolve_values(message, message_spec, all_fields)
+        lengths = self._measure_lengths(all_fields, values)
+        self._apply_functions(all_fields, values, lengths, total_length_bits=None)
+        self._synchronise_length_fields(all_fields, values, lengths)
+        total_bits = sum(lengths[field_spec.label] for field_spec in all_fields)
+        self._apply_functions(all_fields, values, lengths, total_length_bits=total_bits)
+
+        buffer = BitBuffer()
+        for field_spec in all_fields:
+            marshaller = self.types.get(self.spec.type_of(field_spec.label))
+            length_bits = (
+                field_spec.size.bits
+                if field_spec.size.kind is SizeKind.FIXED_BITS
+                else None
+            )
+            try:
+                marshaller.marshal(values[field_spec.label], buffer, length_bits)
+            except Exception as exc:
+                raise ComposeError(
+                    f"cannot encode field '{field_spec.label}' of message "
+                    f"'{message.name}': {exc}"
+                ) from exc
+        return buffer.to_bytes()
+
+    # ------------------------------------------------------------------
+    def _resolve_values(
+        self,
+        message: AbstractMessage,
+        message_spec: MessageSpec,
+        all_fields: List[FieldSpec],
+    ) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        rule = message_spec.rule
+        for field_spec in all_fields:
+            label = field_spec.label
+            marshaller = self.types.get(self.spec.type_of(label))
+            if message.has(label):
+                values[label] = message.get(label)
+            elif rule is not None and label == rule.field_label:
+                values[label] = marshaller.from_text(rule.value)
+            else:
+                values[label] = self._default_for(marshaller)
+        return values
+
+    @staticmethod
+    def _default_for(marshaller: Marshaller) -> Any:
+        if marshaller.python_type is int:
+            return 0
+        if marshaller.python_type is bool:
+            return False
+        if marshaller.python_type is bytes:
+            return b""
+        return ""
+
+    def _measure_lengths(
+        self, all_fields: List[FieldSpec], values: Dict[str, Any]
+    ) -> Dict[str, int]:
+        lengths: Dict[str, int] = {}
+        for field_spec in all_fields:
+            marshaller = self.types.get(self.spec.type_of(field_spec.label))
+            if field_spec.size.kind is SizeKind.FIXED_BITS:
+                lengths[field_spec.label] = field_spec.size.bits
+            else:
+                lengths[field_spec.label] = marshaller.wire_length_bits(
+                    values[field_spec.label]
+                )
+        return lengths
+
+    def _apply_functions(
+        self,
+        all_fields: List[FieldSpec],
+        values: Dict[str, Any],
+        lengths: Dict[str, int],
+        total_length_bits: Optional[int],
+    ) -> None:
+        context = FieldFunctionContext(values, lengths, total_length_bits)
+        for field_spec in all_fields:
+            function = self.spec.function_of(field_spec.label)
+            if function is None:
+                continue
+            if function.name == "f-total-length" and total_length_bits is None:
+                continue
+            values[field_spec.label] = self.functions.evaluate(
+                function.name, context, function.arguments
+            )
+
+    def _synchronise_length_fields(
+        self,
+        all_fields: List[FieldSpec],
+        values: Dict[str, Any],
+        lengths: Dict[str, int],
+    ) -> None:
+        """Fill length-prefix fields referenced by other fields' size specs.
+
+        When a field's size references another field (``<SRVType>SRVTypeLength</SRVType>``)
+        and that length field carries no explicit value and no field function,
+        the composer writes the measured byte length automatically so that the
+        produced message is self-consistent.
+        """
+        for field_spec in all_fields:
+            if field_spec.size.kind is not SizeKind.FIELD_REFERENCE:
+                continue
+            reference = field_spec.size.reference
+            if self.spec.function_of(reference) is not None:
+                continue
+            values[reference] = lengths[field_spec.label] // 8

@@ -1,0 +1,403 @@
+"""Message Description Language (MDL) specification model.
+
+Section IV-A of the paper introduces the MDL: a declarative description of
+a protocol's message formats that is *interpreted at runtime* by generic
+parsers and composers.  An MDL specification (Fig. 7 for the binary SLP
+dialect, Fig. 11 for the text SSDP dialect) contains:
+
+``<Types>``
+    a mapping from field label to data type, optionally carrying a *field
+    function* such as ``Integer[f-length(URLEntry)]`` which the composer
+    evaluates to fill the field automatically;
+``<Header type=...>``
+    the ordered fields common to every message of the protocol, each with a
+    *size*;
+``<Message type=...>``
+    one entry per message kind, carrying a ``<Rule>`` that relates the
+    message body to header content (e.g. ``FunctionID=1``) plus its own
+    ordered fields.
+
+Field sizes come in three flavours, captured by :class:`SizeSpec`:
+
+* a **fixed** number of bits (binary MDLs — ``<XID>16</XID>``),
+* a **reference to another field** whose value gives the length in *bytes*
+  (binary MDLs — ``<PRStringTable>PRLength</PRStringTable>``; length-prefix
+  fields are counted in bytes on the wire, which is how SLP and DNS encode
+  them),
+* a **delimiter**, given as a comma-separated list of character codes (text
+  MDLs — ``<Version>13,10</Version>`` means "terminated by CR LF").
+
+Text MDLs additionally support the ``<Fields>`` directive of Fig. 11
+(``<Fields>13,10:58</Fields>``): the remainder of the message is a sequence
+of lines separated by the outer delimiter, each split on the inner
+separator into a field label (left) and value (right).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MDLSpecificationError
+
+__all__ = [
+    "MDLKind",
+    "SizeKind",
+    "SizeSpec",
+    "FieldFunctionSpec",
+    "TypeDecl",
+    "FieldSpec",
+    "FieldsDirective",
+    "HeaderSpec",
+    "MessageRule",
+    "MessageSpec",
+    "MDLSpec",
+]
+
+
+class MDLKind(enum.Enum):
+    """The dialect of an MDL specification."""
+
+    BINARY = "binary"
+    TEXT = "text"
+
+
+class SizeKind(enum.Enum):
+    FIXED_BITS = "fixed"
+    FIELD_REFERENCE = "field-reference"
+    DELIMITER = "delimiter"
+    REMAINDER = "remainder"
+    SELF_DESCRIBING = "self"
+
+
+@dataclass(frozen=True)
+class SizeSpec:
+    """The size of one message field (see module docstring)."""
+
+    kind: SizeKind
+    bits: int = 0
+    reference: str = ""
+    delimiter_codes: Tuple[int, ...] = ()
+
+    @classmethod
+    def fixed(cls, bits: int) -> "SizeSpec":
+        if bits <= 0:
+            raise MDLSpecificationError(f"fixed field size must be positive, got {bits}")
+        return cls(SizeKind.FIXED_BITS, bits=bits)
+
+    @classmethod
+    def field_reference(cls, label: str) -> "SizeSpec":
+        if not label:
+            raise MDLSpecificationError("field-reference size needs a field label")
+        return cls(SizeKind.FIELD_REFERENCE, reference=label)
+
+    @classmethod
+    def delimiter(cls, codes: Sequence[int]) -> "SizeSpec":
+        if not codes:
+            raise MDLSpecificationError("delimiter size needs at least one character code")
+        return cls(SizeKind.DELIMITER, delimiter_codes=tuple(codes))
+
+    @classmethod
+    def remainder(cls) -> "SizeSpec":
+        """The field occupies whatever is left of the message."""
+        return cls(SizeKind.REMAINDER)
+
+    @classmethod
+    def self_describing(cls) -> "SizeSpec":
+        """The field's wire encoding carries its own length (e.g. FQDN)."""
+        return cls(SizeKind.SELF_DESCRIBING)
+
+    @classmethod
+    def parse(cls, text: str) -> "SizeSpec":
+        """Parse the textual size notation used by the XML MDL documents.
+
+        ``"16"`` is sixteen bits; ``"13,10"`` is a delimiter (CR LF);
+        ``"PRLength"`` references another field; ``"*"`` is the remainder;
+        ``"self"`` marks a self-describing encoding such as a DNS name.
+        """
+        text = text.strip()
+        if text == "*":
+            return cls.remainder()
+        if text.lower() == "self":
+            return cls.self_describing()
+        if "," in text:
+            try:
+                codes = [int(part) for part in text.split(",")]
+            except ValueError:
+                raise MDLSpecificationError(f"bad delimiter size spec {text!r}") from None
+            return cls.delimiter(codes)
+        if text.isdigit():
+            return cls.fixed(int(text))
+        return cls.field_reference(text)
+
+    @property
+    def delimiter_bytes(self) -> bytes:
+        return bytes(self.delimiter_codes)
+
+    def render(self) -> str:
+        """Inverse of :meth:`parse`."""
+        if self.kind is SizeKind.FIXED_BITS:
+            return str(self.bits)
+        if self.kind is SizeKind.FIELD_REFERENCE:
+            return self.reference
+        if self.kind is SizeKind.DELIMITER:
+            return ",".join(str(code) for code in self.delimiter_codes)
+        if self.kind is SizeKind.SELF_DESCRIBING:
+            return "self"
+        return "*"
+
+
+@dataclass(frozen=True)
+class FieldFunctionSpec:
+    """A field function attached to a type declaration.
+
+    Notation in the paper: ``Integer[f-length(URLEntry)]``.  ``name`` is the
+    function name (``f-length``) and ``arguments`` the referenced field
+    labels.
+    """
+
+    name: str
+    arguments: Tuple[str, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FieldFunctionSpec":
+        text = text.strip()
+        if "(" not in text:
+            return cls(text)
+        name, _, rest = text.partition("(")
+        rest = rest.rstrip(")")
+        args = tuple(arg.strip() for arg in rest.split(",") if arg.strip())
+        return cls(name.strip(), args)
+
+    def render(self) -> str:
+        return f"{self.name}({', '.join(self.arguments)})"
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """One entry of the ``<Types>`` section."""
+
+    label: str
+    type_name: str
+    function: Optional[FieldFunctionSpec] = None
+
+    @classmethod
+    def parse(cls, label: str, declaration: str) -> "TypeDecl":
+        """Parse ``"Integer[f-length(URLEntry)]"``-style declarations."""
+        declaration = declaration.strip()
+        if "[" in declaration:
+            type_name, _, rest = declaration.partition("[")
+            function = FieldFunctionSpec.parse(rest.rstrip("]"))
+            return cls(label, type_name.strip(), function)
+        return cls(label, declaration)
+
+    def render(self) -> str:
+        if self.function is None:
+            return self.type_name
+        return f"{self.type_name}[{self.function.render()}]"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a header or message body: a label plus a size."""
+
+    label: str
+    size: SizeSpec
+    mandatory: bool = False
+
+
+@dataclass(frozen=True)
+class FieldsDirective:
+    """The text-MDL ``<Fields>`` directive (Fig. 11).
+
+    ``outer_delimiter_codes`` separate successive fields (usually CR LF) and
+    ``inner_separator_code`` splits each into label and value (usually the
+    colon).
+    """
+
+    outer_delimiter_codes: Tuple[int, ...]
+    inner_separator_code: int
+
+    @classmethod
+    def parse(cls, text: str) -> "FieldsDirective":
+        text = text.strip()
+        if ":" not in text:
+            raise MDLSpecificationError(
+                f"Fields directive must be '<outer codes>:<inner code>', got {text!r}"
+            )
+        outer, _, inner = text.rpartition(":")
+        try:
+            outer_codes = tuple(int(part) for part in outer.split(","))
+            inner_code = int(inner)
+        except ValueError:
+            raise MDLSpecificationError(f"bad Fields directive {text!r}") from None
+        return cls(outer_codes, inner_code)
+
+    @property
+    def outer_delimiter(self) -> str:
+        return "".join(chr(code) for code in self.outer_delimiter_codes)
+
+    @property
+    def inner_separator(self) -> str:
+        return chr(self.inner_separator_code)
+
+    def render(self) -> str:
+        outer = ",".join(str(code) for code in self.outer_delimiter_codes)
+        return f"{outer}:{self.inner_separator_code}"
+
+
+@dataclass
+class HeaderSpec:
+    """The ``<Header>`` section: fields common to all messages of the protocol."""
+
+    protocol: str
+    fields: List[FieldSpec] = field(default_factory=list)
+    fields_directive: Optional[FieldsDirective] = None
+
+    def field_labels(self) -> List[str]:
+        return [f.label for f in self.fields]
+
+
+@dataclass(frozen=True)
+class MessageRule:
+    """The ``<Rule>`` relating a message body to header content.
+
+    ``FunctionID=1`` means: this body applies when the header field
+    ``FunctionID`` equals ``1`` (and, when composing, the composer writes
+    ``1`` into ``FunctionID``).
+    """
+
+    field_label: str
+    value: str
+
+    @classmethod
+    def parse(cls, text: str) -> "MessageRule":
+        text = text.strip().rstrip(">")
+        if "=" not in text:
+            raise MDLSpecificationError(f"message rule must be 'field=value', got {text!r}")
+        label, _, value = text.partition("=")
+        return cls(label.strip(), value.strip())
+
+    def render(self) -> str:
+        return f"{self.field_label}={self.value}"
+
+    def matches(self, observed: object) -> bool:
+        """Compare the observed header value against the rule value."""
+        if observed is None:
+            return False
+        return str(observed) == self.value
+
+
+@dataclass
+class MessageSpec:
+    """One ``<Message>`` entry: a named message kind of the protocol."""
+
+    name: str
+    rule: Optional[MessageRule] = None
+    fields: List[FieldSpec] = field(default_factory=list)
+    #: Labels the semantic-equivalence operator treats as mandatory.
+    mandatory_fields: List[str] = field(default_factory=list)
+
+    def field_labels(self) -> List[str]:
+        return [f.label for f in self.fields]
+
+
+@dataclass
+class MDLSpec:
+    """A complete MDL specification for one protocol."""
+
+    protocol: str
+    kind: MDLKind
+    types: Dict[str, TypeDecl] = field(default_factory=dict)
+    header: Optional[HeaderSpec] = None
+    messages: List[MessageSpec] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_type(self, label: str, declaration: str) -> "MDLSpec":
+        self.types[label] = TypeDecl.parse(label, declaration)
+        return self
+
+    def add_message(self, message: MessageSpec) -> "MDLSpec":
+        if any(existing.name == message.name for existing in self.messages):
+            raise MDLSpecificationError(
+                f"duplicate message spec '{message.name}' in MDL for {self.protocol}"
+            )
+        self.messages.append(message)
+        return self
+
+    # ------------------------------------------------------------------
+    def type_of(self, label: str) -> str:
+        """Return the declared type name of a field label (default String)."""
+        decl = self.types.get(label)
+        return decl.type_name if decl else "String"
+
+    def function_of(self, label: str) -> Optional[FieldFunctionSpec]:
+        decl = self.types.get(label)
+        return decl.function if decl else None
+
+    def message(self, name: str) -> MessageSpec:
+        for spec in self.messages:
+            if spec.name == name:
+                return spec
+        raise MDLSpecificationError(f"MDL for {self.protocol} has no message '{name}'")
+
+    def message_names(self) -> List[str]:
+        return [spec.name for spec in self.messages]
+
+    def select_message(self, header_values: Dict[str, object]) -> MessageSpec:
+        """Select the message spec whose rule matches the parsed header."""
+        for spec in self.messages:
+            if spec.rule is None:
+                continue
+            observed = header_values.get(spec.rule.field_label)
+            if spec.rule.matches(observed):
+                return spec
+        for spec in self.messages:
+            if spec.rule is None:
+                return spec
+        raise MDLSpecificationError(
+            f"no message spec of MDL {self.protocol} matches header {header_values!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`MDLSpecificationError`.
+
+        Verifies that every field-reference size points at a field declared
+        earlier in the same header/message scope, and that every field
+        function argument names a field of some message or of the header.
+        """
+        if self.header is None:
+            raise MDLSpecificationError(f"MDL for {self.protocol} has no header")
+        header_labels = self.header.field_labels()
+        self._check_references(self.header.fields, header_labels, scope="header")
+        all_labels = set(header_labels)
+        for message in self.messages:
+            self._check_references(
+                message.fields, header_labels + message.field_labels(), scope=message.name
+            )
+            all_labels.update(message.field_labels())
+        for label, decl in self.types.items():
+            if decl.function is None:
+                continue
+            for argument in decl.function.arguments:
+                if argument and argument not in all_labels:
+                    raise MDLSpecificationError(
+                        f"type declaration '{label}' of MDL {self.protocol} references "
+                        f"unknown field '{argument}' in {decl.function.render()}"
+                    )
+
+    def _check_references(
+        self, fields: Sequence[FieldSpec], visible: Sequence[str], scope: str
+    ) -> None:
+        seen: List[str] = []
+        for spec in fields:
+            if spec.size.kind is SizeKind.FIELD_REFERENCE:
+                reference = spec.size.reference
+                if reference not in visible and reference not in seen:
+                    raise MDLSpecificationError(
+                        f"field '{spec.label}' in {scope} of MDL {self.protocol} has size "
+                        f"referencing unknown field '{reference}'"
+                    )
+            seen.append(spec.label)

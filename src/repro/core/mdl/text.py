@@ -1,0 +1,226 @@
+"""Generic parser and composer for text MDL specifications.
+
+Text protocols such as SSDP and HTTP (Fig. 11 of the paper) have no fixed
+field layout; instead the MDL identifies *field boundaries*: the header
+line is a sequence of delimiter-terminated tokens (``<Method>32</Method>``
+means "terminated by the character with code 32", i.e. a space), and the
+``<Fields>`` directive (``13,10:58``) says that the remaining lines are
+separated by CR LF and that each line splits on a colon into a field label
+(left) and field value (right).
+
+A message body — the part after the blank line, used by HTTP responses —
+is described by a field whose size is the remainder (``*``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ComposeError, ParseError
+from ..message import AbstractMessage, PrimitiveField
+from .base import MessageComposer, MessageParser
+from .spec import FieldSpec, MessageSpec, SizeKind
+
+__all__ = ["TextMessageParser", "TextMessageComposer"]
+
+_ENCODING = "utf-8"
+
+
+class TextMessageParser(MessageParser):
+    """Interprets a text MDL to parse byte arrays into abstract messages."""
+
+    def parse(self, data: bytes) -> AbstractMessage:
+        if self.spec.header is None:
+            raise ParseError(f"MDL for {self.spec.protocol} has no header section")
+        try:
+            text = data.decode(_ENCODING)
+        except UnicodeDecodeError as exc:
+            raise ParseError(
+                f"{self.spec.protocol} message is not valid {_ENCODING} text"
+            ) from exc
+
+        position = 0
+        values: Dict[str, Any] = {}
+        ordered: List[Tuple[str, Any]] = []
+        body_spec: Optional[FieldSpec] = None
+
+        for field_spec in self.spec.header.fields:
+            if field_spec.size.kind is SizeKind.REMAINDER:
+                body_spec = field_spec
+                continue
+            if field_spec.size.kind is not SizeKind.DELIMITER:
+                raise ParseError(
+                    f"text MDL for {self.spec.protocol} requires delimiter sizes; "
+                    f"field '{field_spec.label}' uses {field_spec.size.kind.value}"
+                )
+            token, position = self._read_token(
+                text, position, field_spec.size.delimiter_codes, field_spec.label
+            )
+            value = self._convert(field_spec.label, token)
+            values[field_spec.label] = value
+            ordered.append((field_spec.label, value))
+
+        directive = self.spec.header.fields_directive
+        body_text = ""
+        if directive is not None:
+            outer = directive.outer_delimiter
+            separator = directive.inner_separator
+            remainder = text[position:]
+            lines = remainder.split(outer)
+            consumed_lines = 0
+            for line in lines:
+                consumed_lines += 1
+                if line == "":
+                    # Blank line: end of the field section, body follows.
+                    break
+                if separator not in line:
+                    continue
+                label, _, raw_value = line.partition(separator)
+                label = label.strip()
+                value = self._convert(label, raw_value.strip())
+                values[label] = value
+                ordered.append((label, value))
+            body_text = outer.join(lines[consumed_lines:])
+        else:
+            body_text = text[position:]
+
+        try:
+            message_spec = self.spec.select_message(values)
+        except Exception as exc:
+            raise ParseError(str(exc)) from exc
+
+        if body_spec is None:
+            body_spec = next(
+                (
+                    f
+                    for f in message_spec.fields
+                    if f.size.kind is SizeKind.REMAINDER
+                ),
+                None,
+            )
+        if body_spec is not None:
+            values[body_spec.label] = body_text
+            ordered.append((body_spec.label, body_text))
+
+        message = AbstractMessage(
+            message_spec.name,
+            mandatory=message_spec.mandatory_fields,
+            protocol=self.spec.protocol,
+        )
+        for label, value in ordered:
+            message.set(label, value, type_name=self.spec.type_of(label))
+        return message
+
+    # ------------------------------------------------------------------
+    def _read_token(
+        self, text: str, position: int, delimiter_codes: Tuple[int, ...], label: str
+    ) -> Tuple[str, int]:
+        delimiter = "".join(chr(code) for code in delimiter_codes)
+        index = text.find(delimiter, position)
+        if index < 0:
+            raise ParseError(
+                f"delimiter {delimiter!r} for field '{label}' not found in "
+                f"{self.spec.protocol} message"
+            )
+        return text[position:index], index + len(delimiter)
+
+    def _convert(self, label: str, token: str) -> Any:
+        type_name = self.spec.type_of(label)
+        if self.types.has(type_name):
+            try:
+                return self.types.get(type_name).from_text(token)
+            except Exception:
+                return token
+        return token
+
+
+class TextMessageComposer(MessageComposer):
+    """Interprets a text MDL to compose abstract messages into bytes."""
+
+    def compose(self, message: AbstractMessage) -> bytes:
+        if self.spec.header is None:
+            raise ComposeError(f"MDL for {self.spec.protocol} has no header section")
+        try:
+            message_spec = self.spec.message(message.name)
+        except Exception as exc:
+            raise ComposeError(str(exc)) from exc
+
+        parts: List[str] = []
+        consumed_labels: set[str] = set()
+        body_label: Optional[str] = None
+
+        for field_spec in self.spec.header.fields:
+            if field_spec.size.kind is SizeKind.REMAINDER:
+                body_label = field_spec.label
+                continue
+            value = self._header_value(message, message_spec, field_spec)
+            parts.append(self._render(field_spec.label, value))
+            parts.append("".join(chr(code) for code in field_spec.size.delimiter_codes))
+            consumed_labels.add(field_spec.label)
+
+        directive = self.spec.header.fields_directive
+        body_value = ""
+        if body_label is None:
+            body_label = next(
+                (
+                    f.label
+                    for f in message_spec.fields
+                    if f.size.kind is SizeKind.REMAINDER
+                ),
+                None,
+            )
+        if body_label is not None:
+            consumed_labels.add(body_label)
+            body_value = self._render(body_label, message.get(body_label, ""))
+
+        if directive is not None:
+            outer = directive.outer_delimiter
+            separator = directive.inner_separator
+            emitted: set[str] = set()
+            # Declared message fields first (specification order), then any
+            # extra primitive fields carried by the abstract message.
+            declared = [
+                f.label
+                for f in message_spec.fields
+                if f.size.kind is not SizeKind.REMAINDER
+            ]
+            extra = [
+                field.label
+                for field in message.fields
+                if isinstance(field, PrimitiveField)
+                and field.label not in consumed_labels
+                and field.label not in declared
+            ]
+            for label in declared + extra:
+                if label in emitted or label in consumed_labels:
+                    continue
+                if not message.has(label):
+                    continue
+                value = self._render(label, message.get(label))
+                parts.append(f"{label}{separator} {value}{outer}")
+                emitted.add(label)
+            parts.append(outer)
+
+        if body_value:
+            parts.append(body_value)
+        return "".join(parts).encode(_ENCODING)
+
+    # ------------------------------------------------------------------
+    def _header_value(
+        self,
+        message: AbstractMessage,
+        message_spec: MessageSpec,
+        field_spec: FieldSpec,
+    ) -> Any:
+        if message.has(field_spec.label):
+            return message.get(field_spec.label)
+        rule = message_spec.rule
+        if rule is not None and rule.field_label == field_spec.label:
+            return rule.value
+        return ""
+
+    def _render(self, label: str, value: Any) -> str:
+        type_name = self.spec.type_of(label)
+        if self.types.has(type_name):
+            return self.types.get(type_name).to_text(value)
+        return "" if value is None else str(value)

@@ -1,0 +1,180 @@
+"""Load and save MDL specifications as XML documents.
+
+The Starlink prototype stores its models as XML (Figs. 7, 8 and 11 of the
+paper).  This module provides the XML form of our MDL model so that
+specifications can be shipped as data files and loaded at runtime, exactly
+like the paper's framework does, while the rest of the library works with
+the typed :class:`~repro.core.mdl.spec.MDLSpec` objects.
+
+Document shape (matching Fig. 7 / Fig. 11 as closely as XML well-formedness
+allows)::
+
+    <MDL protocol="SLP" kind="binary">
+      <Types>
+        <Version>Integer</Version>
+        <URLLength>Integer[f-length(URLEntry)]</URLLength>
+      </Types>
+      <Header type="SLP">
+        <Version>8</Version>
+        <FunctionID>8</FunctionID>
+        ...
+      </Header>
+      <Message type="SLPSrvRequest">
+        <Rule>FunctionID=1</Rule>
+        <Mandatory>SRVType, XID</Mandatory>
+        <SRVTypeLength>16</SRVTypeLength>
+        <SRVType>SRVTypeLength</SRVType>
+      </Message>
+    </MDL>
+
+Inside ``<Header>`` the special child ``<Fields>`` is the Fig. 11 field
+boundary directive for text MDLs.  Inside ``<Message>``, ``<Rule>`` and
+``<Mandatory>`` are directives; every other child is a field.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Union
+
+from ..errors import MDLSpecificationError
+from .spec import (
+    FieldSpec,
+    FieldsDirective,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeSpec,
+)
+
+__all__ = ["load_mdl", "loads_mdl", "dump_mdl", "dumps_mdl"]
+
+_DIRECTIVES = {"Rule", "Mandatory"}
+
+
+def loads_mdl(document: str) -> MDLSpec:
+    """Parse an MDL specification from an XML string."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise MDLSpecificationError(f"malformed MDL XML: {exc}") from exc
+    return _from_element(root)
+
+
+def load_mdl(path: Union[str, "os.PathLike[str]"]) -> MDLSpec:  # noqa: F821
+    """Parse an MDL specification from an XML file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_mdl(handle.read())
+
+
+def dumps_mdl(spec: MDLSpec) -> str:
+    """Serialise an MDL specification to an XML string."""
+    root = _to_element(spec)
+    _indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def dump_mdl(spec: MDLSpec, path: Union[str, "os.PathLike[str]"]) -> None:  # noqa: F821
+    """Serialise an MDL specification to an XML file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_mdl(spec))
+
+
+# ----------------------------------------------------------------------
+# XML -> model
+# ----------------------------------------------------------------------
+def _from_element(root: ET.Element) -> MDLSpec:
+    if root.tag != "MDL":
+        raise MDLSpecificationError(f"expected <MDL> root element, got <{root.tag}>")
+    protocol = root.get("protocol", "")
+    kind_text = root.get("kind", "binary")
+    try:
+        kind = MDLKind(kind_text)
+    except ValueError:
+        raise MDLSpecificationError(f"unknown MDL kind {kind_text!r}") from None
+    spec = MDLSpec(protocol=protocol, kind=kind)
+
+    types_element = root.find("Types")
+    if types_element is not None:
+        for child in types_element:
+            spec.add_type(child.tag, (child.text or "").strip())
+
+    header_element = root.find("Header")
+    if header_element is not None:
+        header = HeaderSpec(protocol=header_element.get("type", protocol))
+        for child in header_element:
+            text = (child.text or "").strip()
+            if child.tag == "Fields":
+                header.fields_directive = FieldsDirective.parse(text)
+            else:
+                header.fields.append(FieldSpec(child.tag, SizeSpec.parse(text)))
+        spec.header = header
+
+    for message_element in root.findall("Message"):
+        message = MessageSpec(name=message_element.get("type", ""))
+        if not message.name:
+            raise MDLSpecificationError("every <Message> element needs a type attribute")
+        for child in message_element:
+            text = (child.text or "").strip()
+            if child.tag == "Rule":
+                message.rule = MessageRule.parse(text)
+            elif child.tag == "Mandatory":
+                message.mandatory_fields = [
+                    part.strip() for part in text.split(",") if part.strip()
+                ]
+            else:
+                message.fields.append(FieldSpec(child.tag, SizeSpec.parse(text)))
+        spec.add_message(message)
+
+    spec.validate()
+    return spec
+
+
+# ----------------------------------------------------------------------
+# model -> XML
+# ----------------------------------------------------------------------
+def _to_element(spec: MDLSpec) -> ET.Element:
+    root = ET.Element("MDL", {"protocol": spec.protocol, "kind": spec.kind.value})
+    if spec.types:
+        types_element = ET.SubElement(root, "Types")
+        for label, decl in spec.types.items():
+            entry = ET.SubElement(types_element, label)
+            entry.text = decl.render()
+    if spec.header is not None:
+        header_element = ET.SubElement(root, "Header", {"type": spec.header.protocol})
+        for field_spec in spec.header.fields:
+            entry = ET.SubElement(header_element, field_spec.label)
+            entry.text = field_spec.size.render()
+        if spec.header.fields_directive is not None:
+            entry = ET.SubElement(header_element, "Fields")
+            entry.text = spec.header.fields_directive.render()
+    for message in spec.messages:
+        message_element = ET.SubElement(root, "Message", {"type": message.name})
+        if message.rule is not None:
+            rule_element = ET.SubElement(message_element, "Rule")
+            rule_element.text = message.rule.render()
+        if message.mandatory_fields:
+            mandatory_element = ET.SubElement(message_element, "Mandatory")
+            mandatory_element.text = ", ".join(message.mandatory_fields)
+        for field_spec in message.fields:
+            entry = ET.SubElement(message_element, field_spec.label)
+            entry.text = field_spec.size.render()
+    return root
+
+
+def _indent(element: ET.Element, level: int = 0) -> None:
+    """Pretty-print helper (ElementTree.indent exists only on 3.9+ as a function)."""
+    pad = "\n" + "  " * level
+    if len(element):
+        if not element.text or not element.text.strip():
+            element.text = pad + "  "
+        for child in element:
+            _indent(child, level + 1)
+            if not child.tail or not child.tail.strip():
+                child.tail = pad + "  "
+        if not element[-1].tail or not element[-1].tail.strip():
+            element[-1].tail = pad
+    elif level and (not element.tail or not element.tail.strip()):
+        element.tail = pad

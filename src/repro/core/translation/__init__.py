@@ -1,0 +1,17 @@
+"""Translation logic: assignments, translation functions and XML bridge documents."""
+
+from .functions import TranslationFunctionRegistry, default_translation_registry
+from .logic import Assignment, MessageFieldRef, TranslationLogic
+from .xml_loader import dump_bridge, dumps_bridge, load_bridge, loads_bridge
+
+__all__ = [
+    "TranslationLogic",
+    "Assignment",
+    "MessageFieldRef",
+    "TranslationFunctionRegistry",
+    "default_translation_registry",
+    "load_bridge",
+    "loads_bridge",
+    "dump_bridge",
+    "dumps_bridge",
+]

@@ -1,0 +1,51 @@
+"""Evaluation harness reproducing the paper's case study and Fig. 12 tables."""
+
+from .harness import (
+    DEFAULT_REPETITIONS,
+    Summary,
+    measure_connector_case,
+    measure_legacy_protocol,
+    run_fig12a,
+    run_fig12b,
+    summarise,
+)
+from .tables import (
+    PAPER_FIG12A,
+    PAPER_FIG12B,
+    format_fig12a,
+    format_fig12b,
+    format_table,
+    overhead_ratios,
+)
+from .workloads import (
+    BONJOUR_SERVICE_NAME,
+    LEGACY_PROTOCOLS,
+    SLP_SERVICE_TYPE,
+    UPNP_SERVICE_TYPE,
+    Scenario,
+    bridged_scenario,
+    legacy_scenario,
+)
+
+__all__ = [
+    "Summary",
+    "summarise",
+    "measure_legacy_protocol",
+    "measure_connector_case",
+    "run_fig12a",
+    "run_fig12b",
+    "DEFAULT_REPETITIONS",
+    "PAPER_FIG12A",
+    "PAPER_FIG12B",
+    "format_table",
+    "format_fig12a",
+    "format_fig12b",
+    "overhead_ratios",
+    "Scenario",
+    "legacy_scenario",
+    "bridged_scenario",
+    "LEGACY_PROTOCOLS",
+    "SLP_SERVICE_TYPE",
+    "UPNP_SERVICE_TYPE",
+    "BONJOUR_SERVICE_NAME",
+]

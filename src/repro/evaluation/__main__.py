@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.evaluation`` to regenerate the evaluation tables."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Command-line entry point for the evaluation harness.
+
+``python -m repro.evaluation [--repetitions N] [--table fig12a|fig12b|all]``
+regenerates the paper's Fig. 12 tables (and the Section VI overhead
+analysis) and prints them next to the published numbers.  This is the same
+code path the benchmarks use; the CLI exists so the headline result can be
+reproduced without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .harness import DEFAULT_REPETITIONS, run_fig12a, run_fig12b
+from .tables import format_fig12a, format_fig12b, overhead_ratios
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the Starlink paper's evaluation tables (Fig. 12).",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=DEFAULT_REPETITIONS,
+        help="lookups per table row (the paper uses 100)",
+    )
+    parser.add_argument(
+        "--table",
+        choices=["fig12a", "fig12b", "overhead", "all"],
+        default="all",
+        help="which table to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="simulation seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    lines: List[str] = []
+
+    legacy = connectors = None
+    if args.table in ("fig12a", "overhead", "all"):
+        legacy = run_fig12a(repetitions=args.repetitions, seed=args.seed)
+    if args.table in ("fig12b", "overhead", "all"):
+        connectors = run_fig12b(repetitions=args.repetitions, seed=args.seed)
+
+    if args.table in ("fig12a", "all") and legacy is not None:
+        lines.append(format_fig12a(legacy))
+        lines.append("")
+    if args.table in ("fig12b", "all") and connectors is not None:
+        lines.append(format_fig12b(connectors))
+        lines.append("")
+    if args.table in ("overhead", "all") and legacy is not None and connectors is not None:
+        lines.append("Overhead relative to the source protocol's legacy lookup (Section VI)")
+        lines.append("-" * 70)
+        for label, percentage in overhead_ratios(legacy, connectors):
+            lines.append(f"{label:<24} {percentage:8.1f} %")
+        lines.append("")
+
+    print("\n".join(lines).rstrip())
+    return 0

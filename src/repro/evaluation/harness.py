@@ -1,0 +1,144 @@
+"""Evaluation harness: run the Fig. 12 experiments and collect statistics.
+
+The paper repeats every measurement 100 times and reports min / median /
+max in milliseconds.  The harness mirrors that: it drives the scenarios of
+:mod:`repro.evaluation.workloads`, extracts the relevant metric —
+
+* the *legacy response time* seen by the client for Fig. 12(a), and
+* the *connector translation time* (first message received by the framework
+  to last translated output sent) for Fig. 12(b) —
+
+and summarises them as :class:`Summary` rows.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..bridges.specs import CASE_NAMES
+from ..network.latency import CalibratedLatencies
+from .workloads import LEGACY_PROTOCOLS, bridged_scenario, legacy_scenario
+
+__all__ = [
+    "Summary",
+    "summarise",
+    "measure_legacy_protocol",
+    "measure_connector_case",
+    "run_fig12a",
+    "run_fig12b",
+]
+
+#: Default repetition count, matching the paper.
+DEFAULT_REPETITIONS = 100
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Min / median / max statistics of one experiment row, in milliseconds."""
+
+    label: str
+    samples_ms: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ms)
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.samples_ms)
+
+    @property
+    def median_ms(self) -> float:
+        return statistics.median(self.samples_ms)
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.samples_ms)
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "min_ms": round(self.min_ms, 1),
+            "median_ms": round(self.median_ms, 1),
+            "max_ms": round(self.max_ms, 1),
+        }
+
+
+def summarise(label: str, samples_seconds: Sequence[float]) -> Summary:
+    """Build a summary row from samples expressed in seconds."""
+    if not samples_seconds:
+        raise ValueError(f"no samples collected for {label!r}")
+    return Summary(label, tuple(value * 1000.0 for value in samples_seconds))
+
+
+# ----------------------------------------------------------------------
+# Fig. 12(a): legacy discovery response times
+# ----------------------------------------------------------------------
+def measure_legacy_protocol(
+    protocol: str,
+    repetitions: int = DEFAULT_REPETITIONS,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> Summary:
+    """Response times of a legacy lookup for one protocol (one Fig. 12(a) row)."""
+    scenario = legacy_scenario(protocol, latencies=latencies, seed=seed)
+    results = scenario.run(repetitions)
+    failures = [result for result in results if not result.found]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} of {repetitions} legacy {protocol} lookups failed"
+        )
+    return summarise(protocol, [result.response_time for result in results])
+
+
+def run_fig12a(
+    repetitions: int = DEFAULT_REPETITIONS,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> List[Summary]:
+    """All three rows of Fig. 12(a)."""
+    return [
+        measure_legacy_protocol(protocol, repetitions, latencies, seed)
+        for protocol in LEGACY_PROTOCOLS
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 12(b): Starlink connector translation times
+# ----------------------------------------------------------------------
+def measure_connector_case(
+    case: int,
+    repetitions: int = DEFAULT_REPETITIONS,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> Summary:
+    """Translation times of one Starlink connector case (one Fig. 12(b) row)."""
+    scenario = bridged_scenario(case, latencies=latencies, seed=seed)
+    results = scenario.run(repetitions)
+    failures = [result for result in results if not result.found]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} of {repetitions} bridged lookups failed for case {case}"
+        )
+    assert scenario.bridge is not None
+    sessions = scenario.bridge.sessions
+    if len(sessions) < repetitions:
+        raise RuntimeError(
+            f"bridge recorded {len(sessions)} sessions for {repetitions} lookups (case {case})"
+        )
+    samples = [session.translation_time for session in sessions[:repetitions]]
+    return summarise(f"{case}. {CASE_NAMES[case]}", samples)
+
+
+def run_fig12b(
+    repetitions: int = DEFAULT_REPETITIONS,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> List[Summary]:
+    """All six rows of Fig. 12(b)."""
+    return [
+        measure_connector_case(case, repetitions, latencies, seed)
+        for case in sorted(CASE_NAMES)
+    ]

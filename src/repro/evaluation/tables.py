@@ -1,0 +1,99 @@
+"""Table formatting and paper-value comparison for the Fig. 12 experiments.
+
+``PAPER_FIG12A`` and ``PAPER_FIG12B`` hold the numbers printed in the paper
+(milliseconds); ``format_table`` renders measured rows next to them so the
+benchmark output and EXPERIMENTS.md can show the paper-vs-measured shape at
+a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .harness import Summary
+
+__all__ = [
+    "PAPER_FIG12A",
+    "PAPER_FIG12B",
+    "format_table",
+    "format_fig12a",
+    "format_fig12b",
+    "overhead_ratios",
+]
+
+#: Fig. 12(a) — response time measures for legacy discovery protocols (ms).
+PAPER_FIG12A: Dict[str, Tuple[int, int, int]] = {
+    "SLP": (5982, 6022, 6053),
+    "Bonjour": (687, 710, 726),
+    "UPnP": (945, 1014, 1079),
+}
+
+#: Fig. 12(b) — translation times of Starlink connectors (ms).
+PAPER_FIG12B: Dict[str, Tuple[int, int, int]] = {
+    "1. SLP to UPnP": (319, 337, 343),
+    "2. SLP to Bonjour": (255, 271, 287),
+    "3. UPnP to SLP": (6208, 6311, 6450),
+    "4. UPnP to Bonjour": (253, 289, 311),
+    "5. Bonjour to UPnP": (334, 359, 379),
+    "6. Bonjour to SLP": (6168, 6190, 6244),
+}
+
+
+def format_table(
+    title: str,
+    summaries: Sequence[Summary],
+    paper_values: Optional[Dict[str, Tuple[int, int, int]]] = None,
+) -> str:
+    """Render summaries (and the paper's numbers, if given) as a text table."""
+    header = f"{'Case':<22} {'Min (ms)':>10} {'Median (ms)':>12} {'Max (ms)':>10}"
+    if paper_values is not None:
+        header += f"   {'Paper median (ms)':>18}"
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for summary in summaries:
+        row = (
+            f"{summary.label:<22} {summary.min_ms:>10.0f} "
+            f"{summary.median_ms:>12.0f} {summary.max_ms:>10.0f}"
+        )
+        if paper_values is not None:
+            paper = paper_values.get(summary.label)
+            row += f"   {paper[1]:>18}" if paper else f"   {'-':>18}"
+        lines.append(row)
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_fig12a(summaries: Sequence[Summary]) -> str:
+    return format_table(
+        "Fig. 12(a) - Response time measures for legacy discovery protocols",
+        summaries,
+        PAPER_FIG12A,
+    )
+
+
+def format_fig12b(summaries: Sequence[Summary]) -> str:
+    return format_table(
+        "Fig. 12(b) - Translation times of Starlink connectors",
+        summaries,
+        PAPER_FIG12B,
+    )
+
+
+def overhead_ratios(
+    legacy: Sequence[Summary], connectors: Sequence[Summary]
+) -> List[Tuple[str, float]]:
+    """The Section VI overhead analysis: connector translation time relative
+    to the legacy response time of the connector's *source* protocol.
+
+    The paper quotes case 6 (Bonjour to SLP) as roughly a 600 % increase and
+    case 1 (SLP to UPnP) as roughly 5 %.
+    """
+    legacy_by_protocol = {summary.label: summary.median_ms for summary in legacy}
+    ratios: List[Tuple[str, float]] = []
+    for summary in connectors:
+        label = summary.label.partition(". ")[2] or summary.label
+        source_protocol = label.split(" to ")[0]
+        baseline = legacy_by_protocol.get(source_protocol)
+        if not baseline:
+            continue
+        ratios.append((summary.label, 100.0 * summary.median_ms / baseline))
+    return ratios

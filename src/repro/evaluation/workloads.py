@@ -1,0 +1,152 @@
+"""Workload construction for the evaluation scenarios.
+
+A *scenario* wires legacy endpoints (and, for the bridged cases, a deployed
+Starlink bridge) onto a fresh simulated network and exposes a uniform
+``lookup()`` driver, so the harness can run the same repetition loop for
+every row of Fig. 12.
+
+The service identifiers used throughout are the three spellings of the same
+test service, one per discovery vocabulary:
+
+* SLP:     ``service:test``
+* UPnP:    ``urn:schemas-upnp-org:service:test:1``
+* Bonjour: ``_test._tcp.local``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
+from ..core.engine.bridge import StarlinkBridge
+from ..network.latency import CalibratedLatencies, default_latencies
+from ..network.simulated import SimulatedNetwork
+from ..protocols.common import LookupResult
+from ..protocols.mdns import BonjourBrowser, BonjourResponder
+from ..protocols.slp import SLPServiceAgent, SLPUserAgent
+from ..protocols.upnp import UPnPControlPoint, UPnPDevice
+
+__all__ = [
+    "SLP_SERVICE_TYPE",
+    "UPNP_SERVICE_TYPE",
+    "BONJOUR_SERVICE_NAME",
+    "Scenario",
+    "legacy_scenario",
+    "bridged_scenario",
+    "LEGACY_PROTOCOLS",
+]
+
+SLP_SERVICE_TYPE = "service:test"
+UPNP_SERVICE_TYPE = "urn:schemas-upnp-org:service:test:1"
+BONJOUR_SERVICE_NAME = "_test._tcp.local"
+
+#: Legacy protocol names in the order of Fig. 12(a).
+LEGACY_PROTOCOLS = ["SLP", "Bonjour", "UPnP"]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run evaluation scenario."""
+
+    name: str
+    network: SimulatedNetwork
+    lookup: Callable[[], LookupResult]
+    bridge: Optional[StarlinkBridge] = None
+    description: str = ""
+
+    def run(self, repetitions: int) -> List[LookupResult]:
+        """Perform ``repetitions`` lookups back to back."""
+        return [self.lookup() for _ in range(repetitions)]
+
+
+def _make_client_and_service(
+    client_protocol: str, service_protocol: str, latencies: CalibratedLatencies
+):
+    """Instantiate the legacy endpoints for a (client, service) protocol pair."""
+    if service_protocol == "SLP":
+        service = SLPServiceAgent(latency=latencies.slp_service)
+    elif service_protocol == "Bonjour":
+        service = BonjourResponder(latency=latencies.mdns_service)
+    elif service_protocol == "UPnP":
+        service = UPnPDevice(
+            ssdp_latency=latencies.ssdp_service, http_latency=latencies.http_service
+        )
+    else:
+        raise ValueError(f"unknown service protocol {service_protocol!r}")
+
+    if client_protocol == "SLP":
+        client = SLPUserAgent(client_overhead=latencies.slp_client_overhead)
+        target = SLP_SERVICE_TYPE
+    elif client_protocol == "Bonjour":
+        client = BonjourBrowser(client_overhead=latencies.mdns_client_overhead)
+        target = BONJOUR_SERVICE_NAME
+    elif client_protocol == "UPnP":
+        client = UPnPControlPoint(client_overhead=latencies.upnp_client_overhead)
+        target = UPNP_SERVICE_TYPE
+    else:
+        raise ValueError(f"unknown client protocol {client_protocol!r}")
+    return client, service, target
+
+
+def legacy_scenario(
+    protocol: str,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> Scenario:
+    """A legacy client looking up a legacy service of the *same* protocol.
+
+    These are the baseline measurements of Fig. 12(a).
+    """
+    latencies = latencies if latencies is not None else default_latencies()
+    network = SimulatedNetwork(latencies=latencies, seed=seed)
+    client, service, target = _make_client_and_service(protocol, protocol, latencies)
+    network.attach(service)
+    network.attach(client)
+    return Scenario(
+        name=f"legacy-{protocol.lower()}",
+        network=network,
+        lookup=lambda: client.lookup(network, target),
+        description=f"Legacy {protocol} lookup answered by a legacy {protocol} service",
+    )
+
+
+def bridged_scenario(
+    case: int,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+    processing_delay: Optional[float] = None,
+) -> Scenario:
+    """One of the six Starlink connector cases of Fig. 12(b).
+
+    The scenario contains the legacy client of the case's *source* protocol,
+    the legacy service of its *target* protocol, and the Starlink bridge for
+    that pair deployed in between.
+    """
+    if case not in BRIDGE_BUILDERS:
+        raise ValueError(f"unknown case {case}; valid cases are 1..6")
+    latencies = latencies if latencies is not None else default_latencies()
+    network = SimulatedNetwork(latencies=latencies, seed=seed)
+
+    client_protocol, _, service_protocol = CASE_NAMES[case].partition(" to ")
+    client, service, target = _make_client_and_service(
+        client_protocol, service_protocol, latencies
+    )
+
+    if processing_delay is None:
+        processing_delay = latencies.bridge_processing.midpoint
+    bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
+    bridge.deploy(network)
+
+    network.attach(service)
+    network.attach(client)
+    return Scenario(
+        name=f"case-{case}-{CASE_NAMES[case].replace(' ', '-').lower()}",
+        network=network,
+        lookup=lambda: client.lookup(network, target),
+        bridge=bridge,
+        description=(
+            f"Case {case}: legacy {client_protocol} client answered by a legacy "
+            f"{service_protocol} service through the Starlink bridge"
+        ),
+    )

@@ -1,0 +1,95 @@
+"""Latency models used by the simulated network and the evaluation harness.
+
+The paper's Fig. 12 numbers are dominated by the behaviour of the legacy
+protocol implementations, not by Starlink itself: the OpenSLP service is
+slow to answer multicast lookups (around six seconds), the Bonjour and
+UPnP stacks answer within a few hundred milliseconds, and the legacy
+*client* libraries add their own discovery waits on top.  To reproduce the
+shape of the tables on a simulator we model those behaviours explicitly as
+latency distributions.
+
+Every distribution is sampled from a seeded random generator so benchmark
+runs are reproducible; the calibration constants below are chosen so the
+simulated medians land close to the paper's measurements (see
+EXPERIMENTS.md for the side-by-side comparison).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["LatencyModel", "CalibratedLatencies", "default_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A bounded latency distribution (uniform between ``low`` and ``high``)."""
+
+    low: float
+    high: float
+
+    def sample(self, rng: random.Random) -> float:
+        if self.high <= self.low:
+            return self.low
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class CalibratedLatencies:
+    """The latency constants that calibrate the evaluation to the paper.
+
+    Attributes
+    ----------
+    link:
+        One-way network transmission latency between any two nodes (the
+        paper runs client and service on the same machine, so this is tiny).
+    slp_service:
+        Time the SLP service (OpenSLP service agent) takes to answer a
+        multicast SrvRqst.  This is the paper's dominant cost: legacy SLP
+        lookups take about six seconds, and every Starlink connector whose
+        *target* is SLP inherits it (cases 3 and 6 of Fig. 12(b)).
+    mdns_service:
+        Time the Bonjour responder takes to answer a DNS question.
+    ssdp_service:
+        Time the UPnP device takes to answer an SSDP M-SEARCH.
+    http_service:
+        Time the UPnP device takes to serve the HTTP device description.
+    slp_client_overhead:
+        Extra time the legacy OpenSLP *client* library spends before
+        returning results to the application (request preparation and
+        result collection; small because the service wait dominates).
+    mdns_client_overhead:
+        Extra time the Bonjour client library spends browsing before it
+        reports a result (its browse interval), which is why legacy Bonjour
+        lookups (~0.7 s) are slower than a Starlink bridge querying the
+        same responder directly (~0.25 s).
+    upnp_client_overhead:
+        Extra time the Cyberlink control point spends in discovery before
+        fetching the description, which is why legacy UPnP lookups (~1 s)
+        are slower than a bridge driving SSDP+HTTP directly (~0.35 s).
+    bridge_processing:
+        Starlink framework processing per translated message hop (parse,
+        translate, compose); this is the intrinsic overhead the paper calls
+        "significant but varied" — small in absolute terms.
+    """
+
+    link: LatencyModel = LatencyModel(0.0004, 0.0012)
+    slp_service: LatencyModel = LatencyModel(5.95, 6.02)
+    mdns_service: LatencyModel = LatencyModel(0.18, 0.24)
+    ssdp_service: LatencyModel = LatencyModel(0.14, 0.20)
+    http_service: LatencyModel = LatencyModel(0.09, 0.14)
+    slp_client_overhead: LatencyModel = LatencyModel(0.02, 0.05)
+    mdns_client_overhead: LatencyModel = LatencyModel(0.46, 0.50)
+    upnp_client_overhead: LatencyModel = LatencyModel(0.62, 0.72)
+    bridge_processing: LatencyModel = LatencyModel(0.012, 0.035)
+
+
+def default_latencies() -> CalibratedLatencies:
+    """The calibration used by the benchmark harness."""
+    return CalibratedLatencies()

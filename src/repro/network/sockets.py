@@ -1,0 +1,279 @@
+"""A socket-backed network engine for live loopback demos.
+
+This engine drives the same :class:`~repro.network.engine.NetworkNode`
+abstraction as the simulation, but over real BSD sockets bound to the
+loopback interface:
+
+* **UDP unicast** uses real ``SOCK_DGRAM`` sockets — one per endpoint a
+  node owns — with a background receiver thread per socket.
+* **UDP multicast** is *emulated in-process*: joining ``239.x.x.x:p`` adds
+  the node to a local registry and sends to that group fan out directly to
+  the members' real UDP sockets.  True IP multicast is often unavailable in
+  containers and CI runners, and the emulation preserves the delivery
+  semantics the framework relies on.
+* **TCP** endpoints get a listening socket; each accepted connection reads
+  one request (until the peer half-closes or a short idle timeout expires),
+  hands it to the owning node, and writes back whatever the node sends to
+  the ephemeral peer endpoint before closing.
+
+The engine exists to demonstrate that the framework's logic is independent
+of the transport substrate; the evaluation harness uses the simulation for
+determinism and speed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.errors import NetworkError
+from .addressing import Endpoint, Transport
+from .engine import NetworkEngine, NetworkNode
+
+__all__ = ["SocketNetwork"]
+
+_RECV_BUFFER = 65536
+_TCP_IDLE_TIMEOUT = 0.2
+
+
+class SocketNetwork(NetworkEngine):
+    """Network engine backed by real loopback sockets."""
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._nodes: List[NetworkNode] = []
+        self._udp_sockets: Dict[Tuple[str, int], socket.socket] = {}
+        self._tcp_servers: Dict[Tuple[str, int], socket.socket] = {}
+        self._endpoint_owner: Dict[Tuple[str, int, str], NetworkNode] = {}
+        self._groups: Dict[Tuple[str, int], Set[NetworkNode]] = {}
+        self._threads: List[threading.Thread] = []
+        self._timers: List[threading.Timer] = []
+        #: Open TCP reply channels keyed by the peer's ephemeral endpoint.
+        self._tcp_replies: Dict[Tuple[str, int], socket.socket] = {}
+        self._lock = threading.Lock()
+        self._running = True
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic()
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        timer = threading.Timer(max(0.0, delay), callback)
+        timer.daemon = True
+        timer.start()
+        self._timers.append(timer)
+
+    # ------------------------------------------------------------------
+    def attach(self, node: NetworkNode) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for endpoint in node.unicast_endpoints():
+            self._bind(node, endpoint)
+        for group in node.multicast_groups():
+            self._groups.setdefault((group.host, group.port), set()).add(node)
+        node.on_attached(self)
+
+    def detach(self, node: NetworkNode) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        self._endpoint_owner = {
+            key: owner for key, owner in self._endpoint_owner.items() if owner is not node
+        }
+        for members in self._groups.values():
+            members.discard(node)
+
+    def close(self) -> None:
+        """Stop receiver threads and close every socket."""
+        self._running = False
+        for timer in self._timers:
+            timer.cancel()
+        for sock in list(self._udp_sockets.values()) + list(self._tcp_servers.values()):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for sock in self._tcp_replies.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._udp_sockets.clear()
+        self._tcp_servers.clear()
+        self._tcp_replies.clear()
+
+    def __enter__(self) -> "SocketNetwork":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _bind(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        key = (endpoint.host, endpoint.port, endpoint.transport)
+        if key in self._endpoint_owner and self._endpoint_owner[key] is not node:
+            raise NetworkError(f"endpoint {endpoint} already bound")
+        self._endpoint_owner[key] = node
+        if endpoint.transport == Transport.TCP:
+            self._bind_tcp(node, endpoint)
+        else:
+            self._bind_udp(node, endpoint)
+
+    def _bind_udp(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((endpoint.host, endpoint.port))
+        actual_port = sock.getsockname()[1]
+        self._udp_sockets[(endpoint.host, actual_port)] = sock
+
+        def receiver() -> None:
+            while self._running:
+                try:
+                    data, peer = sock.recvfrom(_RECV_BUFFER)
+                except OSError:
+                    return
+                source = Endpoint(peer[0], peer[1], Transport.UDP)
+                destination = Endpoint(endpoint.host, actual_port, Transport.UDP)
+                node.on_datagram(self, data, source, destination)
+
+        thread = threading.Thread(target=receiver, daemon=True, name=f"udp-{actual_port}")
+        thread.start()
+        self._threads.append(thread)
+
+    def _bind_tcp(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((endpoint.host, endpoint.port))
+        server.listen(8)
+        actual_port = server.getsockname()[1]
+        self._tcp_servers[(endpoint.host, actual_port)] = server
+
+        def acceptor() -> None:
+            while self._running:
+                try:
+                    connection, peer = server.accept()
+                except OSError:
+                    return
+                handler = threading.Thread(
+                    target=self._handle_tcp_connection,
+                    args=(node, connection, peer, endpoint.host, actual_port),
+                    daemon=True,
+                )
+                handler.start()
+                self._threads.append(handler)
+
+        thread = threading.Thread(target=acceptor, daemon=True, name=f"tcp-{actual_port}")
+        thread.start()
+        self._threads.append(thread)
+
+    def _handle_tcp_connection(
+        self,
+        node: NetworkNode,
+        connection: socket.socket,
+        peer: Tuple[str, int],
+        host: str,
+        port: int,
+    ) -> None:
+        connection.settimeout(_TCP_IDLE_TIMEOUT)
+        chunks: List[bytes] = []
+        while True:
+            try:
+                chunk = connection.recv(_RECV_BUFFER)
+            except socket.timeout:
+                break
+            except OSError:
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        request = b"".join(chunks)
+        source = Endpoint(peer[0], peer[1], Transport.TCP)
+        destination = Endpoint(host, port, Transport.TCP)
+        with self._lock:
+            self._tcp_replies[(peer[0], peer[1])] = connection
+        try:
+            node.on_datagram(self, request, source, destination)
+        finally:
+            with self._lock:
+                self._tcp_replies.pop((peer[0], peer[1]), None)
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+        delay: float = 0.0,
+    ) -> None:
+        if delay > 0:
+            self.call_later(delay, lambda: self.send(data, source, destination))
+            return
+        if destination.is_multicast:
+            members = self._groups.get((destination.host, destination.port), set())
+            sender = self._endpoint_owner.get(
+                (source.host, source.port, source.transport)
+            )
+            for member in members:
+                if member is sender:
+                    continue
+                for endpoint in member.unicast_endpoints():
+                    if endpoint.transport == Transport.UDP:
+                        self._send_udp(data, source, endpoint)
+                        break
+            return
+        if destination.transport == Transport.TCP:
+            self._send_tcp(data, source, destination)
+        else:
+            self._send_udp(data, source, destination)
+
+    def _send_udp(self, data: bytes, source: Endpoint, destination: Endpoint) -> None:
+        sock = self._udp_sockets.get((source.host, source.port))
+        if sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.sendto(data, (destination.host, destination.port))
+            finally:
+                sock.close()
+            return
+        sock.sendto(data, (destination.host, destination.port))
+
+    def _send_tcp(self, data: bytes, source: Endpoint, destination: Endpoint) -> None:
+        # If the destination is an open reply channel (the peer of an accepted
+        # connection), answer on that connection.
+        with self._lock:
+            reply_channel = self._tcp_replies.get((destination.host, destination.port))
+        if reply_channel is not None:
+            try:
+                reply_channel.sendall(data)
+            except OSError as exc:
+                raise NetworkError(f"TCP reply to {destination} failed: {exc}") from exc
+            return
+        # Otherwise open a client connection, send, and feed any response back
+        # to the owning node of the source endpoint.
+        owner = self._endpoint_owner.get((source.host, source.port, source.transport)) or (
+            self._endpoint_owner.get((source.host, source.port, Transport.UDP))
+        )
+        try:
+            with socket.create_connection(
+                (destination.host, destination.port), timeout=5.0
+            ) as connection:
+                connection.sendall(data)
+                connection.shutdown(socket.SHUT_WR)
+                chunks: List[bytes] = []
+                while True:
+                    chunk = connection.recv(_RECV_BUFFER)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        except OSError as exc:
+            raise NetworkError(f"TCP send to {destination} failed: {exc}") from exc
+        response = b"".join(chunks)
+        if response and owner is not None:
+            owner.on_datagram(self, response, destination, source)

@@ -1,0 +1,20 @@
+"""Protocol substrates: SLP, SSDP, HTTP, mDNS/Bonjour and UPnP.
+
+Each subpackage provides the protocol's MDL specification, its k-coloured
+automata (one per role the bridge may play) and, where the paper's case
+study needs them, simulated legacy endpoints.
+"""
+
+from . import http, mdns, slp, ssdp, upnp
+from .common import LegacyClient, LegacyService, LookupResult
+
+__all__ = [
+    "slp",
+    "ssdp",
+    "http",
+    "mdns",
+    "upnp",
+    "LegacyClient",
+    "LegacyService",
+    "LookupResult",
+]

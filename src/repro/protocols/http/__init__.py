@@ -1,0 +1,14 @@
+"""Minimal HTTP (GET / 200 OK): MDL and coloured automata."""
+
+from .automaton import http_client_automaton, http_color, http_server_automaton
+from .mdl import HTTP_GET, HTTP_OK, HTTP_PORT, http_mdl
+
+__all__ = [
+    "http_mdl",
+    "http_color",
+    "http_client_automaton",
+    "http_server_automaton",
+    "HTTP_GET",
+    "HTTP_OK",
+    "HTTP_PORT",
+]

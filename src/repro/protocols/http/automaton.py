@@ -1,0 +1,38 @@
+"""k-coloured automata for the HTTP GET / 200 OK exchange (Fig. 3)."""
+
+from __future__ import annotations
+
+from ...core.automata.color import NetworkColor
+from ...core.automata.colored import ColoredAutomaton
+from .mdl import HTTP_GET, HTTP_OK, HTTP_PORT
+
+__all__ = ["http_color", "http_client_automaton", "http_server_automaton"]
+
+
+def http_color(port: int = HTTP_PORT) -> NetworkColor:
+    """The HTTP colour of Fig. 3: synchronous unicast TCP on port 80."""
+    return NetworkColor.tcp_unicast(port, mode="sync")
+
+
+def http_client_automaton(name: str = "HTTP", port: int = HTTP_PORT) -> ColoredAutomaton:
+    """HTTP as used by a bridge fetching a UPnP device description (Fig. 3)."""
+    color = http_color(port)
+    automaton = ColoredAutomaton(name, protocol="HTTP")
+    automaton.add_state("s30", color, initial=True)
+    automaton.add_state("s31", color)
+    automaton.add_state("s32", color, accepting=True)
+    automaton.send("s30", HTTP_GET, "s31")
+    automaton.receive("s31", HTTP_OK, "s32")
+    return automaton
+
+
+def http_server_automaton(name: str = "HTTP", port: int = HTTP_PORT) -> ColoredAutomaton:
+    """HTTP as exhibited by a bridge serving a description to a control point."""
+    color = http_color(port)
+    automaton = ColoredAutomaton(name, protocol="HTTP")
+    automaton.add_state("h30", color, initial=True)
+    automaton.add_state("h31", color)
+    automaton.add_state("h32", color, accepting=True)
+    automaton.receive("h30", HTTP_GET, "h31")
+    automaton.send("h31", HTTP_OK, "h32")
+    return automaton

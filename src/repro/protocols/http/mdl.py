@@ -1,0 +1,86 @@
+"""MDL specification of the minimal HTTP subset used by UPnP description.
+
+UPnP discovery needs one HTTP exchange: a ``GET`` of the device description
+document and the ``200 OK`` response carrying it (Fig. 3 of the paper).  The
+MDL follows the same text dialect as SSDP; the response body (the XML
+device description) is a remainder-sized field.
+"""
+
+from __future__ import annotations
+
+from ...core.mdl.spec import (
+    FieldSpec,
+    FieldsDirective,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeSpec,
+)
+
+__all__ = ["HTTP_GET", "HTTP_OK", "HTTP_PORT", "http_mdl"]
+
+HTTP_GET = "HTTP_GET"
+HTTP_OK = "HTTP_OK"
+
+#: Network constant of the HTTP colour (Fig. 3).
+HTTP_PORT = 80
+
+_SPACE = 32
+_CR = 13
+_LF = 10
+_COLON = 58
+
+
+def http_mdl() -> MDLSpec:
+    """Build the HTTP (GET / 200 OK) MDL specification."""
+    spec = MDLSpec(protocol="HTTP", kind=MDLKind.TEXT)
+
+    spec.add_type("Method", "String")
+    spec.add_type("URI", "String")
+    spec.add_type("Version", "String")
+    spec.add_type("Host", "String")
+    spec.add_type("Connection", "String")
+    spec.add_type("Content-Type", "String")
+    spec.add_type("Content-Length", "Integer")
+    spec.add_type("Server", "String")
+    spec.add_type("Body", "String")
+
+    spec.header = HeaderSpec(
+        protocol="HTTP",
+        fields=[
+            FieldSpec("Method", SizeSpec.delimiter([_SPACE])),
+            FieldSpec("URI", SizeSpec.delimiter([_SPACE])),
+            FieldSpec("Version", SizeSpec.delimiter([_CR, _LF])),
+        ],
+        fields_directive=FieldsDirective((_CR, _LF), _COLON),
+    )
+
+    spec.add_message(
+        MessageSpec(
+            name=HTTP_GET,
+            rule=MessageRule("Method", "GET"),
+            fields=[
+                FieldSpec("Host", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("Connection", SizeSpec.delimiter([_CR, _LF])),
+            ],
+            mandatory_fields=["URI"],
+        )
+    )
+
+    spec.add_message(
+        MessageSpec(
+            name=HTTP_OK,
+            rule=MessageRule("Method", "HTTP/1.1"),
+            fields=[
+                FieldSpec("Server", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("Content-Type", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("Body", SizeSpec.remainder()),
+            ],
+            mandatory_fields=["Body"],
+        )
+    )
+
+    spec.validate()
+    return spec

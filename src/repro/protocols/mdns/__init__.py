@@ -1,0 +1,27 @@
+"""mDNS / Bonjour (DNS subset): MDL, automata and legacy endpoints."""
+
+from .automaton import mdns_color, mdns_requester_automaton, mdns_responder_automaton
+from .legacy import BonjourBrowser, BonjourResponder, mdns_group_endpoint
+from .mdl import (
+    DNS_QUESTION,
+    DNS_RESPONSE,
+    DNS_RESPONSE_FLAGS,
+    MDNS_MULTICAST_GROUP,
+    MDNS_PORT,
+    mdns_mdl,
+)
+
+__all__ = [
+    "mdns_mdl",
+    "mdns_color",
+    "mdns_requester_automaton",
+    "mdns_responder_automaton",
+    "BonjourResponder",
+    "BonjourBrowser",
+    "mdns_group_endpoint",
+    "DNS_QUESTION",
+    "DNS_RESPONSE",
+    "DNS_RESPONSE_FLAGS",
+    "MDNS_MULTICAST_GROUP",
+    "MDNS_PORT",
+]

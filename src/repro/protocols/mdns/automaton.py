@@ -1,0 +1,38 @@
+"""k-coloured automata for mDNS / Bonjour (Fig. 9 of the paper)."""
+
+from __future__ import annotations
+
+from ...core.automata.color import NetworkColor
+from ...core.automata.colored import ColoredAutomaton
+from .mdl import DNS_QUESTION, DNS_RESPONSE, MDNS_MULTICAST_GROUP, MDNS_PORT
+
+__all__ = ["mdns_color", "mdns_requester_automaton", "mdns_responder_automaton"]
+
+
+def mdns_color() -> NetworkColor:
+    """The mDNS colour of Fig. 9: async UDP multicast on 224.0.0.251:5353."""
+    return NetworkColor.udp_multicast(MDNS_MULTICAST_GROUP, MDNS_PORT, mode="async")
+
+
+def mdns_requester_automaton(name: str = "mDNS") -> ColoredAutomaton:
+    """mDNS as used by a bridge querying a legacy Bonjour responder (Fig. 9)."""
+    color = mdns_color()
+    automaton = ColoredAutomaton(name, protocol="mDNS")
+    automaton.add_state("s40", color, initial=True)
+    automaton.add_state("s41", color)
+    automaton.add_state("s42", color, accepting=True)
+    automaton.send("s40", DNS_QUESTION, "s41")
+    automaton.receive("s41", DNS_RESPONSE, "s42")
+    return automaton
+
+
+def mdns_responder_automaton(name: str = "mDNS") -> ColoredAutomaton:
+    """mDNS as exhibited by a bridge answering a legacy Bonjour browser."""
+    color = mdns_color()
+    automaton = ColoredAutomaton(name, protocol="mDNS")
+    automaton.add_state("r40", color, initial=True)
+    automaton.add_state("r41", color)
+    automaton.add_state("r42", color, accepting=True)
+    automaton.receive("r40", DNS_QUESTION, "r41")
+    automaton.send("r41", DNS_RESPONSE, "r42")
+    return automaton

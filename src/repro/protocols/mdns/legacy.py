@@ -1,0 +1,138 @@
+"""Simulated legacy Bonjour endpoints (stand-ins for the Apple Bonjour SDK).
+
+* :class:`BonjourResponder` answers multicast DNS questions for the service
+  names it advertises, after the (fast) mDNS responder latency.
+* :class:`BonjourBrowser` performs one-shot service lookups; the legacy
+  browse API adds its own browse-interval overhead, which is why legacy
+  Bonjour lookups in Fig. 12(a) are slower than a Starlink bridge querying
+  the same responder directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ...core.message import AbstractMessage
+from ...network.addressing import Endpoint, Transport
+from ...network.engine import NetworkEngine
+from ...network.latency import LatencyModel, default_latencies
+from ..common import LegacyClient, LegacyService, LookupResult, sample_latency
+from .mdl import (
+    DNS_QUESTION,
+    DNS_RESPONSE,
+    DNS_RESPONSE_FLAGS,
+    MDNS_MULTICAST_GROUP,
+    MDNS_PORT,
+    mdns_mdl,
+)
+
+__all__ = ["BonjourResponder", "BonjourBrowser", "mdns_group_endpoint"]
+
+_LATENCIES = default_latencies()
+
+
+def mdns_group_endpoint() -> Endpoint:
+    return Endpoint(MDNS_MULTICAST_GROUP, MDNS_PORT, Transport.UDP)
+
+
+class BonjourResponder(LegacyService):
+    """A legacy Bonjour (mDNS) responder advertising services."""
+
+    def __init__(
+        self,
+        host: str = "bonjour-service.local",
+        port: int = MDNS_PORT,
+        services: Optional[Dict[str, str]] = None,
+        latency: Optional[LatencyModel] = None,
+        name: str = "bonjour-service",
+    ) -> None:
+        super().__init__(
+            name=name,
+            endpoint=Endpoint(host, port, Transport.UDP),
+            groups=[mdns_group_endpoint()],
+            mdl=mdns_mdl(),
+            latency=latency if latency is not None else _LATENCIES.mdns_service,
+        )
+        #: service name (e.g. ``_test._tcp.local``) -> service URL.
+        self.services = dict(
+            services or {"_test._tcp.local": f"http://{host}:9000/service"}
+        )
+
+    def register(self, service_name: str, url: str) -> None:
+        self.services[service_name] = url
+
+    def build_reply(
+        self, request: AbstractMessage, destination: Endpoint
+    ) -> Optional[AbstractMessage]:
+        if request.name != DNS_QUESTION:
+            return None
+        question = str(request.get("DomainName", ""))
+        url = self.services.get(question)
+        if url is None:
+            return None
+        reply = AbstractMessage(DNS_RESPONSE, protocol="mDNS")
+        reply.set("ID", request.get("ID", 0), type_name="Integer")
+        reply.set("Flags", DNS_RESPONSE_FLAGS, type_name="Integer")
+        reply.set("QDCount", 0, type_name="Integer")
+        reply.set("ANCount", 1, type_name="Integer")
+        reply.set("AnswerName", question, type_name="FQDN")
+        reply.set("AType", 16, type_name="Integer")  # TXT-style record carrying the URL
+        reply.set("AClass", 1, type_name="Integer")
+        reply.set("TTL", 120, type_name="Integer")
+        reply.set("RDATA", url, type_name="String")
+        return reply
+
+
+class BonjourBrowser(LegacyClient):
+    """A legacy Bonjour browse/lookup client."""
+
+    _id_counter = itertools.count(2000)
+
+    def __init__(
+        self,
+        host: str = "bonjour-client.local",
+        port: int = 5200,
+        client_overhead: Optional[LatencyModel] = None,
+        name: str = "bonjour-client",
+    ) -> None:
+        super().__init__(
+            name=name,
+            endpoint=Endpoint(host, port, Transport.UDP),
+            mdl=mdns_mdl(),
+            client_overhead=(
+                client_overhead
+                if client_overhead is not None
+                else _LATENCIES.mdns_client_overhead
+            ),
+        )
+
+    def lookup(
+        self,
+        network: NetworkEngine,
+        service_name: str = "_test._tcp.local",
+        timeout: float = 10.0,
+    ) -> LookupResult:
+        """Multicast a DNS question and wait for the matching response."""
+        self.clear_responses()
+        query_id = next(self._id_counter) & 0xFFFF
+        question = AbstractMessage(DNS_QUESTION, protocol="mDNS")
+        question.set("ID", query_id, type_name="Integer")
+        question.set("Flags", 0, type_name="Integer")
+        question.set("QDCount", 1, type_name="Integer")
+        question.set("DomainName", service_name, type_name="FQDN")
+        question.set("QType", 16, type_name="Integer")
+        question.set("QClass", 1, type_name="Integer")
+        started = network.now()
+        self._send(network, question, mdns_group_endpoint())
+        responses = self._await_responses(network, 1, timeout, DNS_RESPONSE)
+        overhead = sample_latency(network, self.client_overhead)
+        if not responses:
+            return LookupResult(found=False, response_time=network.now() - started + overhead)
+        received_at, reply, _ = responses[0]
+        return LookupResult(
+            found=True,
+            url=str(reply.get("RDATA", "")),
+            response_time=received_at - started + overhead,
+            responses=len(responses),
+        )

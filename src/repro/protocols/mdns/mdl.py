@@ -1,0 +1,103 @@
+"""MDL specification of mDNS / Bonjour (DNS message subset, RFC 1035).
+
+The paper's Bonjour case uses DNS-format messages: a question carrying the
+service name and a response carrying the service URL in the record data.
+The MDL is binary, with the standard 12-byte DNS header and self-describing
+(label-encoded) domain names — the ``FQDN`` pluggable type of the paper.
+"""
+
+from __future__ import annotations
+
+from ...core.mdl.spec import (
+    FieldSpec,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeSpec,
+)
+
+__all__ = [
+    "DNS_QUESTION",
+    "DNS_RESPONSE",
+    "MDNS_MULTICAST_GROUP",
+    "MDNS_PORT",
+    "DNS_RESPONSE_FLAGS",
+    "mdns_mdl",
+]
+
+DNS_QUESTION = "DNS_Question"
+DNS_RESPONSE = "DNS_Response"
+
+#: Network constants of the mDNS colour (Fig. 9).
+MDNS_MULTICAST_GROUP = "224.0.0.251"
+MDNS_PORT = 5353
+
+#: Standard response flags: QR=1, AA=1 (0x8400).
+DNS_RESPONSE_FLAGS = 0x8400
+
+
+def mdns_mdl() -> MDLSpec:
+    """Build the mDNS/DNS MDL specification."""
+    spec = MDLSpec(protocol="mDNS", kind=MDLKind.BINARY)
+
+    spec.add_type("ID", "Integer")
+    spec.add_type("Flags", "Integer")
+    spec.add_type("QDCount", "Integer")
+    spec.add_type("ANCount", "Integer")
+    spec.add_type("NSCount", "Integer")
+    spec.add_type("ARCount", "Integer")
+    spec.add_type("DomainName", "FQDN")
+    spec.add_type("QType", "Integer")
+    spec.add_type("QClass", "Integer")
+    spec.add_type("AnswerName", "FQDN")
+    spec.add_type("AType", "Integer")
+    spec.add_type("AClass", "Integer")
+    spec.add_type("TTL", "Integer")
+    spec.add_type("RDLength", "Integer[f-length(RDATA)]")
+    spec.add_type("RDATA", "String")
+
+    spec.header = HeaderSpec(
+        protocol="mDNS",
+        fields=[
+            FieldSpec("ID", SizeSpec.fixed(16)),
+            FieldSpec("Flags", SizeSpec.fixed(16)),
+            FieldSpec("QDCount", SizeSpec.fixed(16)),
+            FieldSpec("ANCount", SizeSpec.fixed(16)),
+            FieldSpec("NSCount", SizeSpec.fixed(16)),
+            FieldSpec("ARCount", SizeSpec.fixed(16)),
+        ],
+    )
+
+    spec.add_message(
+        MessageSpec(
+            name=DNS_QUESTION,
+            rule=MessageRule("Flags", "0"),
+            fields=[
+                FieldSpec("DomainName", SizeSpec.self_describing()),
+                FieldSpec("QType", SizeSpec.fixed(16)),
+                FieldSpec("QClass", SizeSpec.fixed(16)),
+            ],
+            mandatory_fields=["DomainName"],
+        )
+    )
+
+    spec.add_message(
+        MessageSpec(
+            name=DNS_RESPONSE,
+            rule=MessageRule("Flags", str(DNS_RESPONSE_FLAGS)),
+            fields=[
+                FieldSpec("AnswerName", SizeSpec.self_describing()),
+                FieldSpec("AType", SizeSpec.fixed(16)),
+                FieldSpec("AClass", SizeSpec.fixed(16)),
+                FieldSpec("TTL", SizeSpec.fixed(32)),
+                FieldSpec("RDLength", SizeSpec.fixed(16)),
+                FieldSpec("RDATA", SizeSpec.field_reference("RDLength")),
+            ],
+            mandatory_fields=["RDATA"],
+        )
+    )
+
+    spec.validate()
+    return spec

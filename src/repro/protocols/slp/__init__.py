@@ -1,0 +1,19 @@
+"""Service Location Protocol (SLP, RFC 2608 subset): MDL, automata, legacy endpoints."""
+
+from .automaton import slp_color, slp_requester_automaton, slp_responder_automaton
+from .legacy import SLPServiceAgent, SLPUserAgent, slp_group_endpoint
+from .mdl import SLP_MULTICAST_GROUP, SLP_PORT, SLP_SRVREPLY, SLP_SRVREQ, slp_mdl
+
+__all__ = [
+    "slp_mdl",
+    "slp_color",
+    "slp_responder_automaton",
+    "slp_requester_automaton",
+    "SLPServiceAgent",
+    "SLPUserAgent",
+    "slp_group_endpoint",
+    "SLP_SRVREQ",
+    "SLP_SRVREPLY",
+    "SLP_MULTICAST_GROUP",
+    "SLP_PORT",
+]

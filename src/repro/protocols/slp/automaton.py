@@ -1,0 +1,51 @@
+"""k-coloured automata for SLP (Fig. 1 of the paper).
+
+Two role-specific automata are provided:
+
+* :func:`slp_responder_automaton` — the behaviour Starlink exhibits towards
+  a legacy SLP *client*: receive ``SLP_SrvReq``, eventually send
+  ``SLP_SrvReply`` (this is the left-hand automaton of Figs. 4 and 10);
+* :func:`slp_requester_automaton` — the behaviour Starlink exhibits towards
+  a legacy SLP *service*: send ``SLP_SrvReq``, wait for ``SLP_SrvReply``
+  (used when the client side speaks UPnP or Bonjour).
+
+Both share the SLP colour of Fig. 1: asynchronous UDP multicast on
+``239.255.255.253:427``.
+"""
+
+from __future__ import annotations
+
+from ...core.automata.color import NetworkColor
+from ...core.automata.colored import ColoredAutomaton
+from .mdl import SLP_MULTICAST_GROUP, SLP_PORT, SLP_SRVREPLY, SLP_SRVREQ
+
+__all__ = ["slp_color", "slp_responder_automaton", "slp_requester_automaton"]
+
+
+def slp_color() -> NetworkColor:
+    """The SLP colour of Fig. 1."""
+    return NetworkColor.udp_multicast(SLP_MULTICAST_GROUP, SLP_PORT, mode="async")
+
+
+def slp_responder_automaton(name: str = "SLP") -> ColoredAutomaton:
+    """SLP as seen by a bridge serving a legacy SLP client."""
+    color = slp_color()
+    automaton = ColoredAutomaton(name, protocol="SLP")
+    automaton.add_state("s10", color, initial=True)
+    automaton.add_state("s11", color)
+    automaton.add_state("s12", color, accepting=True)
+    automaton.receive("s10", SLP_SRVREQ, "s11")
+    automaton.send("s11", SLP_SRVREPLY, "s12")
+    return automaton
+
+
+def slp_requester_automaton(name: str = "SLP") -> ColoredAutomaton:
+    """SLP as seen by a bridge querying a legacy SLP service."""
+    color = slp_color()
+    automaton = ColoredAutomaton(name, protocol="SLP")
+    automaton.add_state("c10", color, initial=True)
+    automaton.add_state("c11", color)
+    automaton.add_state("c12", color, accepting=True)
+    automaton.send("c10", SLP_SRVREQ, "c11")
+    automaton.receive("c11", SLP_SRVREPLY, "c12")
+    return automaton

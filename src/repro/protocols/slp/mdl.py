@@ -1,0 +1,119 @@
+"""MDL specification of the Service Location Protocol (RFC 2608 subset).
+
+This is the binary MDL of Fig. 7 of the paper, completed with the service
+reply message so that the full lookup exchange (SrvRqst / SrvRply) can be
+parsed and composed.  Field sizes follow the RFC: the common header carries
+the protocol version, the function identifier that selects the message
+body, the total message length, the transaction identifier ``XID`` and the
+language tag; string fields in the bodies are length-prefixed with 16-bit
+byte counts.
+"""
+
+from __future__ import annotations
+
+from ...core.mdl.spec import (
+    FieldSpec,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeSpec,
+)
+
+__all__ = [
+    "SLP_SRVREQ",
+    "SLP_SRVREPLY",
+    "SLP_MULTICAST_GROUP",
+    "SLP_PORT",
+    "slp_mdl",
+]
+
+#: Message names used on automaton transitions (Figs. 1, 4, 10).
+SLP_SRVREQ = "SLP_SrvReq"
+SLP_SRVREPLY = "SLP_SrvReply"
+
+#: Network constants of the SLP colour (Fig. 1).
+SLP_MULTICAST_GROUP = "239.255.255.253"
+SLP_PORT = 427
+
+
+def slp_mdl() -> MDLSpec:
+    """Build the SLP MDL specification."""
+    spec = MDLSpec(protocol="SLP", kind=MDLKind.BINARY)
+
+    # <Types> section (Fig. 7 lines 1-6, completed).
+    spec.add_type("Version", "Integer")
+    spec.add_type("FunctionID", "Integer")
+    spec.add_type("MessageLength", "Integer[f-total-length()]")
+    spec.add_type("reserved", "Integer")
+    spec.add_type("NextExtOffset", "Integer")
+    spec.add_type("XID", "Integer")
+    spec.add_type("LangTagLen", "Integer")
+    spec.add_type("LangTag", "String")
+    spec.add_type("PRLength", "Integer")
+    spec.add_type("PRStringTable", "String")
+    spec.add_type("SRVTypeLength", "Integer")
+    spec.add_type("SRVType", "String")
+    spec.add_type("PredLength", "Integer")
+    spec.add_type("PredString", "String")
+    spec.add_type("SPILength", "Integer")
+    spec.add_type("SPIString", "String")
+    spec.add_type("ErrorCode", "Integer")
+    spec.add_type("URLCount", "Integer")
+    spec.add_type("Lifetime", "Integer")
+    spec.add_type("URLLength", "Integer[f-length(URLEntry)]")
+    spec.add_type("URLEntry", "String")
+
+    # <Header type=SLP> (Fig. 7 lines 8-16).
+    spec.header = HeaderSpec(
+        protocol="SLP",
+        fields=[
+            FieldSpec("Version", SizeSpec.fixed(8)),
+            FieldSpec("FunctionID", SizeSpec.fixed(8)),
+            FieldSpec("MessageLength", SizeSpec.fixed(24)),
+            FieldSpec("reserved", SizeSpec.fixed(16)),
+            FieldSpec("NextExtOffset", SizeSpec.fixed(24)),
+            FieldSpec("XID", SizeSpec.fixed(16)),
+            FieldSpec("LangTagLen", SizeSpec.fixed(16)),
+            FieldSpec("LangTag", SizeSpec.field_reference("LangTagLen")),
+        ],
+    )
+
+    # <Message type=SLP_SrvReq> — FunctionID 1 (Fig. 7 lines 18-28).
+    spec.add_message(
+        MessageSpec(
+            name=SLP_SRVREQ,
+            rule=MessageRule("FunctionID", "1"),
+            fields=[
+                FieldSpec("PRLength", SizeSpec.fixed(16)),
+                FieldSpec("PRStringTable", SizeSpec.field_reference("PRLength")),
+                FieldSpec("SRVTypeLength", SizeSpec.fixed(16)),
+                FieldSpec("SRVType", SizeSpec.field_reference("SRVTypeLength")),
+                FieldSpec("PredLength", SizeSpec.fixed(16)),
+                FieldSpec("PredString", SizeSpec.field_reference("PredLength")),
+                FieldSpec("SPILength", SizeSpec.fixed(16)),
+                FieldSpec("SPIString", SizeSpec.field_reference("SPILength")),
+            ],
+            mandatory_fields=["SRVType", "XID"],
+        )
+    )
+
+    # <Message type=SLP_SrvReply> — FunctionID 2.
+    spec.add_message(
+        MessageSpec(
+            name=SLP_SRVREPLY,
+            rule=MessageRule("FunctionID", "2"),
+            fields=[
+                FieldSpec("ErrorCode", SizeSpec.fixed(16)),
+                FieldSpec("URLCount", SizeSpec.fixed(16)),
+                FieldSpec("Lifetime", SizeSpec.fixed(16)),
+                FieldSpec("URLLength", SizeSpec.fixed(16)),
+                FieldSpec("URLEntry", SizeSpec.field_reference("URLLength")),
+            ],
+            mandatory_fields=["URLEntry", "XID"],
+        )
+    )
+
+    spec.validate()
+    return spec

@@ -1,0 +1,15 @@
+"""SSDP (UPnP discovery): MDL and coloured automata."""
+
+from .automaton import ssdp_color, ssdp_requester_automaton, ssdp_responder_automaton
+from .mdl import SSDP_MSEARCH, SSDP_MULTICAST_GROUP, SSDP_PORT, SSDP_RESP, ssdp_mdl
+
+__all__ = [
+    "ssdp_mdl",
+    "ssdp_color",
+    "ssdp_requester_automaton",
+    "ssdp_responder_automaton",
+    "SSDP_MSEARCH",
+    "SSDP_RESP",
+    "SSDP_MULTICAST_GROUP",
+    "SSDP_PORT",
+]

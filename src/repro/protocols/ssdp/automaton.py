@@ -1,0 +1,38 @@
+"""k-coloured automata for SSDP (Fig. 2 of the paper)."""
+
+from __future__ import annotations
+
+from ...core.automata.color import NetworkColor
+from ...core.automata.colored import ColoredAutomaton
+from .mdl import SSDP_MSEARCH, SSDP_MULTICAST_GROUP, SSDP_PORT, SSDP_RESP
+
+__all__ = ["ssdp_color", "ssdp_requester_automaton", "ssdp_responder_automaton"]
+
+
+def ssdp_color() -> NetworkColor:
+    """The SSDP colour of Fig. 2: async UDP multicast on 239.255.255.250:1900."""
+    return NetworkColor.udp_multicast(SSDP_MULTICAST_GROUP, SSDP_PORT, mode="async")
+
+
+def ssdp_requester_automaton(name: str = "SSDP") -> ColoredAutomaton:
+    """SSDP as used by a bridge discovering a legacy UPnP device (Fig. 2)."""
+    color = ssdp_color()
+    automaton = ColoredAutomaton(name, protocol="SSDP")
+    automaton.add_state("s20", color, initial=True)
+    automaton.add_state("s21", color)
+    automaton.add_state("s22", color, accepting=True)
+    automaton.send("s20", SSDP_MSEARCH, "s21")
+    automaton.receive("s21", SSDP_RESP, "s22")
+    return automaton
+
+
+def ssdp_responder_automaton(name: str = "SSDP") -> ColoredAutomaton:
+    """SSDP as exhibited by a bridge answering a legacy UPnP control point."""
+    color = ssdp_color()
+    automaton = ColoredAutomaton(name, protocol="SSDP")
+    automaton.add_state("r20", color, initial=True)
+    automaton.add_state("r21", color)
+    automaton.add_state("r22", color, accepting=True)
+    automaton.receive("r20", SSDP_MSEARCH, "r21")
+    automaton.send("r21", SSDP_RESP, "r22")
+    return automaton

@@ -1,0 +1,101 @@
+"""MDL specification of SSDP (the UPnP discovery protocol), per Fig. 11.
+
+SSDP is a text protocol: the request line is three space/CRLF-delimited
+tokens (method, URI, version) and the rest of the message is a sequence of
+``Label: value`` lines.  The Fig. 11 MDL captures exactly that with
+delimiter-based field sizes and the ``<Fields>`` boundary directive.
+"""
+
+from __future__ import annotations
+
+from ...core.mdl.spec import (
+    FieldSpec,
+    FieldsDirective,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeSpec,
+)
+
+__all__ = [
+    "SSDP_MSEARCH",
+    "SSDP_RESP",
+    "SSDP_MULTICAST_GROUP",
+    "SSDP_PORT",
+    "ssdp_mdl",
+]
+
+SSDP_MSEARCH = "SSDP_M-Search"
+SSDP_RESP = "SSDP_Resp"
+
+#: Network constants of the SSDP colour (Fig. 2).
+SSDP_MULTICAST_GROUP = "239.255.255.250"
+SSDP_PORT = 1900
+
+_SPACE = 32
+_CR = 13
+_LF = 10
+_COLON = 58
+
+
+def ssdp_mdl() -> MDLSpec:
+    """Build the SSDP MDL specification (Fig. 11)."""
+    spec = MDLSpec(protocol="SSDP", kind=MDLKind.TEXT)
+
+    spec.add_type("Method", "String")
+    spec.add_type("URI", "String")
+    spec.add_type("Version", "String")
+    spec.add_type("ST", "String")
+    spec.add_type("MX", "Integer")
+    spec.add_type("HOST", "String")
+    spec.add_type("MAN", "String")
+    spec.add_type("LOCATION", "String")
+    spec.add_type("USN", "String")
+    spec.add_type("SERVER", "String")
+    spec.add_type("EXT", "String")
+    spec.add_type("CACHE-CONTROL", "String")
+
+    spec.header = HeaderSpec(
+        protocol="SSDP",
+        fields=[
+            FieldSpec("Method", SizeSpec.delimiter([_SPACE])),
+            FieldSpec("URI", SizeSpec.delimiter([_SPACE])),
+            FieldSpec("Version", SizeSpec.delimiter([_CR, _LF])),
+        ],
+        fields_directive=FieldsDirective((_CR, _LF), _COLON),
+    )
+
+    spec.add_message(
+        MessageSpec(
+            name=SSDP_MSEARCH,
+            rule=MessageRule("Method", "M-SEARCH"),
+            fields=[
+                FieldSpec("HOST", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("MAN", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("MX", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("ST", SizeSpec.delimiter([_CR, _LF])),
+            ],
+            mandatory_fields=["ST"],
+        )
+    )
+
+    spec.add_message(
+        MessageSpec(
+            name=SSDP_RESP,
+            rule=MessageRule("Method", "HTTP/1.1"),
+            fields=[
+                FieldSpec("CACHE-CONTROL", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("EXT", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("LOCATION", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("SERVER", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("ST", SizeSpec.delimiter([_CR, _LF])),
+                FieldSpec("USN", SizeSpec.delimiter([_CR, _LF])),
+            ],
+            mandatory_fields=["LOCATION", "ST"],
+        )
+    )
+
+    spec.validate()
+    return spec

@@ -1,0 +1,5 @@
+"""UPnP (SSDP + HTTP composite): legacy device and control point."""
+
+from .legacy import UPnPControlPoint, UPnPDevice, description_body, ssdp_group_endpoint
+
+__all__ = ["UPnPDevice", "UPnPControlPoint", "description_body", "ssdp_group_endpoint"]

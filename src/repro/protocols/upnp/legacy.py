@@ -1,0 +1,264 @@
+"""Simulated legacy UPnP endpoints (stand-ins for the Cyberlink stack).
+
+UPnP discovery uses two protocols (Section V-B of the paper): SSDP for the
+multicast search and response, then HTTP to fetch the device description
+that carries the service URL.  Accordingly:
+
+* :class:`UPnPDevice` is one node with two personalities — an SSDP
+  responder on the device's UDP endpoint (joined to the SSDP group) and a
+  tiny HTTP server on a TCP endpoint serving the description document whose
+  ``<URLBase>`` is the advertised service URL;
+* :class:`UPnPControlPoint` is the legacy lookup client: M-SEARCH, wait for
+  the SSDP response, ``GET`` the LOCATION, extract the URL from the body.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...core.errors import ParseError
+from ...core.mdl.base import create_composer, create_parser
+from ...core.message import AbstractMessage
+from ...network.addressing import Endpoint, Transport
+from ...network.engine import NetworkEngine, NetworkNode
+from ...network.latency import LatencyModel, default_latencies
+from ..common import LegacyClient, LookupResult, sample_latency
+from ..http.mdl import HTTP_GET, HTTP_OK, http_mdl
+from ..ssdp.mdl import (
+    SSDP_MSEARCH,
+    SSDP_MULTICAST_GROUP,
+    SSDP_PORT,
+    SSDP_RESP,
+    ssdp_mdl,
+)
+
+__all__ = ["UPnPDevice", "UPnPControlPoint", "ssdp_group_endpoint", "description_body"]
+
+_LATENCIES = default_latencies()
+
+
+def ssdp_group_endpoint() -> Endpoint:
+    return Endpoint(SSDP_MULTICAST_GROUP, SSDP_PORT, Transport.UDP)
+
+
+def description_body(url_base: str, friendly_name: str = "Starlink test service") -> str:
+    """A minimal UPnP device-description document carrying ``URLBase``."""
+    return (
+        "<?xml version=\"1.0\"?>\n"
+        "<root xmlns=\"urn:schemas-upnp-org:device-1-0\">\n"
+        f"  <URLBase>{url_base}</URLBase>\n"
+        "  <device>\n"
+        f"    <friendlyName>{friendly_name}</friendlyName>\n"
+        "    <deviceType>urn:schemas-upnp-org:device:TestDevice:1</deviceType>\n"
+        "  </device>\n"
+        "</root>\n"
+    )
+
+
+class UPnPDevice(NetworkNode):
+    """A legacy UPnP device: SSDP responder plus HTTP description server."""
+
+    def __init__(
+        self,
+        host: str = "upnp-device.local",
+        ssdp_port: int = SSDP_PORT,
+        http_port: int = 8080,
+        service_type: str = "urn:schemas-upnp-org:service:test:1",
+        service_url: Optional[str] = None,
+        ssdp_latency: Optional[LatencyModel] = None,
+        http_latency: Optional[LatencyModel] = None,
+        name: str = "upnp-device",
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.service_type = service_type
+        self.service_url = service_url or f"http://{host}:9000/service"
+        self._ssdp_endpoint = Endpoint(host, ssdp_port, Transport.UDP)
+        self._http_endpoint = Endpoint(host, http_port, Transport.TCP)
+        self.location = f"http://{host}:{http_port}/description.xml"
+        self._ssdp_parser = create_parser(ssdp_mdl())
+        self._ssdp_composer = create_composer(ssdp_mdl())
+        self._http_parser = create_parser(http_mdl())
+        self._http_composer = create_composer(http_mdl())
+        self.ssdp_latency = ssdp_latency if ssdp_latency is not None else _LATENCIES.ssdp_service
+        self.http_latency = http_latency if http_latency is not None else _LATENCIES.http_service
+        #: Requests handled, for assertions: list of (protocol, message name).
+        self.handled: List[Tuple[str, str]] = []
+
+    # -- NetworkNode ----------------------------------------------------
+    def unicast_endpoints(self) -> List[Endpoint]:
+        return [self._ssdp_endpoint, self._http_endpoint]
+
+    def multicast_groups(self) -> List[Endpoint]:
+        return [ssdp_group_endpoint()]
+
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        if destination.transport == Transport.TCP or destination.port == self._http_endpoint.port:
+            self._serve_description(engine, data, source)
+        else:
+            self._answer_search(engine, data, source)
+
+    # -- SSDP -----------------------------------------------------------
+    def _answer_search(self, engine: NetworkEngine, data: bytes, source: Endpoint) -> None:
+        try:
+            request = self._ssdp_parser.parse(data)
+        except ParseError:
+            return
+        if request.name != SSDP_MSEARCH:
+            return
+        search_target = str(request.get("ST", ""))
+        if search_target not in ("", "ssdp:all", self.service_type) and not self._matches(search_target):
+            return
+        self.handled.append(("SSDP", request.name))
+        reply = AbstractMessage(SSDP_RESP, protocol="SSDP")
+        reply.set("Method", "HTTP/1.1")
+        reply.set("URI", "200")
+        reply.set("Version", "OK")
+        reply.set("CACHE-CONTROL", "max-age=1800")
+        reply.set("EXT", "")
+        reply.set("LOCATION", self.location)
+        reply.set("SERVER", "Starlink-Repro/1.0 UPnP/1.0")
+        reply.set("ST", search_target or self.service_type)
+        reply.set("USN", f"uuid:starlink-test::{self.service_type}")
+        payload = self._ssdp_composer.compose(reply)
+        delay = sample_latency(engine, self.ssdp_latency)
+        engine.send(payload, source=self._ssdp_endpoint, destination=source, delay=delay)
+
+    def _matches(self, search_target: str) -> bool:
+        """Loose match so bridged (translated) service types still resolve."""
+        wanted = search_target.lower()
+        mine = self.service_type.lower()
+        return wanted in mine or mine in wanted or "test" in wanted
+
+    # -- HTTP -----------------------------------------------------------
+    def _serve_description(self, engine: NetworkEngine, data: bytes, source: Endpoint) -> None:
+        try:
+            request = self._http_parser.parse(data)
+        except ParseError:
+            return
+        if request.name != HTTP_GET:
+            return
+        self.handled.append(("HTTP", request.name))
+        body = description_body(self.service_url)
+        reply = AbstractMessage(HTTP_OK, protocol="HTTP")
+        reply.set("Method", "HTTP/1.1")
+        reply.set("URI", "200")
+        reply.set("Version", "OK")
+        reply.set("Server", "Starlink-Repro/1.0")
+        reply.set("Content-Type", "text/xml")
+        reply.set("Body", body)
+        payload = self._http_composer.compose(reply)
+        delay = sample_latency(engine, self.http_latency)
+        engine.send(payload, source=self._http_endpoint, destination=source, delay=delay)
+
+
+class UPnPControlPoint(LegacyClient):
+    """A legacy UPnP control point performing discovery + description fetch."""
+
+    def __init__(
+        self,
+        host: str = "upnp-client.local",
+        port: int = 5300,
+        client_overhead: Optional[LatencyModel] = None,
+        name: str = "upnp-client",
+    ) -> None:
+        super().__init__(
+            name=name,
+            endpoint=Endpoint(host, port, Transport.UDP),
+            mdl=ssdp_mdl(),
+            client_overhead=(
+                client_overhead
+                if client_overhead is not None
+                else _LATENCIES.upnp_client_overhead
+            ),
+        )
+        self._http_parser = create_parser(http_mdl())
+        self._http_composer = create_composer(http_mdl())
+
+    # The control point receives both SSDP and HTTP responses on its endpoint.
+    # The two share the "HTTP/1.1 200 OK" start line, so the parser is chosen
+    # by the transport the response arrived on (SSDP over UDP, HTTP over TCP),
+    # exactly as the real Cyberlink stack distinguishes them by socket.
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        parser = self._http_parser if source.transport == Transport.TCP else self.parser
+        try:
+            message = parser.parse(data)
+        except ParseError:
+            return
+        if message.name in (SSDP_RESP, HTTP_OK):
+            self._responses.append((engine.now(), message, source))
+
+    def lookup(
+        self,
+        network: NetworkEngine,
+        service_type: str = "urn:schemas-upnp-org:service:test:1",
+        timeout: float = 10.0,
+    ) -> LookupResult:
+        """Discover a device via SSDP and fetch its description via HTTP."""
+        self.clear_responses()
+        started = network.now()
+        search = AbstractMessage(SSDP_MSEARCH, protocol="SSDP")
+        search.set("Method", "M-SEARCH")
+        search.set("URI", "*")
+        search.set("Version", "HTTP/1.1")
+        search.set("HOST", f"{SSDP_MULTICAST_GROUP}:{SSDP_PORT}")
+        search.set("MAN", '"ssdp:discover"')
+        search.set("MX", 3, type_name="Integer")
+        search.set("ST", service_type)
+        self._send(network, search, ssdp_group_endpoint())
+
+        ssdp_responses = self._await_responses(network, 1, timeout, SSDP_RESP)
+        overhead = sample_latency(network, self.client_overhead)
+        if not ssdp_responses:
+            return LookupResult(found=False, response_time=network.now() - started + overhead)
+        _, ssdp_response, _ = ssdp_responses[0]
+        location = str(ssdp_response.get("LOCATION", ""))
+
+        from urllib.parse import urlparse
+
+        parsed = urlparse(location)
+        get = AbstractMessage(HTTP_GET, protocol="HTTP")
+        get.set("Method", "GET")
+        get.set("URI", parsed.path or "/description.xml")
+        get.set("Version", "HTTP/1.1")
+        get.set("Host", parsed.hostname or "")
+        get.set("Connection", "close")
+        destination = Endpoint(parsed.hostname or "", parsed.port or 80, Transport.TCP)
+        network.send(
+            self._http_composer.compose(get), source=self.endpoint, destination=destination
+        )
+
+        http_responses = self._await_responses(network, 1, timeout, HTTP_OK)
+        if not http_responses:
+            return LookupResult(found=False, response_time=network.now() - started + overhead)
+        received_at, ok, _ = http_responses[0]
+        body = str(ok.get("Body", ""))
+        url = _extract_url_base(body)
+        return LookupResult(
+            found=True,
+            url=url,
+            response_time=received_at - started + overhead,
+            responses=len(self._responses),
+        )
+
+
+def _extract_url_base(body: str) -> str:
+    import re
+
+    match = re.search(r"<URLBase>([^<]+)</URLBase>", body)
+    if match:
+        return match.group(1).strip()
+    match = re.search(r"https?://[^\s<>\"']+", body)
+    return match.group(0) if match else ""

@@ -1,0 +1,85 @@
+"""Tests for network colours (Section III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automata.color import NetworkColor
+from repro.core.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_slp_color_attributes(self):
+        color = NetworkColor.udp_multicast("239.255.255.253", 427)
+        assert color.transport == "udp"
+        assert color.port == 427
+        assert color.is_multicast
+        assert color.group == "239.255.255.253"
+        assert color.mode == "async"
+
+    def test_tcp_unicast_color(self):
+        color = NetworkColor.tcp_unicast(80)
+        assert color.transport == "tcp"
+        assert color.is_synchronous
+        assert not color.is_multicast
+        assert color.group is None
+
+    def test_udp_unicast_color(self):
+        color = NetworkColor.udp_unicast(9999)
+        assert color.transport == "udp" and not color.is_multicast
+
+    def test_empty_color_raises(self):
+        with pytest.raises(ConfigurationError):
+            NetworkColor({})
+
+    def test_kwargs_construction(self):
+        color = NetworkColor(transport_protocol="udp", port=427)
+        assert color.port == 427
+
+
+class TestIdentity:
+    def test_equal_attributes_give_equal_colors(self):
+        a = NetworkColor.udp_multicast("239.255.255.253", 427)
+        b = NetworkColor({"transport_protocol": "udp", "port": "427", "mode": "async",
+                          "multicast": "yes", "group": "239.255.255.253"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.value == b.value
+
+    def test_different_attributes_give_different_colors(self):
+        slp = NetworkColor.udp_multicast("239.255.255.253", 427)
+        ssdp = NetworkColor.udp_multicast("239.255.255.250", 1900)
+        assert slp != ssdp
+        assert slp.key != ssdp.key
+        assert slp.value != ssdp.value
+
+    def test_attribute_order_does_not_matter(self):
+        a = NetworkColor({"port": 80, "transport_protocol": "tcp"})
+        b = NetworkColor({"transport_protocol": "tcp", "port": 80})
+        assert a == b
+
+    def test_key_is_canonical_and_hashable(self):
+        color = NetworkColor.tcp_unicast(80)
+        assert color.key == tuple(sorted(color.key))
+        {color: "usable as dict key"}
+
+    def test_mapping_interface(self):
+        color = NetworkColor.tcp_unicast(80)
+        assert color["port"] == "80"
+        assert set(color) >= {"port", "transport_protocol"}
+        assert len(color) >= 3
+        with pytest.raises(KeyError):
+            color["group"]
+
+    def test_with_attributes_creates_new_color(self):
+        color = NetworkColor.tcp_unicast(80)
+        other = color.with_attributes(port=8080)
+        assert other.port == 8080
+        assert color.port == 80
+        assert color != other
+
+    def test_repr_mentions_attributes(self):
+        assert "port=80" in repr(NetworkColor.tcp_unicast(80))
+
+    def test_port_defaults_to_zero_on_garbage(self):
+        assert NetworkColor({"port": "not-a-number"}).port == 0

@@ -1,0 +1,149 @@
+"""Tests for k-coloured automata (Section III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automata.color import NetworkColor
+from repro.core.automata.colored import Action, ColoredAutomaton
+from repro.core.errors import AutomatonError, ColorMismatchError, InvalidTransitionError
+from repro.core.message import AbstractMessage
+
+
+@pytest.fixture
+def slp_like() -> ColoredAutomaton:
+    """The Fig. 1 automaton: receive SrvReq, send SrvReply."""
+    color = NetworkColor.udp_multicast("239.255.255.253", 427)
+    automaton = ColoredAutomaton("SLP", protocol="SLP")
+    automaton.add_state("s0", color, initial=True)
+    automaton.add_state("s1", color)
+    automaton.add_state("s2", color, accepting=True)
+    automaton.receive("s0", "SLP_SrvReq", "s1")
+    automaton.send("s1", "SLP_SrvReply", "s2")
+    return automaton
+
+
+class TestConstruction:
+    def test_first_state_is_initial_by_default(self):
+        color = NetworkColor.tcp_unicast(80)
+        automaton = ColoredAutomaton("A")
+        automaton.add_state("x", color)
+        automaton.add_state("y", color)
+        assert automaton.initial_state == "x"
+
+    def test_explicit_initial_overrides(self):
+        color = NetworkColor.tcp_unicast(80)
+        automaton = ColoredAutomaton("A")
+        automaton.add_state("x", color)
+        automaton.add_state("y", color, initial=True)
+        assert automaton.initial_state == "y"
+
+    def test_duplicate_state_raises(self, slp_like):
+        with pytest.raises(AutomatonError):
+            slp_like.add_state("s0", NetworkColor.tcp_unicast(80))
+
+    def test_transition_to_unknown_state_raises(self, slp_like):
+        with pytest.raises(InvalidTransitionError):
+            slp_like.receive("s0", "m", "nope")
+        with pytest.raises(InvalidTransitionError):
+            slp_like.receive("nope", "m", "s0")
+
+    def test_cross_color_transition_raises(self):
+        automaton = ColoredAutomaton("A")
+        automaton.add_state("x", NetworkColor.tcp_unicast(80))
+        automaton.add_state("y", NetworkColor.tcp_unicast(8080))
+        with pytest.raises(ColorMismatchError):
+            automaton.send("x", "m", "y")
+
+    def test_empty_automaton_has_no_initial(self):
+        with pytest.raises(AutomatonError):
+            ColoredAutomaton("A").initial_state
+
+    def test_is_k_colored_single_protocol(self, slp_like):
+        assert slp_like.is_k_colored
+        assert len(slp_like.colors()) == 1
+
+    def test_accepting_states(self, slp_like):
+        assert slp_like.accepting_states == ["s2"]
+
+
+class TestStructureQueries:
+    def test_transitions_from_with_action_filter(self, slp_like):
+        assert len(slp_like.transitions_from("s0", Action.RECEIVE)) == 1
+        assert slp_like.transitions_from("s0", Action.SEND) == []
+
+    def test_transitions_into(self, slp_like):
+        assert slp_like.transitions_into("s1")[0].message == "SLP_SrvReq"
+
+    def test_messages(self, slp_like):
+        assert slp_like.messages() == ["SLP_SrvReq", "SLP_SrvReply"]
+        assert slp_like.messages(Action.SEND) == ["SLP_SrvReply"]
+
+    def test_receive_and_send_state_predicates(self, slp_like):
+        assert slp_like.is_receive_state("s0")
+        assert slp_like.is_send_state("s1")
+        assert not slp_like.is_send_state("s2")
+
+    def test_path_found(self, slp_like):
+        path = slp_like.path("s0", "s2")
+        assert [t.message for t in path] == ["SLP_SrvReq", "SLP_SrvReply"]
+
+    def test_path_to_self_is_empty(self, slp_like):
+        assert slp_like.path("s0", "s0") == []
+
+    def test_path_missing_is_none(self, slp_like):
+        assert slp_like.path("s2", "s0") is None
+
+    def test_state_lookup_errors(self, slp_like):
+        with pytest.raises(AutomatonError):
+            slp_like.state("zzz")
+        assert slp_like.has_state("s0")
+
+
+class TestHistoryOperator:
+    def test_received_history_collects_stored_instances(self, slp_like):
+        request = AbstractMessage("SLP_SrvReq").set("XID", 1)
+        slp_like.state("s0").store(request)
+        history = slp_like.received_history("s0", "s2")
+        assert history == [request]
+
+    def test_sent_history(self, slp_like):
+        reply = AbstractMessage("SLP_SrvReply").set("XID", 1)
+        slp_like.state("s1").store(reply)
+        assert slp_like.sent_history("s0", "s2") == [reply]
+
+    def test_history_with_no_path_raises(self, slp_like):
+        with pytest.raises(AutomatonError):
+            slp_like.received_history("s2", "s0")
+
+    def test_received_message_names(self, slp_like):
+        assert slp_like.received_message_names("s0", "s2") == ["SLP_SrvReq"]
+        assert slp_like.sent_message_names("s0", "s2") == ["SLP_SrvReply"]
+        assert slp_like.received_message_names("s2", "s0") == []
+
+    def test_reset_clears_queues(self, slp_like):
+        slp_like.state("s0").store(AbstractMessage("SLP_SrvReq"))
+        slp_like.reset()
+        assert slp_like.state("s0").stored() == []
+
+    def test_state_latest(self, slp_like):
+        state = slp_like.state("s0")
+        first = AbstractMessage("SLP_SrvReq").set("XID", 1)
+        second = AbstractMessage("SLP_SrvReq").set("XID", 2)
+        state.store(first)
+        state.store(second)
+        assert state.latest("SLP_SrvReq") is second
+        assert state.latest("Other") is None
+
+
+class TestValidation:
+    def test_validate_passes(self, slp_like):
+        slp_like.validate()
+
+    def test_unreachable_state_raises(self, slp_like):
+        slp_like.add_state("island", next(iter(slp_like.colors())))
+        with pytest.raises(AutomatonError):
+            slp_like.validate()
+
+    def test_repr(self, slp_like):
+        assert "SLP" in repr(slp_like)

@@ -1,0 +1,166 @@
+"""Tests for the bridge specifications, registry and ablation baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridges.baseline import EsbStyleSlpToBonjourBridge, HandCodedSlpToBonjourBridge
+from repro.bridges.registry import BridgeRegistry, default_registry
+from repro.bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
+from repro.core.automata.merge import check_mergeable, derive_equivalence
+from repro.core.engine.bridge import StarlinkBridge
+from repro.core.errors import ConfigurationError
+from repro.core.mdl.base import create_composer, create_parser
+from repro.core.message import AbstractMessage
+from repro.protocols.mdns.mdl import DNS_QUESTION, DNS_RESPONSE, mdns_mdl
+from repro.protocols.slp.mdl import SLP_SRVREPLY, SLP_SRVREQ, slp_mdl
+
+
+class TestBridgeSpecs:
+    @pytest.mark.parametrize("case", sorted(BRIDGE_BUILDERS))
+    def test_every_case_validates(self, case):
+        bridge = BRIDGE_BUILDERS[case]()
+        bridge.validate()  # checks MDLs and the merge constraints of Section III-C
+
+    @pytest.mark.parametrize("case", sorted(BRIDGE_BUILDERS))
+    def test_every_case_is_weakly_merged(self, case):
+        assert BRIDGE_BUILDERS[case]().merged.is_weakly_merged
+
+    def test_case_names_cover_all_builders(self):
+        assert sorted(CASE_NAMES) == sorted(BRIDGE_BUILDERS) == [1, 2, 3, 4, 5, 6]
+
+    def test_fig4_merge_structure(self):
+        merged = BRIDGE_BUILDERS[1]().merged  # SLP to UPnP
+        assert merged.automaton_names == ["SLP", "SSDP", "HTTP"]
+        assert len(merged.deltas) == 3
+        assert len(merged.colors()) == 3
+        actions = [action.name for delta in merged.deltas for action in delta.actions]
+        assert actions == ["set_host"]
+
+    def test_fig10_merge_structure(self):
+        merged = BRIDGE_BUILDERS[2]().merged  # SLP to Bonjour
+        assert merged.automaton_names == ["SLP", "mDNS"]
+        assert len(merged.deltas) == 2
+
+    def test_fig5_translation_parts_present(self):
+        translation = BRIDGE_BUILDERS[1]().merged.translation
+        assert ("SSDP_M-Search", "SLP_SrvReq") in translation.equivalences
+        targets = {assignment.target.field for assignment in translation.assignments_for("SSDP_M-Search")}
+        assert "ST" in targets
+        reply_sources = {
+            assignment.source.message
+            for assignment in translation.assignments_for("SLP_SrvReply")
+        }
+        assert {"HTTP_OK", "SLP_SrvReq"} <= reply_sources
+
+    def test_component_automata_are_pairwise_mergeable(self):
+        bridge = BRIDGE_BUILDERS[2]()
+        merged = bridge.merged
+        mandatory = {
+            message.name: message.mandatory_fields
+            for spec in bridge.mdl_specs.values()
+            for message in spec.messages
+        }
+        equivalence = derive_equivalence(merged.translation, mandatory)
+        slp = merged.automaton("SLP")
+        mdns = merged.automaton("mDNS")
+        mergeable, candidates = check_mergeable(slp, mdns, equivalence)
+        assert mergeable
+        assert ("SLP.s11", "mDNS.s40") in candidates
+
+    def test_missing_mdl_spec_raises(self):
+        bridge = BRIDGE_BUILDERS[2]()
+        with pytest.raises(ConfigurationError):
+            StarlinkBridge(bridge.merged, {"SLP": slp_mdl()})
+
+    def test_deploy_twice_raises(self, network):
+        bridge = BRIDGE_BUILDERS[2]()
+        bridge.deploy(network)
+        with pytest.raises(ConfigurationError):
+            bridge.deploy(network)
+        bridge.undeploy()
+        assert bridge.engine is None
+
+    def test_protocols_property(self):
+        assert sorted(BRIDGE_BUILDERS[2]().protocols) == ["SLP", "mDNS"]
+
+
+class TestBridgeRegistry:
+    def test_default_registry_covers_all_six_pairs(self):
+        registry = default_registry()
+        assert len(registry.pairs()) == 6
+        for client, service in registry.pairs():
+            assert registry.supports(client, service)
+
+    def test_build_is_case_insensitive(self):
+        registry = default_registry()
+        bridge = registry.build("SLP", "Bonjour")
+        assert bridge.merged.name == "slp-to-bonjour"
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(ConfigurationError):
+            default_registry().build("slp", "corba")
+
+    def test_same_protocol_pair_not_registered(self):
+        assert not default_registry().supports("slp", "slp")
+
+    def test_register_custom_pair(self):
+        registry = BridgeRegistry()
+        registry.register("a", "b", lambda **kwargs: "sentinel")
+        assert registry.build("A", "B") == "sentinel"
+
+
+class TestBaselines:
+    def _slp_request_bytes(self) -> bytes:
+        composer = create_composer(slp_mdl())
+        request = AbstractMessage(SLP_SRVREQ)
+        request.set("Version", 2, type_name="Integer")
+        request.set("XID", 321, type_name="Integer")
+        request.set("LangTag", "en")
+        request.set("SRVType", "service:test")
+        return composer.compose(request)
+
+    def _dns_response_bytes(self) -> bytes:
+        composer = create_composer(mdns_mdl())
+        response = AbstractMessage(DNS_RESPONSE)
+        response.set("ID", 321, type_name="Integer")
+        response.set("ANCount", 1, type_name="Integer")
+        response.set("AnswerName", "_test._tcp.local", type_name="FQDN")
+        response.set("TTL", 120, type_name="Integer")
+        response.set("RDATA", "http://h:9000/service", type_name="String")
+        return composer.compose(response)
+
+    @pytest.mark.parametrize(
+        "bridge", [HandCodedSlpToBonjourBridge(), EsbStyleSlpToBonjourBridge()],
+        ids=["hand-coded", "esb"],
+    )
+    def test_request_translation_produces_valid_dns_question(self, bridge):
+        question_bytes = bridge.translate_request(self._slp_request_bytes())
+        parsed = create_parser(mdns_mdl()).parse(question_bytes)
+        assert parsed.name == DNS_QUESTION
+        assert parsed["DomainName"] == "_test._tcp.local"
+
+    @pytest.mark.parametrize(
+        "bridge", [HandCodedSlpToBonjourBridge(), EsbStyleSlpToBonjourBridge()],
+        ids=["hand-coded", "esb"],
+    )
+    def test_response_translation_produces_valid_slp_reply(self, bridge):
+        reply_bytes = bridge.translate_response(self._dns_response_bytes(), xid=321)
+        parsed = create_parser(slp_mdl()).parse(reply_bytes)
+        assert parsed.name == SLP_SRVREPLY
+        assert parsed["URLEntry"] == "http://h:9000/service"
+        assert parsed["XID"] == 321
+
+    def test_baselines_and_starlink_agree_on_the_translation(self):
+        hand = HandCodedSlpToBonjourBridge()
+        esb = EsbStyleSlpToBonjourBridge()
+        request = self._slp_request_bytes()
+        hand_question = create_parser(mdns_mdl()).parse(hand.translate_request(request))
+        esb_question = create_parser(mdns_mdl()).parse(esb.translate_request(request))
+        assert hand_question["DomainName"] == esb_question["DomainName"]
+
+    def test_esb_intermediary_is_lossy_subset(self):
+        esb = EsbStyleSlpToBonjourBridge()
+        intermediary = esb.request_to_intermediary(self._slp_request_bytes())
+        # Only the common-subset fields survive: the LangTag, for example, is lost.
+        assert set(intermediary) == {"kind", "service", "transaction"}

@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro.evaluation`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.cli import build_parser, main
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.repetitions == 100
+        assert args.table == "all"
+        assert args.seed == 7
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--table", "fig99"])
+
+
+class TestExecution:
+    def test_fig12a_only(self, capsys):
+        assert main(["--table", "fig12a", "--repetitions", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 12(a)" in output
+        assert "SLP" in output and "UPnP" in output
+        assert "Fig. 12(b)" not in output
+
+    def test_fig12b_only(self, capsys):
+        assert main(["--table", "fig12b", "--repetitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 12(b)" in output
+        assert "6. Bonjour to SLP" in output
+
+    def test_all_tables_include_overhead_analysis(self, capsys):
+        assert main(["--repetitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 12(a)" in output
+        assert "Fig. 12(b)" in output
+        assert "Overhead relative" in output
+        assert "%" in output
+
+    def test_seed_changes_samples_but_not_shape(self, capsys):
+        main(["--table", "fig12a", "--repetitions", "2", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["--table", "fig12a", "--repetitions", "2", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+        assert "Paper median" in first and "Paper median" in second

@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs to completion and reports success."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+_EXAMPLES = sorted(name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def _run(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        check=True,
+    )
+    return completed.stdout
+
+
+def test_at_least_three_examples_ship():
+    assert len(_EXAMPLES) >= 3
+
+
+def test_quickstart_reports_a_successful_lookup():
+    output = _run("quickstart.py")
+    assert "answered: True" in output
+    assert "http://bonjour-service.local" in output
+
+
+def test_all_pairs_matrix_has_six_successful_rows():
+    output = _run("all_pairs_discovery.py")
+    assert output.count("yes") == 6
+    assert "NO" not in output
+
+
+def test_custom_protocol_bridge_answers_the_invented_lookup():
+    output = _run("custom_protocol_bridge.py")
+    assert "answered: True" in output
+    assert "txtq://printers.example/laser-1" in output
+
+
+def test_xml_model_deployment_round_trips_and_answers():
+    output = _run("xml_model_deployment.py")
+    assert "answered: True" in output
+    assert ".bridge.xml" in output

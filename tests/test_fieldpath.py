@@ -1,0 +1,89 @@
+"""Unit tests for field path expressions (the paper's XPath addressing, Fig. 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MessageError
+from repro.core.fieldpath import FieldPath, parse_xpath, to_xpath
+from repro.core.message import AbstractMessage
+
+
+class TestXPathParsing:
+    def test_paper_example(self):
+        labels = parse_xpath("/field/primitiveField[label='ST']/value")
+        assert labels == ["ST"]
+
+    def test_nested_structured_path(self):
+        labels = parse_xpath(
+            "/field/structuredField[label='URL']/primitiveField[label='port']/value"
+        )
+        assert labels == ["URL", "port"]
+
+    def test_unsupported_expression_raises(self):
+        with pytest.raises(MessageError):
+            parse_xpath("/html/body/div[3]")
+
+    def test_to_xpath_round_trip(self):
+        xpath = to_xpath(["URL", "port"])
+        assert parse_xpath(xpath) == ["URL", "port"]
+
+
+class TestFieldPath:
+    def test_dotted_form(self):
+        assert FieldPath("URL.port").labels == ["URL", "port"]
+        assert FieldPath("ST").labels == ["ST"]
+
+    def test_xpath_form(self):
+        path = FieldPath("/field/primitiveField[label='ST']/value")
+        assert path.dotted == "ST"
+
+    def test_xpath_property(self):
+        assert "label='ST'" in FieldPath("ST").xpath
+
+    def test_empty_path_raises(self):
+        with pytest.raises(MessageError):
+            FieldPath("")
+
+    def test_resolve(self):
+        message = AbstractMessage("m").set("ST", "service:test")
+        assert FieldPath("ST").resolve(message) == "service:test"
+
+    def test_exists(self):
+        message = AbstractMessage("m").set("ST", "x")
+        assert FieldPath("ST").exists(message)
+        assert not FieldPath("missing").exists(message)
+
+    def test_assign_existing_field(self):
+        message = AbstractMessage("m").set("ST", "old")
+        FieldPath("ST").assign(message, "new")
+        assert message["ST"] == "new"
+
+    def test_assign_creates_missing_leaf(self):
+        message = AbstractMessage("m")
+        FieldPath("ST").assign(message, "value")
+        assert message["ST"] == "value"
+
+    def test_assign_creates_nested_structure(self):
+        message = AbstractMessage("m")
+        FieldPath("URL.port").assign(message, 80)
+        assert message["URL.port"] == 80
+
+    def test_assign_through_primitive_raises(self):
+        message = AbstractMessage("m").set("URL", "flat")
+        with pytest.raises(MessageError):
+            FieldPath("URL.port").assign(message, 80)
+
+    def test_assign_to_structured_raises(self):
+        message = AbstractMessage("m").set("URL.port", 80)
+        with pytest.raises(MessageError):
+            FieldPath("URL").assign(message, "oops")
+
+    def test_equality_and_hash(self):
+        assert FieldPath("URL.port") == FieldPath(
+            "/field/structuredField[label='URL']/primitiveField[label='port']/value"
+        )
+        assert hash(FieldPath("a.b")) == hash(FieldPath("a.b"))
+
+    def test_repr(self):
+        assert "URL.port" in repr(FieldPath("URL.port"))

@@ -1,0 +1,145 @@
+"""Tests for the generic binary MDL parser and composer (SLP and DNS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ComposeError, ParseError
+from repro.core.mdl.base import create_composer, create_parser
+from repro.core.message import AbstractMessage
+from repro.protocols.mdns.mdl import DNS_QUESTION, DNS_RESPONSE, DNS_RESPONSE_FLAGS
+from repro.protocols.slp.mdl import SLP_SRVREPLY, SLP_SRVREQ
+
+
+def _slp_request() -> AbstractMessage:
+    message = AbstractMessage(SLP_SRVREQ, protocol="SLP")
+    message.set("Version", 2, type_name="Integer")
+    message.set("XID", 4242, type_name="Integer")
+    message.set("LangTag", "en", type_name="String")
+    message.set("SRVType", "service:test", type_name="String")
+    return message
+
+
+class TestSLPRoundTrip:
+    def test_request_round_trip(self, slp_codec):
+        parser, composer = slp_codec
+        data = composer.compose(_slp_request())
+        parsed = parser.parse(data)
+        assert parsed.name == SLP_SRVREQ
+        assert parsed["SRVType"] == "service:test"
+        assert parsed["XID"] == 4242
+        assert parsed["LangTag"] == "en"
+
+    def test_rule_field_is_written_automatically(self, slp_codec):
+        parser, composer = slp_codec
+        parsed = parser.parse(composer.compose(_slp_request()))
+        assert parsed["FunctionID"] == 1
+
+    def test_length_prefixes_are_synchronised(self, slp_codec):
+        parser, composer = slp_codec
+        parsed = parser.parse(composer.compose(_slp_request()))
+        assert parsed["SRVTypeLength"] == len("service:test")
+        assert parsed["LangTagLen"] == 2
+
+    def test_total_length_function(self, slp_codec):
+        parser, composer = slp_codec
+        data = composer.compose(_slp_request())
+        parsed = parser.parse(data)
+        assert parsed["MessageLength"] == len(data)
+
+    def test_reply_round_trip(self, slp_codec):
+        parser, composer = slp_codec
+        reply = AbstractMessage(SLP_SRVREPLY, protocol="SLP")
+        reply.set("XID", 77, type_name="Integer")
+        reply.set("LangTag", "en", type_name="String")
+        reply.set("URLEntry", "service:test://host:9000", type_name="String")
+        reply.set("URLCount", 1, type_name="Integer")
+        parsed = parser.parse(composer.compose(reply))
+        assert parsed.name == SLP_SRVREPLY
+        assert parsed["URLEntry"] == "service:test://host:9000"
+        assert parsed["URLLength"] == len("service:test://host:9000")
+        assert parsed["FunctionID"] == 2
+
+    def test_empty_optional_strings(self, slp_codec):
+        parser, composer = slp_codec
+        message = _slp_request()
+        parsed = parser.parse(composer.compose(message))
+        assert parsed["PRStringTable"] == ""
+        assert parsed["PRLength"] == 0
+
+    def test_mandatory_fields_flow_from_spec(self, slp_codec):
+        parser, composer = slp_codec
+        parsed = parser.parse(composer.compose(_slp_request()))
+        assert parsed.mandatory_fields == ["SRVType", "XID"]
+
+    def test_parse_truncated_message_raises(self, slp_codec):
+        parser, composer = slp_codec
+        data = composer.compose(_slp_request())
+        with pytest.raises(ParseError):
+            parser.parse(data[:6])
+
+    def test_parse_unknown_function_id_raises(self, slp_codec):
+        parser, composer = slp_codec
+        data = bytearray(composer.compose(_slp_request()))
+        data[1] = 99  # FunctionID byte
+        with pytest.raises(ParseError):
+            parser.parse(bytes(data))
+
+    def test_compose_unknown_message_raises(self, slp_codec):
+        _, composer = slp_codec
+        with pytest.raises(ComposeError):
+            composer.compose(AbstractMessage("NotAMessage"))
+
+    def test_accepts_helper(self, slp_codec, mdns_codec):
+        slp_parser, slp_composer = slp_codec
+        assert slp_parser.accepts(slp_composer.compose(_slp_request()))
+        assert not slp_parser.accepts(b"\x00")
+
+
+class TestDNSRoundTrip:
+    def test_question_round_trip(self, mdns_codec):
+        parser, composer = mdns_codec
+        question = AbstractMessage(DNS_QUESTION, protocol="mDNS")
+        question.set("ID", 99, type_name="Integer")
+        question.set("QDCount", 1, type_name="Integer")
+        question.set("DomainName", "_test._tcp.local", type_name="FQDN")
+        question.set("QType", 16, type_name="Integer")
+        question.set("QClass", 1, type_name="Integer")
+        parsed = parser.parse(composer.compose(question))
+        assert parsed.name == DNS_QUESTION
+        assert parsed["DomainName"] == "_test._tcp.local"
+        assert parsed["ID"] == 99
+        assert parsed["Flags"] == 0
+
+    def test_response_round_trip(self, mdns_codec):
+        parser, composer = mdns_codec
+        response = AbstractMessage(DNS_RESPONSE, protocol="mDNS")
+        response.set("ID", 99, type_name="Integer")
+        response.set("ANCount", 1, type_name="Integer")
+        response.set("AnswerName", "_test._tcp.local", type_name="FQDN")
+        response.set("AType", 16, type_name="Integer")
+        response.set("AClass", 1, type_name="Integer")
+        response.set("TTL", 120, type_name="Integer")
+        response.set("RDATA", "http://host:9000/service", type_name="String")
+        parsed = parser.parse(composer.compose(response))
+        assert parsed.name == DNS_RESPONSE
+        assert parsed["RDATA"] == "http://host:9000/service"
+        assert parsed["Flags"] == DNS_RESPONSE_FLAGS
+        assert parsed["RDLength"] == len("http://host:9000/service")
+
+    def test_self_describing_name_field_handles_varied_lengths(self, mdns_codec):
+        parser, composer = mdns_codec
+        for name in ("a.local", "_printer._sub._ipp._tcp.local", ""):
+            question = AbstractMessage(DNS_QUESTION, protocol="mDNS")
+            question.set("DomainName", name, type_name="FQDN")
+            assert parser.parse(composer.compose(question))["DomainName"] == name
+
+    def test_question_and_response_disambiguated_by_flags(self, mdns_codec):
+        parser, composer = mdns_codec
+        question = AbstractMessage(DNS_QUESTION, protocol="mDNS")
+        question.set("DomainName", "_x._tcp.local", type_name="FQDN")
+        response = AbstractMessage(DNS_RESPONSE, protocol="mDNS")
+        response.set("AnswerName", "_x._tcp.local", type_name="FQDN")
+        response.set("RDATA", "url", type_name="String")
+        assert parser.parse(composer.compose(question)).name == DNS_QUESTION
+        assert parser.parse(composer.compose(response)).name == DNS_RESPONSE

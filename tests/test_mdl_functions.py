@@ -1,0 +1,75 @@
+"""Tests for MDL field functions (the ``[f-method()]`` construct)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MDLSpecificationError
+from repro.core.mdl.functions import (
+    FieldFunctionContext,
+    FieldFunctionRegistry,
+    default_function_registry,
+)
+
+
+@pytest.fixture
+def registry() -> FieldFunctionRegistry:
+    return default_function_registry()
+
+
+class TestBuiltinFunctions:
+    def test_f_length_uses_measured_bits(self, registry):
+        context = FieldFunctionContext({"URLEntry": "12345"}, {"URLEntry": 40})
+        assert registry.evaluate("f-length", context, ("URLEntry",)) == 5
+
+    def test_f_length_falls_back_to_value_length(self, registry):
+        context = FieldFunctionContext({"URLEntry": "abcd"}, {})
+        assert registry.evaluate("f-length", context, ("URLEntry",)) == 4
+
+    def test_f_length_of_missing_field_is_zero(self, registry):
+        context = FieldFunctionContext({}, {})
+        assert registry.evaluate("f-length", context, ("URLEntry",)) == 0
+
+    def test_f_length_without_argument_raises(self, registry):
+        with pytest.raises(MDLSpecificationError):
+            registry.evaluate("f-length", FieldFunctionContext({}, {}), ())
+
+    def test_f_total_length(self, registry):
+        context = FieldFunctionContext({}, {}, total_length_bits=48)
+        assert registry.evaluate("f-total-length", context, ()) == 6
+
+    def test_f_total_length_unknown_is_zero(self, registry):
+        context = FieldFunctionContext({}, {}, total_length_bits=None)
+        assert registry.evaluate("f-total-length", context, ()) == 0
+
+    def test_f_count(self, registry):
+        context = FieldFunctionContext({"Scopes": "a,b,c"}, {})
+        assert registry.evaluate("f-count", context, ("Scopes",)) == 3
+
+    def test_f_count_of_list_value(self, registry):
+        context = FieldFunctionContext({"Scopes": ["a", "b"]}, {})
+        assert registry.evaluate("f-count", context, ("Scopes",)) == 2
+
+    def test_f_count_empty(self, registry):
+        context = FieldFunctionContext({"Scopes": ""}, {})
+        assert registry.evaluate("f-count", context, ("Scopes",)) == 0
+
+    def test_f_constant(self, registry):
+        context = FieldFunctionContext({}, {})
+        assert registry.evaluate("f-constant", context, ("42",)) == 42
+        assert registry.evaluate("f-constant", context, ("hello",)) == "hello"
+
+
+class TestRegistry:
+    def test_unknown_function_raises(self, registry):
+        with pytest.raises(MDLSpecificationError):
+            registry.evaluate("f-nope", FieldFunctionContext({}, {}), ())
+
+    def test_register_custom_function(self, registry):
+        registry.register("f-double", lambda context, args: 2 * context.field_values[args[0]])
+        context = FieldFunctionContext({"x": 21}, {})
+        assert registry.evaluate("f-double", context, ("x",)) == 42
+
+    def test_names_and_has(self, registry):
+        assert registry.has("f-length")
+        assert "f-total-length" in registry.names()

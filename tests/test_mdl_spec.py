@@ -1,0 +1,201 @@
+"""Unit tests for the MDL specification model (Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MDLSpecificationError
+from repro.core.mdl.spec import (
+    FieldFunctionSpec,
+    FieldSpec,
+    FieldsDirective,
+    HeaderSpec,
+    MDLKind,
+    MDLSpec,
+    MessageRule,
+    MessageSpec,
+    SizeKind,
+    SizeSpec,
+    TypeDecl,
+)
+
+
+class TestSizeSpec:
+    def test_parse_fixed_bits(self):
+        size = SizeSpec.parse("16")
+        assert size.kind is SizeKind.FIXED_BITS and size.bits == 16
+
+    def test_parse_delimiter(self):
+        size = SizeSpec.parse("13,10")
+        assert size.kind is SizeKind.DELIMITER
+        assert size.delimiter_codes == (13, 10)
+        assert size.delimiter_bytes == b"\r\n"
+
+    def test_parse_field_reference(self):
+        size = SizeSpec.parse("PRLength")
+        assert size.kind is SizeKind.FIELD_REFERENCE and size.reference == "PRLength"
+
+    def test_parse_remainder_and_self(self):
+        assert SizeSpec.parse("*").kind is SizeKind.REMAINDER
+        assert SizeSpec.parse("self").kind is SizeKind.SELF_DESCRIBING
+
+    def test_render_round_trip(self):
+        for text in ("16", "13,10", "PRLength", "*", "self"):
+            assert SizeSpec.parse(SizeSpec.parse(text).render()).kind is SizeSpec.parse(text).kind
+
+    def test_invalid_fixed_size_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            SizeSpec.fixed(0)
+
+    def test_invalid_delimiter_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            SizeSpec.parse("13,x")
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            SizeSpec.field_reference("")
+
+
+class TestTypeDeclAndFunctions:
+    def test_parse_plain_type(self):
+        decl = TypeDecl.parse("XID", "Integer")
+        assert decl.type_name == "Integer" and decl.function is None
+
+    def test_parse_type_with_function(self):
+        decl = TypeDecl.parse("URLLength", "Integer[f-length(URLEntry)]")
+        assert decl.type_name == "Integer"
+        assert decl.function == FieldFunctionSpec("f-length", ("URLEntry",))
+
+    def test_render_round_trip(self):
+        declaration = "Integer[f-length(URLEntry)]"
+        assert TypeDecl.parse("x", declaration).render() == "Integer[f-length(URLEntry)]"
+
+    def test_function_without_arguments(self):
+        decl = TypeDecl.parse("MessageLength", "Integer[f-total-length()]")
+        assert decl.function.name == "f-total-length"
+        assert decl.function.arguments == ()
+
+
+class TestFieldsDirective:
+    def test_parse_paper_notation(self):
+        directive = FieldsDirective.parse("13,10:58")
+        assert directive.outer_delimiter == "\r\n"
+        assert directive.inner_separator == ":"
+
+    def test_render_round_trip(self):
+        assert FieldsDirective.parse("13,10:58").render() == "13,10:58"
+
+    def test_missing_separator_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            FieldsDirective.parse("13,10")
+
+    def test_bad_codes_raise(self):
+        with pytest.raises(MDLSpecificationError):
+            FieldsDirective.parse("a,b:c")
+
+
+class TestMessageRule:
+    def test_parse_and_match(self):
+        rule = MessageRule.parse("FunctionID=1")
+        assert rule.field_label == "FunctionID"
+        assert rule.matches(1) and rule.matches("1")
+        assert not rule.matches(2) and not rule.matches(None)
+
+    def test_parse_tolerates_stray_bracket(self):
+        # Fig. 7 line 19 reads "FunctionID=1>" because of the XML notation.
+        assert MessageRule.parse("FunctionID=1>").value == "1"
+
+    def test_missing_equals_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            MessageRule.parse("FunctionID")
+
+    def test_render(self):
+        assert MessageRule("Method", "GET").render() == "Method=GET"
+
+
+def _minimal_spec() -> MDLSpec:
+    spec = MDLSpec(protocol="Toy", kind=MDLKind.BINARY)
+    spec.add_type("Kind", "Integer")
+    spec.add_type("Payload", "String")
+    spec.add_type("Length", "Integer")
+    spec.header = HeaderSpec(
+        protocol="Toy",
+        fields=[FieldSpec("Kind", SizeSpec.fixed(8))],
+    )
+    spec.add_message(
+        MessageSpec(
+            name="Toy_Request",
+            rule=MessageRule("Kind", "1"),
+            fields=[
+                FieldSpec("Length", SizeSpec.fixed(16)),
+                FieldSpec("Payload", SizeSpec.field_reference("Length")),
+            ],
+            mandatory_fields=["Payload"],
+        )
+    )
+    return spec
+
+
+class TestMDLSpec:
+    def test_type_of_defaults_to_string(self):
+        spec = _minimal_spec()
+        assert spec.type_of("Kind") == "Integer"
+        assert spec.type_of("Unknown") == "String"
+
+    def test_message_lookup(self):
+        spec = _minimal_spec()
+        assert spec.message("Toy_Request").name == "Toy_Request"
+        with pytest.raises(MDLSpecificationError):
+            spec.message("Nope")
+
+    def test_duplicate_message_raises(self):
+        spec = _minimal_spec()
+        with pytest.raises(MDLSpecificationError):
+            spec.add_message(MessageSpec(name="Toy_Request"))
+
+    def test_select_message_by_rule(self):
+        spec = _minimal_spec()
+        assert spec.select_message({"Kind": 1}).name == "Toy_Request"
+
+    def test_select_message_no_match_raises(self):
+        spec = _minimal_spec()
+        with pytest.raises(MDLSpecificationError):
+            spec.select_message({"Kind": 99})
+
+    def test_select_message_falls_back_to_unruled(self):
+        spec = _minimal_spec()
+        spec.add_message(MessageSpec(name="Toy_Other"))
+        assert spec.select_message({"Kind": 99}).name == "Toy_Other"
+
+    def test_validate_passes_for_consistent_spec(self):
+        _minimal_spec().validate()
+
+    def test_validate_missing_header_raises(self):
+        spec = _minimal_spec()
+        spec.header = None
+        with pytest.raises(MDLSpecificationError):
+            spec.validate()
+
+    def test_validate_unknown_length_reference_raises(self):
+        spec = _minimal_spec()
+        spec.add_message(
+            MessageSpec(
+                name="Toy_Bad",
+                rule=MessageRule("Kind", "2"),
+                fields=[FieldSpec("Payload", SizeSpec.field_reference("Missing"))],
+            )
+        )
+        with pytest.raises(MDLSpecificationError):
+            spec.validate()
+
+    def test_validate_unknown_function_argument_raises(self):
+        spec = _minimal_spec()
+        spec.add_type("Length", "Integer[f-length(DoesNotExist)]")
+        with pytest.raises(MDLSpecificationError):
+            spec.validate()
+
+    def test_message_names(self):
+        assert _minimal_spec().message_names() == ["Toy_Request"]
+
+    def test_header_field_labels(self):
+        assert _minimal_spec().header.field_labels() == ["Kind"]

@@ -1,0 +1,149 @@
+"""Tests for the generic text MDL parser and composer (SSDP and HTTP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ComposeError, ParseError
+from repro.core.message import AbstractMessage
+from repro.protocols.http.mdl import HTTP_GET, HTTP_OK
+from repro.protocols.ssdp.mdl import SSDP_MSEARCH, SSDP_RESP
+
+
+class TestSSDP:
+    def test_msearch_round_trip(self, ssdp_codec):
+        parser, composer = ssdp_codec
+        search = AbstractMessage(SSDP_MSEARCH, protocol="SSDP")
+        search.set("Method", "M-SEARCH")
+        search.set("URI", "*")
+        search.set("Version", "HTTP/1.1")
+        search.set("HOST", "239.255.255.250:1900")
+        search.set("MAN", '"ssdp:discover"')
+        search.set("MX", 3, type_name="Integer")
+        search.set("ST", "urn:schemas-upnp-org:service:test:1")
+        data = composer.compose(search)
+        parsed = parser.parse(data)
+        assert parsed.name == SSDP_MSEARCH
+        assert parsed["ST"] == "urn:schemas-upnp-org:service:test:1"
+        assert parsed["MX"] == 3
+
+    def test_wire_format_is_real_ssdp(self, ssdp_codec):
+        _, composer = ssdp_codec
+        search = AbstractMessage(SSDP_MSEARCH, protocol="SSDP")
+        search.set("Method", "M-SEARCH")
+        search.set("URI", "*")
+        search.set("Version", "HTTP/1.1")
+        search.set("ST", "ssdp:all")
+        text = composer.compose(search).decode("utf-8")
+        assert text.startswith("M-SEARCH * HTTP/1.1\r\n")
+        assert "ST: ssdp:all\r\n" in text
+        assert text.endswith("\r\n")
+
+    def test_parse_raw_ssdp_response(self, ssdp_codec):
+        parser, _ = ssdp_codec
+        raw = (
+            "HTTP/1.1 200 OK\r\n"
+            "CACHE-CONTROL: max-age=1800\r\n"
+            "EXT:\r\n"
+            "LOCATION: http://device.local:8080/description.xml\r\n"
+            "ST: urn:schemas-upnp-org:service:test:1\r\n"
+            "USN: uuid:1234\r\n"
+            "\r\n"
+        ).encode("utf-8")
+        parsed = parser.parse(raw)
+        assert parsed.name == SSDP_RESP
+        assert parsed["LOCATION"] == "http://device.local:8080/description.xml"
+
+    def test_rule_selects_message_kind(self, ssdp_codec):
+        parser, composer = ssdp_codec
+        response = AbstractMessage(SSDP_RESP, protocol="SSDP")
+        response.set("URI", "200")
+        response.set("Version", "OK")
+        response.set("LOCATION", "http://h:1/d.xml")
+        response.set("ST", "x")
+        parsed = parser.parse(composer.compose(response))
+        assert parsed.name == SSDP_RESP
+        assert parsed["Method"] == "HTTP/1.1"
+
+    def test_missing_delimiter_raises(self, ssdp_codec):
+        parser, _ = ssdp_codec
+        with pytest.raises(ParseError):
+            parser.parse(b"M-SEARCH-without-spaces")
+
+    def test_non_utf8_raises(self, ssdp_codec):
+        parser, _ = ssdp_codec
+        with pytest.raises(ParseError):
+            parser.parse(b"\xff\xfe M-SEARCH * HTTP/1.1\r\n\r\n")
+
+    def test_unknown_message_compose_raises(self, ssdp_codec):
+        _, composer = ssdp_codec
+        with pytest.raises(ComposeError):
+            composer.compose(AbstractMessage("SSDP_Unknown"))
+
+    def test_extra_fields_are_preserved(self, ssdp_codec):
+        parser, composer = ssdp_codec
+        search = AbstractMessage(SSDP_MSEARCH, protocol="SSDP")
+        search.set("Method", "M-SEARCH")
+        search.set("URI", "*")
+        search.set("Version", "HTTP/1.1")
+        search.set("ST", "ssdp:all")
+        search.set("X-Custom", "extension-header")
+        parsed = parser.parse(composer.compose(search))
+        assert parsed["X-Custom"] == "extension-header"
+
+
+class TestHTTP:
+    def test_get_round_trip(self, http_codec):
+        parser, composer = http_codec
+        get = AbstractMessage(HTTP_GET, protocol="HTTP")
+        get.set("URI", "/description.xml")
+        get.set("Version", "HTTP/1.1")
+        get.set("Host", "device.local")
+        get.set("Connection", "close")
+        parsed = parser.parse(composer.compose(get))
+        assert parsed.name == HTTP_GET
+        assert parsed["URI"] == "/description.xml"
+        assert parsed["Host"] == "device.local"
+
+    def test_ok_with_body_round_trip(self, http_codec):
+        parser, composer = http_codec
+        body = "<root><URLBase>http://device.local:9000/service</URLBase></root>"
+        ok = AbstractMessage(HTTP_OK, protocol="HTTP")
+        ok.set("URI", "200")
+        ok.set("Version", "OK")
+        ok.set("Content-Type", "text/xml")
+        ok.set("Body", body)
+        parsed = parser.parse(composer.compose(ok))
+        assert parsed.name == HTTP_OK
+        assert parsed["Body"] == body
+
+    def test_wire_format_of_get(self, http_codec):
+        _, composer = http_codec
+        get = AbstractMessage(HTTP_GET, protocol="HTTP")
+        get.set("URI", "/index.html")
+        get.set("Version", "HTTP/1.1")
+        get.set("Host", "example.org")
+        text = composer.compose(get).decode("utf-8")
+        assert text.startswith("GET /index.html HTTP/1.1\r\n")
+        assert "Host: example.org\r\n" in text
+
+    def test_parse_raw_http_response_with_multiline_body(self, http_codec):
+        parser, _ = http_codec
+        raw = (
+            "HTTP/1.1 200 OK\r\n"
+            "Server: test\r\n"
+            "Content-Type: text/xml\r\n"
+            "\r\n"
+            "<?xml version=\"1.0\"?>\r\n<root>\r\n  <URLBase>http://x:1/s</URLBase>\r\n</root>\r\n"
+        ).encode("utf-8")
+        parsed = parser.parse(raw)
+        assert parsed.name == HTTP_OK
+        assert "URLBase" in parsed["Body"]
+
+    def test_empty_body_is_empty_string(self, http_codec):
+        parser, composer = http_codec
+        ok = AbstractMessage(HTTP_OK, protocol="HTTP")
+        ok.set("URI", "200")
+        ok.set("Version", "OK")
+        parsed = parser.parse(composer.compose(ok))
+        assert parsed["Body"] == ""

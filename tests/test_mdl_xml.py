@@ -1,0 +1,116 @@
+"""Tests for the XML form of MDL specifications (Figs. 7 and 11 as data files)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MDLSpecificationError
+from repro.core.mdl.base import create_composer, create_parser
+from repro.core.mdl.spec import MDLKind, SizeKind
+from repro.core.mdl.xml_loader import dump_mdl, dumps_mdl, load_mdl, loads_mdl
+from repro.core.message import AbstractMessage
+from repro.protocols.http.mdl import http_mdl
+from repro.protocols.mdns.mdl import mdns_mdl
+from repro.protocols.slp.mdl import slp_mdl
+from repro.protocols.ssdp.mdl import ssdp_mdl
+
+_FIG7_STYLE_DOCUMENT = """
+<MDL protocol="SLP" kind="binary">
+  <Types>
+    <Version>Integer</Version>
+    <FunctionID>Integer</FunctionID>
+    <XID>Integer</XID>
+    <SRVTypeLength>Integer</SRVTypeLength>
+    <SRVType>String</SRVType>
+  </Types>
+  <Header type="SLP">
+    <Version>8</Version>
+    <FunctionID>8</FunctionID>
+    <XID>16</XID>
+  </Header>
+  <Message type="SLPSrvRequest">
+    <Rule>FunctionID=1</Rule>
+    <Mandatory>SRVType</Mandatory>
+    <SRVTypeLength>16</SRVTypeLength>
+    <SRVType>SRVTypeLength</SRVType>
+  </Message>
+</MDL>
+"""
+
+
+class TestLoading:
+    def test_load_fig7_style_document(self):
+        spec = loads_mdl(_FIG7_STYLE_DOCUMENT)
+        assert spec.protocol == "SLP"
+        assert spec.kind is MDLKind.BINARY
+        assert spec.header.field_labels() == ["Version", "FunctionID", "XID"]
+        message = spec.message("SLPSrvRequest")
+        assert message.rule.field_label == "FunctionID"
+        assert message.mandatory_fields == ["SRVType"]
+        assert message.fields[1].size.kind is SizeKind.FIELD_REFERENCE
+
+    def test_loaded_spec_is_usable_by_the_interpreters(self):
+        spec = loads_mdl(_FIG7_STYLE_DOCUMENT)
+        composer = create_composer(spec)
+        parser = create_parser(spec)
+        message = AbstractMessage("SLPSrvRequest")
+        message.set("XID", 7, type_name="Integer")
+        message.set("SRVType", "service:test")
+        parsed = parser.parse(composer.compose(message))
+        assert parsed["SRVType"] == "service:test"
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            loads_mdl("<MDL><broken")
+
+    def test_wrong_root_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            loads_mdl("<NotMDL/>")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(MDLSpecificationError):
+            loads_mdl('<MDL protocol="X" kind="quantum"><Header type="X"/></MDL>')
+
+    def test_message_without_type_raises(self):
+        document = (
+            '<MDL protocol="X" kind="binary"><Header type="X"><A>8</A></Header>'
+            "<Message><Rule>A=1</Rule></Message></MDL>"
+        )
+        with pytest.raises(MDLSpecificationError):
+            loads_mdl(document)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "builder", [slp_mdl, ssdp_mdl, http_mdl, mdns_mdl], ids=["slp", "ssdp", "http", "mdns"]
+    )
+    def test_dump_then_load_preserves_structure(self, builder):
+        original = builder()
+        reloaded = loads_mdl(dumps_mdl(original))
+        assert reloaded.protocol == original.protocol
+        assert reloaded.kind == original.kind
+        assert reloaded.message_names() == original.message_names()
+        assert reloaded.header.field_labels() == original.header.field_labels()
+        for name in original.message_names():
+            assert reloaded.message(name).mandatory_fields == original.message(name).mandatory_fields
+            assert reloaded.message(name).field_labels() == original.message(name).field_labels()
+
+    def test_reloaded_slp_spec_round_trips_messages(self):
+        reloaded = loads_mdl(dumps_mdl(slp_mdl()))
+        composer = create_composer(reloaded)
+        parser = create_parser(reloaded)
+        message = AbstractMessage("SLP_SrvReq")
+        message.set("XID", 3, type_name="Integer")
+        message.set("LangTag", "en")
+        message.set("SRVType", "service:test")
+        assert parser.parse(composer.compose(message))["SRVType"] == "service:test"
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "slp.xml"
+        dump_mdl(slp_mdl(), path)
+        assert load_mdl(path).protocol == "SLP"
+
+    def test_text_mdl_fields_directive_survives(self):
+        reloaded = loads_mdl(dumps_mdl(ssdp_mdl()))
+        assert reloaded.header.fields_directive is not None
+        assert reloaded.header.fields_directive.inner_separator == ":"

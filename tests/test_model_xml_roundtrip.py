@@ -1,0 +1,120 @@
+"""Tests for the XML forms of coloured automata and bridge documents.
+
+These cover the paper's "models are data" workflow: every behaviour model
+(coloured automaton, merged automaton, translation logic) can be shipped as
+an XML document and loaded at runtime (Figs. 5 and 8).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridges.specs import BRIDGE_BUILDERS
+from repro.core.automata.xml_loader import dumps_automaton, loads_automaton
+from repro.core.engine.bridge import StarlinkBridge
+from repro.core.errors import AutomatonError, TranslationError
+from repro.core.translation.xml_loader import dumps_bridge, loads_bridge
+from repro.protocols.mdns import mdns_requester_automaton
+from repro.protocols.slp import slp_responder_automaton
+from repro.protocols.ssdp import ssdp_requester_automaton
+
+
+class TestAutomatonXML:
+    def test_round_trip_preserves_structure(self):
+        original = slp_responder_automaton()
+        reloaded = loads_automaton(dumps_automaton(original))
+        assert reloaded.name == original.name
+        assert reloaded.initial_state == original.initial_state
+        assert set(reloaded.states) == set(original.states)
+        assert len(reloaded.transitions) == len(original.transitions)
+        assert reloaded.colors() == original.colors()
+        assert reloaded.accepting_states == original.accepting_states
+
+    def test_document_contains_paper_color_attributes(self):
+        document = dumps_automaton(slp_responder_automaton())
+        assert "<group>239.255.255.253</group>" in document
+        assert "<port>427</port>" in document
+        assert 'action="?"' in document and 'action="!"' in document
+
+    def test_load_rejects_wrong_root(self):
+        with pytest.raises(AutomatonError):
+            loads_automaton("<NotAnAutomaton/>")
+
+    def test_load_rejects_state_without_color(self):
+        document = '<ColoredAutomaton name="X"><State name="s0"/></ColoredAutomaton>'
+        with pytest.raises(AutomatonError):
+            loads_automaton(document)
+
+    def test_load_rejects_bad_action(self):
+        document = (
+            '<ColoredAutomaton name="X"><Color><port>1</port></Color>'
+            '<State name="a"/><State name="b"/>'
+            '<Transition source="a" action="x" message="m" target="b"/>'
+            "</ColoredAutomaton>"
+        )
+        with pytest.raises(AutomatonError):
+            loads_automaton(document)
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(AutomatonError):
+            loads_automaton("<ColoredAutomaton")
+
+
+class TestBridgeXML:
+    @pytest.mark.parametrize("case", sorted(BRIDGE_BUILDERS))
+    def test_round_trip_all_six_cases(self, case):
+        bridge = BRIDGE_BUILDERS[case]()
+        merged = bridge.merged
+        document = dumps_bridge(merged)
+        reloaded = loads_bridge(document, list(merged.automata.values()))
+        assert reloaded.name == merged.name
+        assert reloaded.automaton_names == merged.automaton_names
+        assert len(reloaded.deltas) == len(merged.deltas)
+        assert len(reloaded.translation.assignments) == len(merged.translation.assignments)
+        assert reloaded.translation.equivalences == merged.translation.equivalences
+        # The reloaded model still satisfies the merge constraints.
+        StarlinkBridge(reloaded, bridge.mdl_specs).validate()
+
+    def test_document_uses_paper_xpath_notation(self):
+        document = dumps_bridge(BRIDGE_BUILDERS[2]().merged)
+        assert "primitiveField[label='SRVType']" in document
+        assert "<DeltaTransitions>" in document
+
+    def test_set_host_action_survives_round_trip(self):
+        merged = BRIDGE_BUILDERS[1]().merged
+        reloaded = loads_bridge(dumps_bridge(merged), list(merged.automata.values()))
+        actions = [action for delta in reloaded.deltas for action in delta.actions]
+        assert any(action.name == "set_host" for action in actions)
+
+    def test_unknown_automaton_reference_raises(self):
+        merged = BRIDGE_BUILDERS[2]().merged
+        document = dumps_bridge(merged)
+        with pytest.raises(TranslationError):
+            loads_bridge(document, [ssdp_requester_automaton()])
+
+    def test_assignment_needs_two_fields(self):
+        document = (
+            '<Bridge name="x"><Automata><AutomatonRef name="SLP"/></Automata>'
+            "<TranslationLogic><Assignment><Field><Message>M</Message>"
+            "<Xpath>/field/primitiveField[label='a']/value</Xpath></Field>"
+            "</Assignment></TranslationLogic></Bridge>"
+        )
+        with pytest.raises(TranslationError):
+            loads_bridge(document, [slp_responder_automaton()])
+
+    def test_bridge_from_xml_end_to_end(self):
+        """StarlinkBridge.from_xml reconstructs a deployable bridge from documents."""
+        from repro.core.mdl.xml_loader import dumps_mdl
+        from repro.protocols.mdns.mdl import mdns_mdl
+        from repro.protocols.slp.mdl import slp_mdl
+
+        original = BRIDGE_BUILDERS[2]()
+        bridge_document = dumps_bridge(original.merged)
+        automata_documents = [
+            dumps_automaton(slp_responder_automaton("SLP")),
+            dumps_automaton(mdns_requester_automaton("mDNS")),
+        ]
+        mdl_documents = {"SLP": dumps_mdl(slp_mdl()), "mDNS": dumps_mdl(mdns_mdl())}
+        rebuilt = StarlinkBridge.from_xml(bridge_document, automata_documents, mdl_documents)
+        rebuilt.validate()
+        assert sorted(rebuilt.protocols) == sorted(original.protocols)

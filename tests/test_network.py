@@ -1,0 +1,237 @@
+"""Tests for addressing, the simulated network and the latency models."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.automata.color import NetworkColor
+from repro.core.errors import NetworkError
+from repro.network.addressing import Endpoint, Transport, endpoint_for_color
+from repro.network.engine import NetworkEngine, NetworkNode
+from repro.network.latency import CalibratedLatencies, LatencyModel, default_latencies
+from repro.network.simulated import SimulatedNetwork
+
+
+class Recorder(NetworkNode):
+    """A node that records every datagram delivered to it."""
+
+    def __init__(self, name: str, endpoint: Endpoint, groups: List[Endpoint] = ()):
+        self.name = name
+        self._endpoint = endpoint
+        self._groups = list(groups)
+        self.received: List[Tuple[float, bytes, Endpoint, Endpoint]] = []
+
+    def unicast_endpoints(self) -> List[Endpoint]:
+        return [self._endpoint]
+
+    def multicast_groups(self) -> List[Endpoint]:
+        return list(self._groups)
+
+    def on_datagram(self, engine, data, source, destination):
+        self.received.append((engine.now(), data, source, destination))
+
+
+class Echo(Recorder):
+    """Replies to every datagram after a fixed delay."""
+
+    def __init__(self, name: str, endpoint: Endpoint, delay: float = 0.5):
+        super().__init__(name, endpoint)
+        self.delay = delay
+
+    def on_datagram(self, engine, data, source, destination):
+        super().on_datagram(engine, data, source, destination)
+        engine.send(b"echo:" + data, source=self._endpoint, destination=source, delay=self.delay)
+
+
+GROUP = Endpoint("239.1.2.3", 5000, Transport.UDP)
+
+
+class TestAddressing:
+    def test_multicast_detection(self):
+        assert Endpoint("239.255.255.253", 427).is_multicast
+        assert Endpoint("224.0.0.251", 5353).is_multicast
+        assert not Endpoint("192.168.1.4", 80).is_multicast
+        assert not Endpoint("host.local", 80).is_multicast
+
+    def test_with_host_and_port(self):
+        endpoint = Endpoint("a", 1).with_port(2).with_host("b")
+        assert endpoint == Endpoint("b", 2)
+
+    def test_str(self):
+        assert str(Endpoint("h", 80, Transport.TCP)) == "tcp://h:80"
+
+    def test_endpoint_for_multicast_color(self):
+        color = NetworkColor.udp_multicast("239.255.255.250", 1900)
+        assert endpoint_for_color(color) == Endpoint("239.255.255.250", 1900, Transport.UDP)
+
+    def test_endpoint_for_unicast_color_needs_host(self):
+        color = NetworkColor.tcp_unicast(80)
+        assert endpoint_for_color(color, "device.local") == Endpoint("device.local", 80, Transport.TCP)
+
+
+class TestSimulatedNetwork:
+    def test_clock_starts_at_zero(self):
+        assert SimulatedNetwork().now() == 0.0
+
+    def test_unicast_delivery(self):
+        network = SimulatedNetwork(seed=1)
+        receiver = Recorder("r", Endpoint("r.local", 10))
+        network.attach(receiver)
+        network.send(b"hello", Endpoint("s.local", 1), Endpoint("r.local", 10))
+        network.run()
+        assert len(receiver.received) == 1
+        assert receiver.received[0][1] == b"hello"
+        assert network.now() > 0.0
+
+    def test_multicast_excludes_sender(self):
+        network = SimulatedNetwork(seed=1)
+        a = Recorder("a", Endpoint("a.local", 1), [GROUP])
+        b = Recorder("b", Endpoint("b.local", 1), [GROUP])
+        c = Recorder("c", Endpoint("c.local", 1), [GROUP])
+        for node in (a, b, c):
+            network.attach(node)
+        network.send(b"ping", Endpoint("a.local", 1), GROUP)
+        network.run()
+        assert not a.received
+        assert len(b.received) == 1 and len(c.received) == 1
+
+    def test_send_to_nobody_is_counted_as_dropped(self):
+        network = SimulatedNetwork(seed=1)
+        network.send(b"void", Endpoint("a", 1), Endpoint("nobody", 2))
+        network.run()
+        assert network.dropped == 1
+
+    def test_duplicate_endpoint_binding_raises(self):
+        network = SimulatedNetwork()
+        network.attach(Recorder("a", Endpoint("same.local", 1)))
+        with pytest.raises(NetworkError):
+            network.attach(Recorder("b", Endpoint("same.local", 1)))
+
+    def test_detach_releases_endpoint(self):
+        network = SimulatedNetwork()
+        first = Recorder("a", Endpoint("same.local", 1))
+        network.attach(first)
+        network.detach(first)
+        network.attach(Recorder("b", Endpoint("same.local", 1)))
+
+    def test_delayed_send_and_call_later_ordering(self):
+        network = SimulatedNetwork(seed=1)
+        receiver = Recorder("r", Endpoint("r.local", 1))
+        network.attach(receiver)
+        order: List[str] = []
+        network.call_later(0.2, lambda: order.append("timer"))
+        network.send(b"x", Endpoint("s", 1), Endpoint("r.local", 1), delay=0.5)
+        network.run()
+        assert order == ["timer"]
+        assert receiver.received[0][0] >= 0.5
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(NetworkError):
+            SimulatedNetwork().call_later(-1, lambda: None)
+
+    def test_echo_round_trip_time(self):
+        network = SimulatedNetwork(seed=1)
+        client = Recorder("c", Endpoint("c.local", 1))
+        echo = Echo("e", Endpoint("e.local", 1), delay=0.5)
+        network.attach(client)
+        network.attach(echo)
+        network.send(b"hi", Endpoint("c.local", 1), Endpoint("e.local", 1))
+        assert network.run_until(lambda: bool(client.received), timeout=5.0)
+        elapsed = client.received[0][0]
+        assert 0.5 <= elapsed < 0.6
+        assert client.received[0][1] == b"echo:hi"
+
+    def test_run_until_timeout_advances_clock(self):
+        network = SimulatedNetwork()
+        satisfied = network.run_until(lambda: False, timeout=2.0)
+        assert not satisfied
+        assert network.now() == pytest.approx(2.0)
+
+    def test_run_for_processes_due_events_only(self):
+        network = SimulatedNetwork(seed=1)
+        fired: List[str] = []
+        network.call_later(0.5, lambda: fired.append("early"))
+        network.call_later(5.0, lambda: fired.append("late"))
+        network.run_for(1.0)
+        assert fired == ["early"]
+        assert network.pending_events() == 1
+
+    def test_loss_injection_drops_datagrams(self):
+        network = SimulatedNetwork(seed=3, loss_rate=1.0)
+        receiver = Recorder("r", Endpoint("r.local", 1))
+        network.attach(receiver)
+        network.send(b"x", Endpoint("s", 1), Endpoint("r.local", 1))
+        network.run()
+        assert not receiver.received
+        assert network.dropped == 1
+
+    def test_determinism_across_identical_runs(self):
+        def run_once() -> float:
+            network = SimulatedNetwork(seed=42)
+            client = Recorder("c", Endpoint("c.local", 1))
+            echo = Echo("e", Endpoint("e.local", 1), delay=0.25)
+            network.attach(client)
+            network.attach(echo)
+            network.send(b"hi", Endpoint("c.local", 1), Endpoint("e.local", 1))
+            network.run()
+            return client.received[0][0]
+
+        assert run_once() == run_once()
+
+    def test_delivery_log_records_sizes(self):
+        network = SimulatedNetwork(seed=1)
+        receiver = Recorder("r", Endpoint("r.local", 1))
+        network.attach(receiver)
+        network.send(b"12345", Endpoint("s", 1), Endpoint("r.local", 1))
+        network.run()
+        assert network.delivery_log[0][3] == 5
+
+    def test_attach_is_idempotent(self):
+        network = SimulatedNetwork()
+        node = Recorder("r", Endpoint("r.local", 1))
+        network.attach(node)
+        network.attach(node)
+        assert network.node_for_endpoint(Endpoint("r.local", 1)) is node
+
+    def test_group_members(self):
+        network = SimulatedNetwork()
+        node = Recorder("r", Endpoint("r.local", 1), [GROUP])
+        network.attach(node)
+        assert network.group_members(GROUP) == {node}
+
+
+class TestLatencyModels:
+    def test_sample_within_bounds(self):
+        import random
+
+        model = LatencyModel(0.1, 0.2)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.1 <= model.sample(rng) <= 0.2
+
+    def test_degenerate_model(self):
+        import random
+
+        assert LatencyModel(0.5, 0.5).sample(random.Random(0)) == 0.5
+
+    def test_midpoint(self):
+        assert LatencyModel(1.0, 3.0).midpoint == 2.0
+
+    def test_default_calibration_shape(self):
+        latencies = default_latencies()
+        # SLP answering is the slow path; it dominates everything else.
+        assert latencies.slp_service.midpoint > 10 * latencies.mdns_service.midpoint
+        assert latencies.slp_service.midpoint > 10 * latencies.ssdp_service.midpoint
+        # Legacy client overheads are larger than the bridge's processing cost.
+        assert latencies.upnp_client_overhead.midpoint > latencies.bridge_processing.midpoint
+
+    def test_base_engine_is_abstract(self):
+        engine = NetworkEngine()
+        with pytest.raises(NotImplementedError):
+            engine.now()
+        with pytest.raises(NotImplementedError):
+            engine.attach(NetworkNode())
+        with pytest.raises(NotImplementedError):
+            engine.send(b"", Endpoint("a", 1), Endpoint("b", 2))

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on the core data structures and codecs.
+
+These cover the invariants the rest of the framework relies on:
+
+* the bit buffer is a faithful inverse of itself for any value/width pair;
+* every marshaller round-trips arbitrary values of its Python type;
+* MDL composers and parsers are inverse functions for arbitrary field
+  content (SLP and DNS messages with random payloads);
+* network colours are injective on their attribute sets;
+* field paths round-trip between the dotted and XPath notations.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+# Keep the property tests robust on slow CI machines: value generation speed
+# varies, and wall-clock deadlines are irrelevant to the invariants checked.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+from repro.core.automata.color import NetworkColor
+from repro.core.fieldpath import FieldPath
+from repro.core.mdl.base import create_composer, create_parser
+from repro.core.message import AbstractMessage
+from repro.core.typesys import BitBuffer, FQDNMarshaller, IntegerMarshaller, StringMarshaller
+from repro.protocols.mdns.mdl import DNS_QUESTION, mdns_mdl
+from repro.protocols.slp.mdl import SLP_SRVREQ, slp_mdl
+from repro.protocols.ssdp.mdl import SSDP_MSEARCH, ssdp_mdl
+
+_PRINTABLE = string.ascii_letters + string.digits + ".-_:/"
+_slp_parser, _slp_composer = create_parser(slp_mdl()), create_composer(slp_mdl())
+_dns_parser, _dns_composer = create_parser(mdns_mdl()), create_composer(mdns_mdl())
+_ssdp_parser, _ssdp_composer = create_parser(ssdp_mdl()), create_composer(ssdp_mdl())
+
+
+# ----------------------------------------------------------------------
+# bit buffer and marshallers
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**24 - 1), st.integers(min_value=24, max_value=48))
+def test_bitbuffer_uint_round_trip(value, width):
+    buffer = BitBuffer()
+    buffer.write_uint(value, width)
+    assert BitBuffer(buffer.to_bytes()).read_uint(width) == value
+
+
+@given(st.binary(max_size=64))
+def test_bitbuffer_bytes_round_trip(data):
+    buffer = BitBuffer()
+    buffer.write_bytes(data)
+    assert BitBuffer(buffer.to_bytes()).read_bytes(len(data)) == data
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+def test_integer_marshaller_round_trip(value):
+    marshaller = IntegerMarshaller()
+    buffer = BitBuffer()
+    marshaller.marshal(value, buffer, 16)
+    assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), 16) == value
+
+
+@given(st.text(alphabet=_PRINTABLE, max_size=80))
+def test_string_marshaller_round_trip(text):
+    marshaller = StringMarshaller()
+    buffer = BitBuffer()
+    marshaller.marshal(text, buffer, None)
+    assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), None) == text
+
+
+@given(
+    st.lists(
+        st.text(alphabet=string.ascii_lowercase + string.digits + "_-", min_size=1, max_size=20),
+        min_size=0,
+        max_size=5,
+    )
+)
+def test_fqdn_marshaller_round_trip(labels):
+    name = ".".join(labels)
+    marshaller = FQDNMarshaller()
+    buffer = BitBuffer()
+    marshaller.marshal(name, buffer, None)
+    assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), None) == name
+
+
+# ----------------------------------------------------------------------
+# MDL codecs
+# ----------------------------------------------------------------------
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.text(alphabet=_PRINTABLE, min_size=1, max_size=60),
+    st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=8),
+)
+def test_slp_request_compose_parse_inverse(xid, service_type, language):
+    message = AbstractMessage(SLP_SRVREQ)
+    message.set("Version", 2, type_name="Integer")
+    message.set("XID", xid, type_name="Integer")
+    message.set("LangTag", language, type_name="String")
+    message.set("SRVType", service_type, type_name="String")
+    parsed = _slp_parser.parse(_slp_composer.compose(message))
+    assert parsed["XID"] == xid
+    assert parsed["SRVType"] == service_type
+    assert parsed["LangTag"] == language
+
+
+@settings(max_examples=50)
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.lists(
+        st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_dns_question_compose_parse_inverse(query_id, labels):
+    name = ".".join(labels)
+    message = AbstractMessage(DNS_QUESTION)
+    message.set("ID", query_id, type_name="Integer")
+    message.set("QDCount", 1, type_name="Integer")
+    message.set("DomainName", name, type_name="FQDN")
+    parsed = _dns_parser.parse(_dns_composer.compose(message))
+    assert parsed["ID"] == query_id
+    assert parsed["DomainName"] == name
+
+
+@settings(max_examples=50)
+@given(
+    st.text(alphabet=string.ascii_letters + string.digits + ":-._", min_size=1, max_size=50),
+    st.integers(min_value=0, max_value=10),
+)
+def test_ssdp_msearch_compose_parse_inverse(search_target, mx):
+    message = AbstractMessage(SSDP_MSEARCH)
+    message.set("Method", "M-SEARCH")
+    message.set("URI", "*")
+    message.set("Version", "HTTP/1.1")
+    message.set("ST", search_target)
+    message.set("MX", mx, type_name="Integer")
+    parsed = _ssdp_parser.parse(_ssdp_composer.compose(message))
+    assert parsed["ST"] == search_target
+    assert parsed["MX"] == mx
+
+
+# ----------------------------------------------------------------------
+# abstract messages, colours and field paths
+# ----------------------------------------------------------------------
+@given(
+    st.dictionaries(
+        st.text(alphabet=string.ascii_letters, min_size=1, max_size=10),
+        st.one_of(st.integers(min_value=-1000, max_value=1000), st.text(max_size=20)),
+        max_size=8,
+    )
+)
+def test_abstract_message_from_to_dict_inverse(values):
+    message = AbstractMessage.from_dict("m", values)
+    assert message.to_dict() == values
+    assert message.copy().to_dict() == values
+
+
+@given(
+    st.dictionaries(
+        st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12),
+        st.text(alphabet=string.ascii_lowercase + string.digits + ".", min_size=1, max_size=15),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_color_equality_tracks_attribute_equality(attributes):
+    first = NetworkColor(attributes)
+    second = NetworkColor(dict(attributes))
+    assert first == second and first.value == second.value
+    modified = dict(attributes)
+    key = next(iter(modified))
+    modified[key] = modified[key] + "x"
+    assert NetworkColor(modified) != first
+
+
+@given(
+    st.lists(
+        st.text(alphabet=string.ascii_letters + string.digits + "_-", min_size=1, max_size=12),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_fieldpath_dotted_xpath_round_trip(labels):
+    path = FieldPath(".".join(labels))
+    assert FieldPath(path.xpath).labels == labels
+    assert FieldPath(path.dotted) == path
+
+
+@given(
+    st.lists(
+        st.text(alphabet=string.ascii_letters, min_size=1, max_size=10),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    st.integers(min_value=0, max_value=999),
+)
+def test_fieldpath_assign_then_resolve(labels, value):
+    message = AbstractMessage("m")
+    path = FieldPath(".".join(labels))
+    path.assign(message, value)
+    assert path.resolve(message) == value

@@ -1,0 +1,225 @@
+"""Tests for the semantic-equivalence operator and merged automata (Section III-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automata.color import NetworkColor
+from repro.core.automata.colored import ColoredAutomaton
+from repro.core.automata.merge import (
+    DeltaTransition,
+    LambdaAction,
+    MergedAutomaton,
+    check_mergeable,
+    derive_equivalence,
+)
+from repro.core.automata.semantics import FieldCorrespondence, SemanticEquivalence
+from repro.core.errors import MergeError, NotMergeableError
+from repro.core.message import AbstractMessage
+from repro.core.translation.logic import MessageFieldRef, TranslationLogic
+
+
+def _responder(name: str, request: str, reply: str, group: str, port: int) -> ColoredAutomaton:
+    color = NetworkColor.udp_multicast(group, port)
+    automaton = ColoredAutomaton(name, protocol=name)
+    automaton.add_state("a0", color, initial=True)
+    automaton.add_state("a1", color)
+    automaton.add_state("a2", color, accepting=True)
+    automaton.receive("a0", request, "a1")
+    automaton.send("a1", reply, "a2")
+    return automaton
+
+
+def _requester(name: str, request: str, reply: str, group: str, port: int) -> ColoredAutomaton:
+    color = NetworkColor.udp_multicast(group, port)
+    automaton = ColoredAutomaton(name, protocol=name)
+    automaton.add_state("b0", color, initial=True)
+    automaton.add_state("b1", color)
+    automaton.add_state("b2", color, accepting=True)
+    automaton.send("b0", request, "b1")
+    automaton.receive("b1", reply, "b2")
+    return automaton
+
+
+@pytest.fixture
+def left() -> ColoredAutomaton:
+    return _responder("Left", "L_Req", "L_Rep", "239.0.0.1", 1000)
+
+
+@pytest.fixture
+def right() -> ColoredAutomaton:
+    return _requester("Right", "R_Req", "R_Rep", "239.0.0.2", 2000)
+
+
+@pytest.fixture
+def equivalence() -> SemanticEquivalence:
+    equivalence = SemanticEquivalence(
+        message_pairs=[("R_Req", "L_Req"), ("L_Rep", "R_Rep")],
+        mandatory_fields={"R_Req": ["target"], "L_Rep": ["result"]},
+    )
+    equivalence.add_correspondence(FieldCorrespondence("R_Req", "target", "L_Req", "what"))
+    equivalence.add_correspondence(FieldCorrespondence("L_Rep", "result", "R_Rep", "answer"))
+    return equivalence
+
+
+class TestSemanticEquivalence:
+    def test_messages_equivalent_symmetric(self, equivalence):
+        assert equivalence.messages_equivalent("R_Req", "L_Req")
+        assert equivalence.messages_equivalent("L_Req", "R_Req")
+        assert equivalence.messages_equivalent("X", "X")
+        assert not equivalence.messages_equivalent("R_Req", "L_Rep")
+
+    def test_field_supported(self, equivalence):
+        assert equivalence.field_supported("R_Req", "target", ["L_Req"])
+        assert not equivalence.field_supported("R_Req", "target", ["Other"])
+        assert not equivalence.field_supported("R_Req", "other_field", ["L_Req"])
+
+    def test_holds_for_names_with_mandatory_fields(self, equivalence):
+        assert equivalence.holds_for_names("R_Req", ["L_Req"])
+        assert not equivalence.holds_for_names("R_Req", ["Unrelated"])
+
+    def test_holds_for_names_without_mandatory_falls_back_to_pairs(self, equivalence):
+        # No mandatory fields registered for "L_Req": require a declared pair.
+        assert equivalence.holds_for_names("L_Req", ["R_Req"])
+        assert not equivalence.holds_for_names("L_Req", ["R_Rep"])
+
+    def test_holds_for_instances_via_correspondence(self, equivalence):
+        target = AbstractMessage("R_Req", mandatory=["target"])
+        received = AbstractMessage("L_Req").set("what", "thing")
+        assert equivalence.holds(target, [received])
+
+    def test_holds_for_instances_via_same_label(self):
+        equivalence = SemanticEquivalence()
+        target = AbstractMessage("A", mandatory=["shared"])
+        received = AbstractMessage("B").set("shared", 1)
+        assert equivalence.holds(target, [received])
+        assert not equivalence.holds(target, [AbstractMessage("B").set("other", 1)])
+
+    def test_mandatory_fields_registry(self, equivalence):
+        assert equivalence.mandatory_fields("R_Req") == ["target"]
+        assert equivalence.mandatory_fields("Unknown") == []
+        equivalence.set_mandatory_fields("Extra", ["x"])
+        assert equivalence.mandatory_fields("Extra") == ["x"]
+
+    def test_message_pairs_listing(self, equivalence):
+        assert ("L_Req", "R_Req") in equivalence.message_pairs
+
+
+class TestCheckMergeable:
+    def test_mergeable_pair(self, left, right, equivalence):
+        mergeable, candidates = check_mergeable(left, right, equivalence)
+        assert mergeable
+        assert ("Left.a1", "Right.b0") in candidates
+        assert ("Right.b2", "Left.a1") in candidates
+
+    def test_not_mergeable_without_correspondences(self, left, right):
+        empty = SemanticEquivalence(mandatory_fields={"R_Req": ["target"], "L_Rep": ["result"]})
+        mergeable, _ = check_mergeable(left, right, empty)
+        assert not mergeable
+
+
+class TestMergedAutomaton:
+    def _merged(self, left, right, translation=None) -> MergedAutomaton:
+        merged = MergedAutomaton("toy", [left, right], translation, initial_automaton="Left")
+        merged.add_delta("Left.a1", "Right.b0")
+        merged.add_delta("Right.b2", "Left.a1")
+        return merged
+
+    def test_requires_component(self):
+        with pytest.raises(MergeError):
+            MergedAutomaton("empty", [])
+
+    def test_duplicate_component_names_raise(self, left):
+        other = _responder("Left", "x", "y", "239.0.0.9", 9)
+        with pytest.raises(MergeError):
+            MergedAutomaton("dup", [left, other])
+
+    def test_delta_must_cross_automata(self, left, right):
+        merged = MergedAutomaton("toy", [left, right])
+        with pytest.raises(MergeError):
+            merged.add_delta("Left.a0", "Left.a1")
+
+    def test_delta_unknown_state_raises(self, left, right):
+        merged = MergedAutomaton("toy", [left, right])
+        with pytest.raises(MergeError):
+            merged.add_delta("Left.zzz", "Right.b0")
+        with pytest.raises(MergeError):
+            merged.add_delta("Left-a0", "Right.b0")
+
+    def test_colors_union(self, left, right):
+        merged = self._merged(left, right)
+        assert len(merged.colors()) == 2
+
+    def test_initial_state(self, left, right):
+        assert self._merged(left, right).initial_state == ("Left", "a0")
+
+    def test_weak_merge_detection(self, left, right):
+        merged = self._merged(left, right)
+        assert merged.is_weakly_merged
+        broken = MergedAutomaton("broken", [left, right], initial_automaton="Left")
+        broken.add_delta("Left.a1", "Right.b0")  # never comes back
+        assert not broken.is_weakly_merged
+
+    def test_strong_merge_detection(self, left, right):
+        assert self._merged(left, right).is_strongly_merged
+        one_way = MergedAutomaton("oneway", [left, right], initial_automaton="Left")
+        one_way.add_delta("Left.a1", "Right.b0")
+        assert not one_way.is_strongly_merged
+
+    def test_validate_with_justifying_translation(self, left, right):
+        translation = TranslationLogic()
+        translation.declare_equivalent("R_Req", "L_Req")
+        translation.declare_equivalent("L_Rep", "R_Rep")
+        translation.assign("R_Req.target", "L_Req.what")
+        translation.assign("L_Rep.result", "R_Rep.answer")
+        merged = self._merged(left, right, translation)
+        merged.validate()  # does not raise
+
+    def test_validate_rejects_unjustified_delta(self, left, right):
+        translation = TranslationLogic()  # no equivalences, no assignments
+        merged = self._merged(left, right, translation)
+        with pytest.raises(NotMergeableError):
+            merged.validate()
+
+    def test_validate_rejects_non_weak_merge(self, left, right):
+        translation = TranslationLogic()
+        translation.declare_equivalent("R_Req", "L_Req")
+        translation.assign("R_Req.target", "L_Req.what")
+        merged = MergedAutomaton("broken", [left, right], translation, initial_automaton="Left")
+        merged.add_delta("Left.a1", "Right.b0")
+        with pytest.raises(NotMergeableError):
+            merged.validate()
+
+    def test_deltas_from(self, left, right):
+        merged = self._merged(left, right)
+        assert len(merged.deltas_from("Left", "a1")) == 1
+        assert merged.deltas_from("Left", "a0") == []
+
+    def test_find_automaton_of_state(self, left, right):
+        merged = self._merged(left, right)
+        assert merged.find_automaton_of_state("b1") == "Right"
+        assert merged.find_automaton_of_state("zzz") is None
+
+    def test_messages_union(self, left, right):
+        merged = self._merged(left, right)
+        assert set(merged.messages()) == {"L_Req", "L_Rep", "R_Req", "R_Rep"}
+
+    def test_reset_clears_all_queues(self, left, right):
+        merged = self._merged(left, right)
+        left.state("a0").store(AbstractMessage("L_Req"))
+        merged.reset()
+        assert left.state("a0").stored() == []
+
+    def test_derive_equivalence_from_translation(self):
+        translation = TranslationLogic()
+        translation.declare_equivalent("A", "B")
+        translation.assign("A.x", "B.y")
+        equivalence = derive_equivalence(translation, {"A": ["x"]})
+        assert equivalence.messages_equivalent("A", "B")
+        assert equivalence.holds_for_names("A", ["B"])
+
+    def test_lambda_action_repr(self):
+        action = LambdaAction("set_host", (MessageFieldRef("SSDP_Resp", "LOCATION"),))
+        assert "set_host" in str(action)
+        delta = DeltaTransition("A", "a1", "B", "b0", (action,))
+        assert "A.a1" in str(delta)

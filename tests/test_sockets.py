@@ -1,0 +1,120 @@
+"""Tests for the loopback socket network engine.
+
+These exercise real UDP sockets on 127.0.0.1 plus the in-process multicast
+emulation.  They are skipped automatically when the environment forbids
+binding loopback sockets (some sandboxes do).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import List
+
+import pytest
+
+from repro.network.addressing import Endpoint, Transport
+from repro.network.engine import NetworkNode
+from repro.network.sockets import SocketNetwork
+
+
+def _loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _loopback_available(), reason="loopback sockets unavailable in this environment"
+)
+
+
+class Sink(NetworkNode):
+    def __init__(self, name: str, endpoints: List[Endpoint], groups: List[Endpoint] = ()):
+        self.name = name
+        self._endpoints = endpoints
+        self._groups = list(groups)
+        self.received: List[bytes] = []
+
+    def unicast_endpoints(self) -> List[Endpoint]:
+        return self._endpoints
+
+    def multicast_groups(self) -> List[Endpoint]:
+        return list(self._groups)
+
+    def on_datagram(self, engine, data, source, destination):
+        self.received.append(data)
+
+
+class EchoTcp(Sink):
+    def on_datagram(self, engine, data, source, destination):
+        super().on_datagram(engine, data, source, destination)
+        engine.send(b"pong:" + data, source=self._endpoints[0], destination=source)
+
+
+def _wait(predicate, timeout: float = 2.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def test_udp_unicast_delivery():
+    with SocketNetwork() as network:
+        port = _free_port()
+        sink = Sink("sink", [Endpoint("127.0.0.1", port, Transport.UDP)])
+        network.attach(sink)
+        network.send(b"hello", Endpoint("127.0.0.1", 0, Transport.UDP), Endpoint("127.0.0.1", port))
+        assert _wait(lambda: sink.received)
+        assert sink.received[0] == b"hello"
+
+
+def test_emulated_multicast_fans_out():
+    with SocketNetwork() as network:
+        group = Endpoint("239.9.9.9", 9999, Transport.UDP)
+        a = Sink("a", [Endpoint("127.0.0.1", _free_port(), Transport.UDP)], [group])
+        b = Sink("b", [Endpoint("127.0.0.1", _free_port(), Transport.UDP)], [group])
+        network.attach(a)
+        network.attach(b)
+        network.send(b"ping", Endpoint("127.0.0.1", 0, Transport.UDP), group)
+        assert _wait(lambda: a.received and b.received)
+
+
+def test_tcp_request_response():
+    with SocketNetwork() as network:
+        port = _free_port()
+        server = EchoTcp("server", [Endpoint("127.0.0.1", port, Transport.TCP)])
+        client_port = _free_port()
+        client = Sink("client", [Endpoint("127.0.0.1", client_port, Transport.UDP)])
+        network.attach(server)
+        network.attach(client)
+        network.send(
+            b"GET /x HTTP/1.1\r\n\r\n",
+            Endpoint("127.0.0.1", client_port, Transport.UDP),
+            Endpoint("127.0.0.1", port, Transport.TCP),
+        )
+        assert _wait(lambda: client.received, timeout=3.0)
+        assert client.received[0].startswith(b"pong:GET /x")
+
+
+def test_now_is_monotonic_and_call_later_fires():
+    with SocketNetwork() as network:
+        fired = []
+        network.call_later(0.05, lambda: fired.append(True))
+        first = network.now()
+        assert _wait(lambda: fired)
+        assert network.now() >= first

@@ -1,0 +1,118 @@
+"""Tests for automatic merge synthesis (the paper's Section VII future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.automata.semantics import FieldCorrespondence, SemanticEquivalence
+from repro.core.automata.synthesis import synthesize_merge, translation_from_equivalence
+from repro.core.engine.bridge import StarlinkBridge
+from repro.core.errors import NotMergeableError
+from repro.network.latency import LatencyModel
+from repro.network.simulated import SimulatedNetwork
+from repro.protocols.mdns import (
+    BonjourResponder,
+    mdns_mdl,
+    mdns_requester_automaton,
+)
+from repro.protocols.slp import SLPUserAgent, slp_mdl, slp_responder_automaton
+
+
+def _slp_bonjour_equivalence() -> SemanticEquivalence:
+    """The semantic knowledge an ontology would provide for SLP <-> Bonjour."""
+    equivalence = SemanticEquivalence(
+        message_pairs=[("DNS_Question", "SLP_SrvReq"), ("SLP_SrvReply", "DNS_Response")],
+        mandatory_fields={
+            "DNS_Question": ["DomainName"],
+            "SLP_SrvReply": ["URLEntry", "XID"],
+        },
+    )
+    equivalence.add_correspondence(
+        FieldCorrespondence("DNS_Question", "DomainName", "SLP_SrvReq", "SRVType")
+    )
+    equivalence.add_correspondence(
+        FieldCorrespondence("SLP_SrvReply", "URLEntry", "DNS_Response", "RDATA")
+    )
+    equivalence.add_correspondence(
+        FieldCorrespondence("SLP_SrvReply", "XID", "SLP_SrvReq", "XID")
+    )
+    return equivalence
+
+
+class TestTranslationDerivation:
+    def test_translation_from_equivalence_mirrors_correspondences(self):
+        translation = translation_from_equivalence(_slp_bonjour_equivalence())
+        assert len(translation.assignments) == 3
+        assert ("DNS_Question", "SLP_SrvReq") in translation.equivalences
+        targets = {str(assignment.target) for assignment in translation.assignments}
+        assert "DNS_Question.DomainName" in targets
+
+
+class TestSynthesize:
+    def test_synthesized_merge_matches_the_hand_modelled_fig10_bridge(self):
+        merged = synthesize_merge(
+            slp_responder_automaton("SLP"),
+            mdns_requester_automaton("mDNS"),
+            _slp_bonjour_equivalence(),
+        )
+        assert merged.automaton_names == ["SLP", "mDNS"]
+        assert merged.is_weakly_merged
+        deltas = {
+            (f"{d.source_automaton}.{d.source_state}", f"{d.target_automaton}.{d.target_state}")
+            for d in merged.deltas
+        }
+        assert deltas == {("SLP.s11", "mDNS.s40"), ("mDNS.s42", "SLP.s11")}
+        merged.validate()
+
+    def test_synthesized_bridge_works_end_to_end(self, fast_latencies):
+        """A bridge generated from semantic knowledge alone answers a real lookup."""
+        merged = synthesize_merge(
+            slp_responder_automaton("SLP"),
+            mdns_requester_automaton("mDNS"),
+            _slp_bonjour_equivalence(),
+        )
+        # Attach the one translation function the copy-only derivation cannot
+        # guess: the service-type vocabulary mapping.
+        merged.translation.assign(
+            "DNS_Question.DomainName", "SLP_SrvReq.SRVType", "service_type_to_dns"
+        )
+        bridge = StarlinkBridge(merged, {"SLP": slp_mdl(), "mDNS": mdns_mdl()})
+        network = SimulatedNetwork(latencies=fast_latencies, seed=31)
+        bridge.deploy(network)
+        network.attach(BonjourResponder(latency=LatencyModel(0.001, 0.001)))
+        client = SLPUserAgent(client_overhead=LatencyModel(0.0, 0.0))
+        network.attach(client)
+        result = client.lookup(network, "service:test")
+        assert result.found
+        assert result.url.startswith("http://bonjour-service.local")
+
+    def test_synthesis_fails_without_semantic_knowledge(self):
+        with pytest.raises(NotMergeableError):
+            synthesize_merge(
+                slp_responder_automaton("SLP"),
+                mdns_requester_automaton("mDNS"),
+                SemanticEquivalence(
+                    mandatory_fields={
+                        "DNS_Question": ["DomainName"],
+                        "SLP_SrvReply": ["URLEntry"],
+                    }
+                ),
+            )
+
+    def test_custom_name_and_translation_are_honoured(self):
+        from repro.core.translation.logic import TranslationLogic
+
+        translation = TranslationLogic()
+        translation.declare_equivalent("DNS_Question", "SLP_SrvReq")
+        translation.assign("DNS_Question.DomainName", "SLP_SrvReq.SRVType")
+        translation.assign("SLP_SrvReply.URLEntry", "DNS_Response.RDATA")
+        translation.assign("SLP_SrvReply.XID", "SLP_SrvReq.XID")
+        merged = synthesize_merge(
+            slp_responder_automaton("SLP"),
+            mdns_requester_automaton("mDNS"),
+            _slp_bonjour_equivalence(),
+            name="custom-name",
+            translation=translation,
+        )
+        assert merged.name == "custom-name"
+        assert merged.translation is translation

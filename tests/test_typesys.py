@@ -1,0 +1,216 @@
+"""Unit tests for the bit buffer and the pluggable marshaller registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MarshallingError, TypeSystemError
+from repro.core.typesys import (
+    BitBuffer,
+    BooleanMarshaller,
+    BytesMarshaller,
+    FQDNMarshaller,
+    IntegerMarshaller,
+    Marshaller,
+    StringMarshaller,
+    TypeRegistry,
+    default_registry,
+)
+
+
+class TestBitBuffer:
+    def test_round_trip_bytes(self):
+        buffer = BitBuffer(b"\x01\x02\x03")
+        assert buffer.read_bytes(3) == b"\x01\x02\x03"
+
+    def test_read_uint_big_endian(self):
+        buffer = BitBuffer(b"\x01\x02")
+        assert buffer.read_uint(16) == 0x0102
+
+    def test_write_then_read_various_widths(self):
+        buffer = BitBuffer()
+        buffer.write_uint(5, 3)
+        buffer.write_uint(200, 8)
+        buffer.write_uint(70000, 24)
+        reader = BitBuffer(buffer.to_bytes())
+        assert reader.read_uint(3) == 5
+        assert reader.read_uint(8) == 200
+        assert reader.read_uint(24) == 70000
+
+    def test_underrun_raises(self):
+        with pytest.raises(MarshallingError):
+            BitBuffer(b"\x01").read_uint(16)
+
+    def test_value_too_large_raises(self):
+        buffer = BitBuffer()
+        with pytest.raises(MarshallingError):
+            buffer.write_uint(256, 8)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(MarshallingError):
+            BitBuffer().write_uint(-1, 8)
+
+    def test_read_rest(self):
+        buffer = BitBuffer(b"abcd")
+        buffer.read_bytes(1)
+        assert buffer.read_rest() == b"bcd"
+
+    def test_seek_and_position(self):
+        buffer = BitBuffer(b"\xff")
+        buffer.read_uint(4)
+        assert buffer.position == 4
+        buffer.seek(0)
+        assert buffer.read_uint(8) == 0xFF
+
+    def test_seek_out_of_range_raises(self):
+        with pytest.raises(MarshallingError):
+            BitBuffer(b"a").seek(100)
+
+    def test_to_bytes_pads_to_byte(self):
+        buffer = BitBuffer()
+        buffer.write_uint(1, 1)
+        assert buffer.to_bytes() == b"\x80"
+
+    def test_len_and_exhausted(self):
+        buffer = BitBuffer(b"\x00")
+        assert len(buffer) == 8
+        assert not buffer.exhausted
+        buffer.read_uint(8)
+        assert buffer.exhausted
+
+
+class TestIntegerMarshaller:
+    def test_round_trip(self):
+        marshaller = IntegerMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal(1234, buffer, 16)
+        assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), 16) == 1234
+
+    def test_none_becomes_zero(self):
+        buffer = BitBuffer()
+        IntegerMarshaller().marshal(None, buffer, 8)
+        assert IntegerMarshaller().unmarshal(BitBuffer(buffer.to_bytes()), 8) == 0
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(MarshallingError):
+            IntegerMarshaller().marshal("abc", BitBuffer(), 8)
+
+    def test_from_text(self):
+        assert IntegerMarshaller().from_text(" 42 ") == 42
+        with pytest.raises(MarshallingError):
+            IntegerMarshaller().from_text("nope")
+
+    def test_default_width_used_when_length_missing(self):
+        marshaller = IntegerMarshaller(default_bits=16)
+        buffer = BitBuffer()
+        marshaller.marshal(300, buffer, None)
+        assert len(buffer) == 16
+
+
+class TestStringMarshaller:
+    def test_round_trip_fixed_length(self):
+        marshaller = StringMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal("hi", buffer, 32)
+        assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), 32) == "hi"
+
+    def test_round_trip_unbounded(self):
+        marshaller = StringMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal("service:test", buffer, None)
+        assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), None) == "service:test"
+
+    def test_too_long_for_field_raises(self):
+        with pytest.raises(MarshallingError):
+            StringMarshaller().marshal("toolong", BitBuffer(), 16)
+
+    def test_wire_length(self):
+        assert StringMarshaller().wire_length_bits("abc") == 24
+
+
+class TestBytesAndBooleanMarshallers:
+    def test_bytes_round_trip(self):
+        marshaller = BytesMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal(b"\x00\x01", buffer, None)
+        assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), None) == b"\x00\x01"
+
+    def test_bytes_text_conversions(self):
+        marshaller = BytesMarshaller()
+        assert marshaller.from_text("abc") == b"abc"
+        assert marshaller.to_text(b"abc") == "abc"
+
+    def test_boolean_round_trip(self):
+        marshaller = BooleanMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal(True, buffer, 1)
+        assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), 1) is True
+
+    def test_boolean_from_text(self):
+        marshaller = BooleanMarshaller()
+        assert marshaller.from_text("yes") is True
+        assert marshaller.from_text("0") is False
+
+
+class TestFQDNMarshaller:
+    def test_round_trip(self):
+        marshaller = FQDNMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal("_test._tcp.local", buffer, None)
+        assert marshaller.unmarshal(BitBuffer(buffer.to_bytes()), None) == "_test._tcp.local"
+
+    def test_empty_name(self):
+        marshaller = FQDNMarshaller()
+        buffer = BitBuffer()
+        marshaller.marshal("", buffer, None)
+        assert buffer.to_bytes() == b"\x00"
+        assert marshaller.unmarshal(BitBuffer(b"\x00"), None) == ""
+
+    def test_label_too_long_raises(self):
+        with pytest.raises(MarshallingError):
+            FQDNMarshaller().marshal("a" * 64 + ".local", BitBuffer(), None)
+
+    def test_wire_length_matches_encoding(self):
+        marshaller = FQDNMarshaller()
+        name = "_printer._tcp.local"
+        buffer = BitBuffer()
+        marshaller.marshal(name, buffer, None)
+        assert marshaller.wire_length_bits(name) == len(buffer)
+
+
+class TestTypeRegistry:
+    def test_default_registry_contains_builtins(self):
+        registry = default_registry()
+        for type_name in ("Integer", "String", "Bytes", "Boolean", "FQDN"):
+            assert registry.has(type_name)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeSystemError):
+            TypeRegistry().get("Nope")
+
+    def test_register_custom_type(self):
+        class UpperString(StringMarshaller):
+            def unmarshal(self, buffer, length_bits):
+                return super().unmarshal(buffer, length_bits).upper()
+
+        registry = default_registry()
+        registry.register("UpperString", UpperString())
+        buffer = BitBuffer()
+        registry.get("UpperString").marshal("abc", buffer, None)
+        assert registry.get("UpperString").unmarshal(BitBuffer(buffer.to_bytes()), None) == "ABC"
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+        clone.register("Extra", StringMarshaller())
+        assert clone.has("Extra") and not registry.has("Extra")
+
+    def test_type_names_sorted(self):
+        names = default_registry().type_names()
+        assert names == sorted(names)
+
+    def test_base_marshaller_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Marshaller().marshal(1, BitBuffer(), 8)
+        with pytest.raises(NotImplementedError):
+            Marshaller().unmarshal(BitBuffer(), 8)
