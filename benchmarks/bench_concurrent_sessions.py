@@ -1,0 +1,82 @@
+"""Concurrent sessions: per-session translation time and aggregate throughput.
+
+The paper evaluates one lookup at a time; a deployed bridge faces many
+legacy clients at once (think of an SSDP/mDNS floor where dozens of devices
+discover simultaneously).  This benchmark drives the session-multiplexed
+Automata Engine with N = 1 / 10 / 100 overlapping legacy clients through
+one bridge and regenerates the scaling table:
+
+* every client's lookup completes and is answered with *its own*
+  translated response (matched by transaction identifier), with zero
+  datagrams dropped by the engine;
+* per-session translation time stays in the same band as the N=1 case —
+  sessions do not serialise behind each other;
+* aggregate throughput (sessions per virtual second) grows with the
+  overlap level, because the service round trips overlap.
+
+The pytest-benchmark measurement times a complete 10-client run of the
+cheapest case (SLP to Bonjour), i.e. the real processing cost of the
+demultiplexer plus ten interleaved translations.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.evaluation.harness import DEFAULT_CLIENT_COUNTS, run_concurrency
+from repro.evaluation.tables import format_concurrency
+from repro.evaluation.workloads import concurrent_scenario
+
+#: Overlap levels of the sweep (the tentpole's N=1/10/100).
+CLIENT_COUNTS = DEFAULT_CLIENT_COUNTS
+
+
+def test_concurrent_sessions_scaling_slp_to_bonjour(capsys, benchmark):
+    rows = benchmark.pedantic(
+        run_concurrency,
+        kwargs={"case": 2, "client_counts": CLIENT_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_concurrency(rows))
+
+    by_clients = {row.clients: row for row in rows}
+
+    # Completeness: every overlapping client is served, nothing dropped.
+    for row in rows:
+        assert row.completed == row.clients
+        assert row.unrouted == 0
+
+    # Per-session translation time stays in the N=1 band (no serialisation):
+    # even at 100x overlap the median session is less than twice as slow.
+    baseline = by_clients[1].median_translation_ms
+    for row in rows:
+        assert row.median_translation_ms < 2.0 * baseline
+
+    # Aggregate throughput scales with the overlap level.
+    throughputs = [by_clients[n].throughput for n in CLIENT_COUNTS]
+    assert throughputs == sorted(throughputs)
+    assert by_clients[10].throughput > 5.0 * by_clients[1].throughput
+    assert by_clients[100].throughput > 3.0 * by_clients[10].throughput
+
+
+def test_concurrent_sessions_bonjour_client_case(capsys):
+    """The sweep also holds for a Bonjour-client bridge (case 5)."""
+    rows = run_concurrency(case=5, client_counts=(1, 10))
+    with capsys.disabled():
+        print()
+        print(format_concurrency(rows))
+    assert all(row.completed == row.clients and row.unrouted == 0 for row in rows)
+    assert rows[1].throughput > 5.0 * rows[0].throughput
+
+
+def test_benchmark_ten_concurrent_lookups(benchmark):
+    def run_once():
+        scenario = concurrent_scenario(2, clients=10)
+        return scenario.run()
+
+    result = benchmark(run_once)
+    assert result.all_found
+    assert statistics.median(result.translation_times) > 0.0

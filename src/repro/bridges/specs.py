@@ -23,6 +23,7 @@ from typing import Callable, Dict
 
 from ..core.automata.merge import LambdaAction, MergedAutomaton
 from ..core.engine.bridge import StarlinkBridge
+from ..core.engine.session import FieldCorrelator
 from ..core.translation.logic import MessageFieldRef, TranslationLogic
 from ..protocols.http import (
     HTTP_GET,
@@ -65,6 +66,21 @@ __all__ = [
 ]
 
 _SSDP_GROUP_HOSTPORT = "239.255.255.250:1900"
+
+#: Transaction-identifier fields of the XID-bearing protocols.  Bridges pass
+#: these to a :class:`FieldCorrelator` so concurrent sessions demultiplex on
+#: the identifier a legacy peer echoes back (SLP's XID, DNS's ID) instead of
+#: relying on source addresses alone.  SSDP and HTTP carry no identifier and
+#: fall back to endpoint/waiting-session correlation.
+_SLP_XID_FIELDS = {SLP_SRVREQ: "XID", SLP_SRVREPLY: "XID"}
+_DNS_ID_FIELDS = {DNS_QUESTION: "ID", DNS_RESPONSE: "ID"}
+
+
+def _correlator(*field_maps: Dict[str, str]) -> FieldCorrelator:
+    fields: Dict[str, str] = {}
+    for field_map in field_maps:
+        fields.update(field_map)
+    return FieldCorrelator(fields)
 
 
 def _msearch_boilerplate(translation: TranslationLogic, source_message: str, source_field: str) -> None:
@@ -149,6 +165,7 @@ def slp_to_upnp_bridge(**kwargs: object) -> StarlinkBridge:
     )
     merged.add_delta("HTTP.s32", "SLP.s11")
 
+    kwargs.setdefault("correlator", _correlator(_SLP_XID_FIELDS))
     return StarlinkBridge(
         merged,
         {"SLP": slp_mdl(), "SSDP": ssdp_mdl(), "HTTP": http_mdl()},
@@ -183,6 +200,7 @@ def slp_to_bonjour_bridge(**kwargs: object) -> StarlinkBridge:
     merged.add_delta("SLP.s11", "mDNS.s40")
     merged.add_delta("mDNS.s42", "SLP.s11")
 
+    kwargs.setdefault("correlator", _correlator(_SLP_XID_FIELDS, _DNS_ID_FIELDS))
     return StarlinkBridge(
         merged, {"SLP": slp_mdl(), "mDNS": mdns_mdl()}, **kwargs  # type: ignore[arg-type]
     )
@@ -216,6 +234,7 @@ def upnp_to_slp_bridge(**kwargs: object) -> StarlinkBridge:
     merged.add_delta("SLP.c12", "SSDP.r21")
     merged.add_delta("SSDP.r22", "HTTP.h30")
 
+    kwargs.setdefault("correlator", _correlator(_SLP_XID_FIELDS))
     return StarlinkBridge(
         merged,
         {"SSDP": ssdp_mdl(), "HTTP": http_mdl(), "SLP": slp_mdl()},
@@ -251,6 +270,7 @@ def upnp_to_bonjour_bridge(**kwargs: object) -> StarlinkBridge:
     merged.add_delta("mDNS.s42", "SSDP.r21")
     merged.add_delta("SSDP.r22", "HTTP.h30")
 
+    kwargs.setdefault("correlator", _correlator(_DNS_ID_FIELDS))
     return StarlinkBridge(
         merged,
         {"SSDP": ssdp_mdl(), "HTTP": http_mdl(), "mDNS": mdns_mdl()},
@@ -294,6 +314,7 @@ def bonjour_to_upnp_bridge(**kwargs: object) -> StarlinkBridge:
     )
     merged.add_delta("HTTP.s32", "mDNS.r41")
 
+    kwargs.setdefault("correlator", _correlator(_DNS_ID_FIELDS))
     return StarlinkBridge(
         merged,
         {"mDNS": mdns_mdl(), "SSDP": ssdp_mdl(), "HTTP": http_mdl()},
@@ -331,6 +352,7 @@ def bonjour_to_slp_bridge(**kwargs: object) -> StarlinkBridge:
     merged.add_delta("mDNS.r41", "SLP.c10")
     merged.add_delta("SLP.c12", "mDNS.r41")
 
+    kwargs.setdefault("correlator", _correlator(_DNS_ID_FIELDS, _SLP_XID_FIELDS))
     return StarlinkBridge(
         merged, {"mDNS": mdns_mdl(), "SLP": slp_mdl()}, **kwargs  # type: ignore[arg-type]
     )

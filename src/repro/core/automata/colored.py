@@ -8,6 +8,12 @@ relation and ``⇒`` the *history operator* returning the sequence of message
 instances stored along a path.  Every state maintains a queue of message
 instances, and every state carries a network colour; ordinary transitions
 may only connect states of the same colour.
+
+The per-state queues here are *model-level* storage used when reasoning
+about automata in isolation (merge checking, synthesis, tests).  At
+runtime the automata engine treats automata as read-only shared structure:
+each concurrent session keeps its own per-state queues in its
+:class:`~repro.core.engine.session.SessionContext`.
 """
 
 from __future__ import annotations
@@ -197,6 +203,28 @@ class ColoredAutomaton:
 
     def colors(self) -> Set[NetworkColor]:
         return {state.color for state in self._states.values()}
+
+    def single_color(self) -> NetworkColor:
+        """The unique colour ``k`` of this automaton.
+
+        Colours are inspected in state-insertion order, so the result is
+        deterministic.  Raises :class:`AutomatonError` when the automaton
+        has no states or carries more than one distinct colour — picking an
+        arbitrary one would bind the automaton's network resources (local
+        endpoint, default destination) nondeterministically.
+        """
+        distinct: List[NetworkColor] = []
+        for state in self._states.values():
+            if state.color not in distinct:
+                distinct.append(state.color)
+        if not distinct:
+            raise AutomatonError(f"automaton {self.name} has no states, hence no colour")
+        if len(distinct) > 1:
+            raise AutomatonError(
+                f"automaton {self.name} carries {len(distinct)} distinct colours; "
+                "a single per-automaton network binding is ambiguous"
+            )
+        return distinct[0]
 
     @property
     def is_k_colored(self) -> bool:

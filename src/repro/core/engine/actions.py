@@ -74,7 +74,10 @@ def _set_host(engine: "AutomataEngine", delta: DeltaTransition, values: List[Any
 
     The first argument is the host (an IP address, a host name, or a full
     URL from which the host is extracted); the optional second argument is
-    the port (defaults to the target automaton's colour port).
+    the port (defaults to the target automaton's colour port).  When a
+    session is being advanced the destination applies to that session only,
+    so concurrent sessions crossing the same δ-transition never clobber
+    each other's next hop.
     """
     if not values:
         raise EngineError("set_host needs at least a host argument")

@@ -1,4 +1,4 @@
-"""The Automata Engine: runtime execution of merged automata.
+"""The Automata Engine: session-multiplexed runtime execution of merged automata.
 
 Section IV-B of the paper: the Automata Engine interprets the loaded
 behaviour model — the merged automaton plus its translation logic — and
@@ -7,8 +7,7 @@ It reacts to three kinds of states:
 
 * **receiving states** listen for a message on the state colour's network
   endpoint; a parsed message whose name matches an outgoing
-  receive-transition is pushed onto the state queue and the automaton
-  advances;
+  receive-transition is stored and the automaton advances;
 * **sending states** construct the outgoing abstract message (filling its
   fields by executing the translation-logic assignments), compose it with
   the MDL composer of the protocol and hand it to the network engine with
@@ -17,20 +16,52 @@ It reacts to three kinds of states:
   of the δ-transition (e.g. ``set_host``) and move execution to the next
   protocol's automaton.
 
-The engine is implemented as a reactive :class:`~repro.network.engine.NetworkNode`
-so the same code runs unchanged on the discrete-event simulation and on the
-socket engine.  Each completed client interaction is recorded as a
-:class:`SessionRecord`, which is what the performance evaluation measures
-(time from the first message received by the framework to the last
-translated output sent).
+The engine multiplexes **concurrent sessions**: every legacy client
+interaction runs in its own :class:`~repro.core.engine.session.SessionContext`
+holding the ``(automaton, state)`` cursor, the message instances received
+and sent so far, the crossed δ-transitions, learnt peers and forced
+destinations.  The merged automaton and its component coloured automata are
+*read-only at runtime* — no session ever mutates the shared model — so a
+datagram from a second client arriving while the first session is
+mid-flight simply opens (or resumes) another session instead of being
+dropped.
+
+Demultiplexing works in three steps:
+
+1. the destination endpoint selects the component automaton (any automaton
+   whose colour matches a multicast group, or the owner of the unicast
+   endpoint) and thereby the MDL parser;
+2. datagrams arriving on the *client-facing* (initial) automaton are keyed
+   by the pluggable :class:`~repro.core.engine.session.SessionCorrelator`
+   — source endpoint by default, a transaction-identifier field (SLP XID,
+   DNS ID) when the bridge supplies a
+   :class:`~repro.core.engine.session.FieldCorrelator`; an unknown key
+   whose message matches the merged initial state opens a new session;
+3. datagrams arriving on any other automaton are responses from legacy
+   services: they are matched by reply token when the correlator extracted
+   one from the translated request, and otherwise fall back to the oldest
+   session waiting for that message on that automaton (preferring a
+   session whose client shares the datagram's source host, which routes
+   multi-leg client dialogs such as UPnP's follow-up HTTP GET).
+
+Sessions that stop making progress are evicted after ``session_timeout``
+seconds of inactivity via :meth:`NetworkEngine.call_later`, so abandoned
+lookups cannot accumulate state in a long-running bridge.
+
+The engine remains a reactive :class:`~repro.network.engine.NetworkNode`,
+so the same code runs unchanged on the discrete-event simulation and on
+the socket engine.  Each completed interaction is recorded as a
+:class:`SessionRecord` attributed to its originating client, which is what
+the performance evaluation measures (time from the first message received
+by the framework to the last translated output sent).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
-from ...network.addressing import Endpoint, Transport
+from ...network.addressing import Endpoint
 from ...network.engine import NetworkEngine, NetworkNode
 from ..automata.colored import Action, ColoredAutomaton
 from ..automata.merge import DeltaTransition, MergedAutomaton
@@ -39,43 +70,46 @@ from ..mdl.base import MessageComposer, MessageParser, create_composer, create_p
 from ..mdl.spec import MDLSpec
 from ..message import AbstractMessage
 from .actions import ActionRegistry, default_action_registry
+from .session import (
+    EndpointCorrelator,
+    FieldCorrelator,
+    SessionContext,
+    SessionCorrelator,
+    SessionRecord,
+)
 
-__all__ = ["SessionRecord", "ProtocolBinding", "AutomataEngine"]
+__all__ = [
+    "SessionRecord",
+    "SessionContext",
+    "SessionCorrelator",
+    "EndpointCorrelator",
+    "FieldCorrelator",
+    "ProtocolBinding",
+    "AutomataEngine",
+    "DEFAULT_SESSION_TIMEOUT",
+]
 
-
-@dataclass
-class SessionRecord:
-    """Measurements of one complete interoperability session."""
-
-    started_at: float
-    finished_at: float = 0.0
-    messages_received: int = 0
-    messages_sent: int = 0
-    received_names: List[str] = field(default_factory=list)
-    sent_names: List[str] = field(default_factory=list)
-
-    @property
-    def translation_time(self) -> float:
-        """Paper metric: first message received -> last translated output sent."""
-        return max(0.0, self.finished_at - self.started_at)
+#: Idle seconds after which an unfinished session is evicted.  Generous
+#: enough for the paper's slowest leg (the ~6 s SLP service agent) plus
+#: client retransmissions.
+DEFAULT_SESSION_TIMEOUT = 30.0
 
 
 @dataclass
 class ProtocolBinding:
-    """Per-component-automaton runtime resources."""
+    """Per-component-automaton runtime resources (shared by all sessions)."""
 
     automaton: ColoredAutomaton
     parser: MessageParser
     composer: MessageComposer
     local_endpoint: Endpoint
-    #: Destination forced by a ``set_host`` λ-action (overrides peer/colour).
+    #: Engine-level destination override (``set_host`` outside a session or
+    #: static next-hop configuration); per-session overrides take precedence.
     forced_destination: Optional[Endpoint] = None
-    #: Peer endpoint learnt from the last received message on this automaton.
-    peer: Optional[Endpoint] = None
 
 
 class AutomataEngine(NetworkNode):
-    """Executes one merged automaton on top of a network engine."""
+    """Executes one merged automaton, multiplexing concurrent sessions."""
 
     def __init__(
         self,
@@ -86,6 +120,8 @@ class AutomataEngine(NetworkNode):
         actions: Optional[ActionRegistry] = None,
         processing_delay: float = 0.0,
         name: str = "",
+        correlator: Optional[SessionCorrelator] = None,
+        session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
     ) -> None:
         """Create an engine for ``merged``.
 
@@ -94,12 +130,17 @@ class AutomataEngine(NetworkNode):
         composer).  ``processing_delay`` adds a fixed delay (seconds) to
         every outgoing send, modelling the framework's own translation cost
         on the virtual clock of a simulation; it defaults to zero.
+        ``correlator`` decides which session an incoming datagram belongs
+        to (source endpoint by default); ``session_timeout`` evicts
+        sessions idle for that many seconds (``None``/``0`` disables).
         """
         self.merged = merged
         self.name = name or f"starlink:{merged.name}"
         self.host = host
         self.actions = actions if actions is not None else default_action_registry()
         self.processing_delay = processing_delay
+        self.correlator = correlator if correlator is not None else EndpointCorrelator()
+        self.session_timeout = session_timeout
         self._bindings: Dict[str, ProtocolBinding] = {}
         port = base_port
         for automaton_name, automaton in merged.automata.items():
@@ -108,7 +149,7 @@ class AutomataEngine(NetworkNode):
                 raise ConfigurationError(
                     f"no MDL specification supplied for automaton '{automaton_name}'"
                 )
-            color = next(iter(automaton.colors()))
+            color = automaton.single_color()
             endpoint = Endpoint(host, port, color.transport)
             port += 1
             self._bindings[automaton_name] = ProtocolBinding(
@@ -117,14 +158,46 @@ class AutomataEngine(NetworkNode):
                 composer=create_composer(spec),
                 local_endpoint=endpoint,
             )
-        self._current: Tuple[str, str] = merged.initial_state
-        self._instances: Dict[str, AbstractMessage] = {}
-        self._taken_deltas: Set[int] = set()
-        self._session: Optional[SessionRecord] = None
-        #: Completed sessions, in order.
+        #: Static multicast routing, precomputed once: the automata are
+        #: read-only at runtime, so colours never change after this point.
+        #: ``(group, port) -> automaton names`` plus the ordered group list
+        #: (client-facing colour first).
+        self._group_routes: Dict[Tuple[str, int], List[str]] = {}
+        self._group_endpoints: List[Endpoint] = []
+        initial_automaton, _ = merged.initial_state
+        ordered = [initial_automaton] + [
+            name for name in self._bindings if name != initial_automaton
+        ]
+        for automaton_name in ordered:
+            for state in self._bindings[automaton_name].automaton.states.values():
+                color = state.color
+                if not (color.is_multicast and color.group):
+                    continue
+                key = (color.group, color.port)
+                names = self._group_routes.setdefault(key, [])
+                if not names:
+                    self._group_endpoints.append(
+                        Endpoint(color.group, color.port, color.transport)
+                    )
+                if automaton_name not in names:
+                    names.append(automaton_name)
+        #: In-flight sessions, keyed by correlation key, in creation order.
+        self._sessions: Dict[Any, SessionContext] = {}
+        #: Upstream reply tokens -> sessions awaiting a response, FIFO.
+        self._pending_replies: Dict[Hashable, List[SessionContext]] = {}
+        #: The session currently being advanced (targets λ-actions).
+        self._active_session: Optional[SessionContext] = None
+        #: Completed sessions, in order of completion.
         self.sessions: List[SessionRecord] = []
+        #: Sessions abandoned by the idle-timeout sweeper.
+        self.evicted_sessions: List[SessionRecord] = []
         #: Parse failures observed (timestamp, automaton, error text).
         self.parse_failures: List[Tuple[float, str, str]] = []
+        #: Parsed datagrams no session could be found or opened for.
+        self.unrouted_datagrams: int = 0
+        #: Datagrams routed to a session that was not receptive to them
+        #: (duplicates, retransmissions while mid-flight).
+        self.ignored_datagrams: int = 0
         self._engine: Optional[NetworkEngine] = None
 
     # ------------------------------------------------------------------
@@ -134,16 +207,14 @@ class AutomataEngine(NetworkNode):
         return [binding.local_endpoint for binding in self._bindings.values()]
 
     def multicast_groups(self) -> List[Endpoint]:
-        """The engine joins the multicast group of the client-facing colour.
+        """Every multicast group named by a colour of the merged automaton.
 
-        That is where legacy client requests arrive; responses from legacy
-        services come back unicast to the engine's own endpoints.
+        The client-facing (initial) colour's group comes first — that is
+        where legacy client requests arrive — followed by the groups of the
+        other component automata, so multicast traffic addressed to *any*
+        protocol leg of the bridge is observable.
         """
-        initial_automaton, initial_state = self.merged.initial_state
-        color = self.merged.state(initial_automaton, initial_state).color
-        if color.is_multicast and color.group:
-            return [Endpoint(color.group, color.port, color.transport)]
-        return []
+        return list(self._group_endpoints)
 
     def on_attached(self, engine: NetworkEngine) -> None:
         self._engine = engine
@@ -153,8 +224,15 @@ class AutomataEngine(NetworkNode):
     # ------------------------------------------------------------------
     @property
     def current_state(self) -> Tuple[str, str]:
-        """The ``(automaton, state)`` the engine is currently in."""
-        return self._current
+        """The cursor of the oldest in-flight session (initial state if idle)."""
+        for session in self._sessions.values():
+            return session.current
+        return self.merged.initial_state
+
+    @property
+    def active_sessions(self) -> List[SessionContext]:
+        """The in-flight sessions, oldest first."""
+        return list(self._sessions.values())
 
     def binding(self, automaton_name: str) -> ProtocolBinding:
         try:
@@ -170,33 +248,71 @@ class AutomataEngine(NetworkNode):
     def force_destination(
         self, automaton_name: str, host: str, port: Optional[int] = None
     ) -> None:
-        """Point the next send of ``automaton_name`` at ``host`` (set_host)."""
+        """Point the next send of ``automaton_name`` at ``host`` (set_host).
+
+        When called while a session is being advanced (the normal case: a
+        ``set_host`` λ-action on a δ-transition) the destination applies to
+        that session only; otherwise it becomes the engine-level default.
+        """
         binding = self.binding(automaton_name)
-        color = next(iter(binding.automaton.colors()))
-        binding.forced_destination = Endpoint(
+        color = binding.automaton.single_color()
+        endpoint = Endpoint(
             host, port if port is not None else color.port, color.transport
         )
+        if self._active_session is not None:
+            self._active_session.forced_destinations[automaton_name] = endpoint
+        else:
+            binding.forced_destination = endpoint
 
-    def translation_context(self) -> Dict[str, Any]:
+    def translation_context(
+        self, session: Optional[SessionContext] = None
+    ) -> Dict[str, Any]:
         """Context passed to translation functions (bridge endpoints etc.)."""
-        return {
+        context: Dict[str, Any] = {
             "bridge_endpoints": {
                 name: (binding.local_endpoint.host, binding.local_endpoint.port)
                 for name, binding in self._bindings.items()
             },
             "bridge_host": self.host,
         }
+        if session is not None:
+            context["session"] = {
+                "key": session.key,
+                "client": (
+                    (session.client.host, session.client.port)
+                    if session.client is not None
+                    else None
+                ),
+            }
+        return context
+
+    def open_session(
+        self, key: Any = None, client: Optional[Endpoint] = None
+    ) -> SessionContext:
+        """Open a session explicitly (tests and custom drivers).
+
+        Normal operation opens sessions implicitly when a datagram matching
+        the merged initial state arrives from an unknown correlation key.
+        """
+        if self._engine is None:
+            raise EngineError("engine is not attached to a network")
+        return self._open_session(
+            self._engine, key if key is not None else object(), client
+        )
 
     def reset_session(self) -> None:
-        """Forget all per-session state and return to the initial state."""
-        self.merged.reset()
-        self._instances.clear()
-        self._taken_deltas.clear()
+        """Abandon every in-flight session and clear engine-level overrides.
+
+        The shared automata carry no runtime state, so this only drops the
+        session contexts; completed :class:`SessionRecord` measurements are
+        kept.
+        """
+        for session in self._sessions.values():
+            session.finished = True
+        self._sessions.clear()
+        self._pending_replies.clear()
         for binding in self._bindings.values():
             binding.forced_destination = None
-            binding.peer = None
-        self._current = self.merged.initial_state
-        self._session = None
 
     # ------------------------------------------------------------------
     # datagram handling
@@ -209,50 +325,139 @@ class AutomataEngine(NetworkNode):
         destination: Endpoint,
     ) -> None:
         self._engine = engine
-        automaton_name = self._automaton_for_destination(destination)
-        if automaton_name is None:
+        candidates = self._automata_for_destination(destination)
+        if not candidates:
             return
-        binding = self._bindings[automaton_name]
-        current_automaton, current_state = self._current
-        if current_automaton != automaton_name:
-            # Message for a protocol we are not currently expecting input from;
-            # legacy retransmissions and stray multicast traffic land here.
+        message: Optional[AbstractMessage] = None
+        automaton_name = candidates[0]
+        last_error: Optional[str] = None
+        for name in candidates:
+            try:
+                message = self._bindings[name].parser.parse(data)
+                automaton_name = name
+                break
+            except ParseError as exc:
+                automaton_name, last_error = name, str(exc)
+        if message is None:
+            self.parse_failures.append((engine.now(), automaton_name, last_error or ""))
             return
-        automaton = binding.automaton
-        if not automaton.is_receive_state(current_state):
+        session = self._route(engine, automaton_name, message, source)
+        if session is None:
+            self.unrouted_datagrams += 1
             return
-        try:
-            message = binding.parser.parse(data)
-        except ParseError as exc:
-            self.parse_failures.append((engine.now(), automaton_name, str(exc)))
-            return
-        transition = self._matching_receive(automaton, current_state, message.name)
-        if transition is None:
-            return
+        self._deliver(engine, session, automaton_name, message, source)
 
-        if self._session is None:
-            self._session = SessionRecord(started_at=engine.now())
-        self._session.messages_received += 1
-        self._session.received_names.append(message.name)
+    def _automata_for_destination(self, destination: Endpoint) -> List[str]:
+        """Component automata addressed by ``destination``, client-facing first.
 
-        binding.peer = source
-        automaton.state(current_state).store(message)
-        self._instances[message.name] = message
-        self._current = (automaton_name, transition.target)
-        self._advance(engine)
-
-    def _automaton_for_destination(self, destination: Endpoint) -> Optional[str]:
+        A multicast destination selects *every* automaton one of whose
+        colours names that group — not only the merged automaton's initial
+        one — so upstream multicast legs receive their traffic too.  A
+        unicast destination selects the owner of the endpoint.
+        """
         if destination.is_multicast:
-            initial_automaton, initial_state = self.merged.initial_state
-            color = self.merged.state(initial_automaton, initial_state).color
-            if color.group == destination.host and color.port == destination.port:
-                return initial_automaton
-            return None
+            return list(self._group_routes.get((destination.host, destination.port), []))
         for name, binding in self._bindings.items():
             endpoint = binding.local_endpoint
             if endpoint.host == destination.host and endpoint.port == destination.port:
-                return name
-        return None
+                return [name]
+        return []
+
+    # ------------------------------------------------------------------
+    # session demultiplexing
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        engine: NetworkEngine,
+        automaton_name: str,
+        message: AbstractMessage,
+        source: Endpoint,
+    ) -> Optional[SessionContext]:
+        """Find (or open) the session an incoming message belongs to."""
+        initial_automaton, initial_state = self.merged.initial_state
+        if automaton_name == initial_automaton:
+            key = self.correlator.client_key(source, message)
+            session = self._sessions.get(key)
+            if session is not None:
+                return session
+            opening = self._matching_receive(
+                self._bindings[initial_automaton].automaton, initial_state, message.name
+            )
+            if opening is not None:
+                return self._open_session(engine, key, source)
+            return None
+
+        # A response from a legacy service (or a later client leg, e.g. the
+        # HTTP GET of a UPnP control point) on a non-initial automaton.
+        token = self.correlator.reply_token(message)
+        if token is not None:
+            for session in self._pending_replies.get(token, []):
+                if not session.finished:
+                    return session
+        waiting = [
+            session
+            for session in self._sessions.values()
+            if self._expects(session, automaton_name, message.name)
+        ]
+        if not waiting:
+            return None
+        for session in waiting:
+            if session.client is not None and session.client.host == source.host:
+                return session
+        return waiting[0]
+
+    def _expects(
+        self, session: SessionContext, automaton_name: str, message_name: str
+    ) -> bool:
+        current_automaton, current_state = session.current
+        if current_automaton != automaton_name:
+            return False
+        automaton = self._bindings[automaton_name].automaton
+        return (
+            self._matching_receive(automaton, current_state, message_name) is not None
+        )
+
+    def _open_session(
+        self, engine: NetworkEngine, key: Any, client: Optional[Endpoint]
+    ) -> SessionContext:
+        now = engine.now()
+        session = SessionContext(
+            key=key,
+            current=self.merged.initial_state,
+            record=SessionRecord(started_at=now, client=client, session_key=key),
+            client=client,
+            last_activity=now,
+        )
+        self._sessions[key] = session
+        self._schedule_eviction(engine, session)
+        return session
+
+    def _deliver(
+        self,
+        engine: NetworkEngine,
+        session: SessionContext,
+        automaton_name: str,
+        message: AbstractMessage,
+        source: Endpoint,
+    ) -> None:
+        current_automaton, current_state = session.current
+        automaton = self._bindings[automaton_name].automaton
+        if current_automaton != automaton_name:
+            self.ignored_datagrams += 1
+            return
+        transition = self._matching_receive(automaton, current_state, message.name)
+        if transition is None:
+            self.ignored_datagrams += 1
+            return
+
+        session.record.messages_received += 1
+        session.record.received_names.append(message.name)
+        session.peers[automaton_name] = source
+        session.store(automaton_name, current_state, message)
+        session.instances[message.name] = message
+        session.current = (automaton_name, transition.target)
+        session.touch(engine.now())
+        self._advance(engine, session)
 
     @staticmethod
     def _matching_receive(
@@ -266,50 +471,60 @@ class AutomataEngine(NetworkNode):
     # ------------------------------------------------------------------
     # advancing through delta / send states
     # ------------------------------------------------------------------
-    def _advance(self, engine: NetworkEngine) -> None:
+    def _advance(self, engine: NetworkEngine, session: SessionContext) -> None:
+        previous = self._active_session
+        self._active_session = session
+        try:
+            self._advance_locked(engine, session)
+        finally:
+            self._active_session = previous
+
+    def _advance_locked(self, engine: NetworkEngine, session: SessionContext) -> None:
         guard = 0
         while True:
             guard += 1
             if guard > 1000:
                 raise EngineError(
-                    f"automata engine did not reach a quiescent state (at {self._current})"
+                    f"automata engine did not reach a quiescent state (at {session.current})"
                 )
-            automaton_name, state_name = self._current
+            automaton_name, state_name = session.current
             automaton = self._bindings[automaton_name].automaton
 
-            delta = self._next_delta(automaton_name, state_name)
+            delta = self._next_delta(session, automaton_name, state_name)
             if delta is not None:
-                self._taken_deltas.add(id(delta))
-                self._execute_delta(delta)
-                self._current = (delta.target_automaton, delta.target_state)
+                session.taken_deltas.add(id(delta))
+                self._execute_delta(session, delta)
+                session.current = (delta.target_automaton, delta.target_state)
                 continue
 
             send_transitions = automaton.transitions_from(state_name, Action.SEND)
             if send_transitions:
                 transition = send_transitions[0]
-                self._send(engine, automaton_name, state_name, transition.message)
-                self._current = (automaton_name, transition.target)
+                self._send(engine, session, automaton_name, state_name, transition.message)
+                session.current = (automaton_name, transition.target)
                 continue
 
             if automaton.transitions_from(state_name, Action.RECEIVE):
-                # Wait for the next datagram.
+                # Wait for the next datagram of this session.
                 return
 
             # Terminal state: the interoperability session is complete.
-            self._finish_session(engine)
+            self._finish_session(engine, session)
             return
 
-    def _next_delta(self, automaton_name: str, state_name: str) -> Optional[DeltaTransition]:
+    def _next_delta(
+        self, session: SessionContext, automaton_name: str, state_name: str
+    ) -> Optional[DeltaTransition]:
         for delta in self.merged.deltas_from(automaton_name, state_name):
-            if id(delta) not in self._taken_deltas:
+            if id(delta) not in session.taken_deltas:
                 return delta
         return None
 
-    def _execute_delta(self, delta: DeltaTransition) -> None:
+    def _execute_delta(self, session: SessionContext, delta: DeltaTransition) -> None:
         for action in delta.actions:
             values = []
             for argument in action.arguments:
-                instance = self._instances.get(argument.message)
+                instance = session.instances.get(argument.message)
                 if instance is None:
                     raise EngineError(
                         f"lambda-action {action} references message "
@@ -321,6 +536,7 @@ class AutomataEngine(NetworkNode):
     def _send(
         self,
         engine: NetworkEngine,
+        session: SessionContext,
         automaton_name: str,
         state_name: str,
         message_name: str,
@@ -331,11 +547,11 @@ class AutomataEngine(NetworkNode):
 
         outgoing = AbstractMessage(message_name, protocol=automaton.protocol)
         self.merged.translation.apply(
-            outgoing, self._instances, context=self.translation_context()
+            outgoing, session.instances, context=self.translation_context(session)
         )
         data = binding.composer.compose(outgoing)
 
-        destination = self._destination_for(binding, state.color)
+        destination = self._destination_for(session, automaton_name, binding, state.color)
         engine.send(
             data,
             source=binding.local_endpoint,
@@ -343,19 +559,38 @@ class AutomataEngine(NetworkNode):
             delay=self.processing_delay,
         )
 
-        state.store(outgoing)
-        self._instances[message_name] = outgoing
-        if self._session is None:
-            self._session = SessionRecord(started_at=engine.now())
-        self._session.messages_sent += 1
-        self._session.sent_names.append(message_name)
-        self._session.finished_at = engine.now() + self.processing_delay
+        session.store(automaton_name, state_name, outgoing)
+        session.instances[message_name] = outgoing
+        initial_automaton, _ = self.merged.initial_state
+        if automaton_name != initial_automaton:
+            self._register_reply_token(session, outgoing)
+        session.record.messages_sent += 1
+        session.record.sent_names.append(message_name)
+        session.record.finished_at = engine.now() + self.processing_delay
+        session.touch(engine.now())
 
-    def _destination_for(self, binding: ProtocolBinding, color) -> Endpoint:
-        if binding.forced_destination is not None:
-            return binding.forced_destination
-        if binding.peer is not None:
-            return binding.peer
+    def _register_reply_token(
+        self, session: SessionContext, outgoing: AbstractMessage
+    ) -> None:
+        token = self.correlator.reply_token(outgoing)
+        if token is None:
+            return
+        self._pending_replies.setdefault(token, []).append(session)
+        session.reply_tokens.append(token)
+
+    def _destination_for(
+        self,
+        session: SessionContext,
+        automaton_name: str,
+        binding: ProtocolBinding,
+        color,
+    ) -> Endpoint:
+        forced = session.forced_destinations.get(automaton_name) or binding.forced_destination
+        if forced is not None:
+            return forced
+        peer = session.peers.get(automaton_name)
+        if peer is not None:
+            return peer
         if color.is_multicast and color.group:
             return Endpoint(color.group, color.port, color.transport)
         raise EngineError(
@@ -363,9 +598,47 @@ class AutomataEngine(NetworkNode):
             "the colour is unicast, no peer has been learnt and no set_host action ran"
         )
 
-    def _finish_session(self, engine: NetworkEngine) -> None:
-        if self._session is not None:
-            if self._session.finished_at == 0.0:
-                self._session.finished_at = engine.now()
-            self.sessions.append(self._session)
-        self.reset_session()
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def _finish_session(self, engine: NetworkEngine, session: SessionContext) -> None:
+        if session.record.finished_at == 0.0:
+            session.record.finished_at = engine.now()
+        self.sessions.append(session.record)
+        self._close_session(session)
+
+    def _close_session(self, session: SessionContext) -> None:
+        session.finished = True
+        registered = self._sessions.get(session.key)
+        if registered is session:
+            del self._sessions[session.key]
+        for token in session.reply_tokens:
+            waiting = self._pending_replies.get(token)
+            if waiting and session in waiting:
+                waiting.remove(session)
+                if not waiting:
+                    del self._pending_replies[token]
+        session.reply_tokens.clear()
+
+    def _schedule_eviction(self, engine: NetworkEngine, session: SessionContext) -> None:
+        if not self.session_timeout or self.session_timeout <= 0:
+            return
+
+        def check() -> None:
+            if session.finished:
+                return
+            idle = engine.now() - session.last_activity
+            if idle + 1e-9 >= self.session_timeout:
+                self._evict(engine, session)
+            else:
+                engine.call_later(self.session_timeout - idle, check)
+
+        engine.call_later(self.session_timeout, check)
+
+    def _evict(self, engine: NetworkEngine, session: SessionContext) -> None:
+        record = session.record
+        record.evicted = True
+        if record.finished_at == 0.0:
+            record.finished_at = engine.now()
+        self.evicted_sessions.append(record)
+        self._close_session(session)

@@ -32,7 +32,8 @@ from ..mdl.spec import MDLSpec
 from ..mdl.xml_loader import loads_mdl
 from ..translation.xml_loader import loads_bridge
 from .actions import ActionRegistry
-from .automata_engine import AutomataEngine, SessionRecord
+from .automata_engine import DEFAULT_SESSION_TIMEOUT, AutomataEngine
+from .session import SessionCorrelator, SessionRecord
 
 __all__ = ["StarlinkBridge"]
 
@@ -48,6 +49,8 @@ class StarlinkBridge:
         base_port: int = 41000,
         processing_delay: float = 0.0,
         actions: Optional[ActionRegistry] = None,
+        correlator: Optional[SessionCorrelator] = None,
+        session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
     ) -> None:
         missing = [name for name in merged.automaton_names if name not in mdl_specs]
         if missing:
@@ -60,6 +63,10 @@ class StarlinkBridge:
         self.base_port = base_port
         self.processing_delay = processing_delay
         self.actions = actions
+        #: Session correlation strategy handed to the engine (``None`` keeps
+        #: the engine's default source-endpoint correlation).
+        self.correlator = correlator
+        self.session_timeout = session_timeout
         self._engine: Optional[AutomataEngine] = None
         self._network: Optional[NetworkEngine] = None
 
@@ -109,6 +116,8 @@ class StarlinkBridge:
             base_port=self.base_port,
             processing_delay=self.processing_delay,
             actions=self.actions,
+            correlator=self.correlator,
+            session_timeout=self.session_timeout,
         )
         network.attach(engine)
         self._engine = engine
@@ -131,6 +140,11 @@ class StarlinkBridge:
     def sessions(self) -> List[SessionRecord]:
         """Completed interoperability sessions (empty before deployment)."""
         return list(self._engine.sessions) if self._engine is not None else []
+
+    @property
+    def active_session_count(self) -> int:
+        """Number of in-flight (not yet completed) sessions."""
+        return len(self._engine.active_sessions) if self._engine is not None else 0
 
     @property
     def protocols(self) -> List[str]:

@@ -218,11 +218,32 @@ class BinaryMessageComposer(MessageComposer):
         and that length field carries no explicit value and no field function,
         the composer writes the measured byte length automatically so that the
         produced message is self-consistent.
+
+        Length-prefix fields count whole bytes on the wire, so a referenced
+        data field whose marshalled length is not byte-aligned cannot be
+        described by its length field — that raises :class:`ComposeError`
+        instead of silently truncating.  Likewise a length field referenced
+        by two different data fields is ambiguous (the last write would
+        silently win) and raises :class:`ComposeError`.
         """
+        written: Dict[str, str] = {}
         for field_spec in all_fields:
             if field_spec.size.kind is not SizeKind.FIELD_REFERENCE:
                 continue
             reference = field_spec.size.reference
             if self.spec.function_of(reference) is not None:
                 continue
-            values[reference] = lengths[field_spec.label] // 8
+            bits = lengths[field_spec.label]
+            if bits % 8 != 0:
+                raise ComposeError(
+                    f"field '{field_spec.label}' marshals to {bits} bits, which is "
+                    f"not byte-aligned; its length field '{reference}' counts bytes"
+                )
+            if reference in written:
+                raise ComposeError(
+                    f"length field '{reference}' is referenced by both "
+                    f"'{written[reference]}' and '{field_spec.label}'; a shared "
+                    "length prefix is ambiguous"
+                )
+            written[reference] = field_spec.label
+            values[reference] = bits // 8

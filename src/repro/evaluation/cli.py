@@ -1,19 +1,20 @@
 """Command-line entry point for the evaluation harness.
 
-``python -m repro.evaluation [--repetitions N] [--table fig12a|fig12b|all]``
+``python -m repro.evaluation [--repetitions N] [--table fig12a|fig12b|overhead|concurrency|all]``
 regenerates the paper's Fig. 12 tables (and the Section VI overhead
-analysis) and prints them next to the published numbers.  This is the same
-code path the benchmarks use; the CLI exists so the headline result can be
-reproduced without pytest.
+analysis) plus the concurrent-sessions scaling sweep, and prints them next
+to the published numbers.  This is the same code path the benchmarks use;
+the CLI exists so the headline result can be reproduced without pytest.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Sequence
 
-from .harness import DEFAULT_REPETITIONS, run_fig12a, run_fig12b
-from .tables import format_fig12a, format_fig12b, overhead_ratios
+from .harness import DEFAULT_REPETITIONS, run_concurrency, run_fig12a, run_fig12b
+from .tables import format_concurrency, format_fig12a, format_fig12b, overhead_ratios
 
 __all__ = ["main", "build_parser"]
 
@@ -31,11 +32,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--table",
-        choices=["fig12a", "fig12b", "overhead", "all"],
+        choices=["fig12a", "fig12b", "overhead", "concurrency", "all"],
         default="all",
         help="which table to regenerate",
     )
     parser.add_argument("--seed", type=int, default=7, help="simulation seed")
+    parser.add_argument(
+        "--concurrency-case",
+        type=int,
+        default=2,
+        help="bridge case for the concurrency sweep (client protocol SLP/Bonjour)",
+    )
     return parser
 
 
@@ -60,6 +67,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append("-" * 70)
         for label, percentage in overhead_ratios(legacy, connectors):
             lines.append(f"{label:<24} {percentage:8.1f} %")
+        lines.append("")
+    if args.table in ("concurrency", "all"):
+        try:
+            rows = run_concurrency(case=args.concurrency_case, seed=args.seed)
+        except ValueError as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_concurrency(rows))
         lines.append("")
 
     print("\n".join(lines).rstrip())

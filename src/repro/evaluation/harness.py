@@ -19,15 +19,24 @@ from typing import Dict, List, Optional, Sequence
 
 from ..bridges.specs import CASE_NAMES
 from ..network.latency import CalibratedLatencies
-from .workloads import LEGACY_PROTOCOLS, bridged_scenario, legacy_scenario
+from .workloads import (
+    LEGACY_PROTOCOLS,
+    bridged_scenario,
+    concurrent_scenario,
+    legacy_scenario,
+)
 
 __all__ = [
     "Summary",
+    "ConcurrencySummary",
     "summarise",
     "measure_legacy_protocol",
     "measure_connector_case",
+    "measure_concurrent_sessions",
     "run_fig12a",
     "run_fig12b",
+    "run_concurrency",
+    "DEFAULT_CLIENT_COUNTS",
 ]
 
 #: Default repetition count, matching the paper.
@@ -141,4 +150,75 @@ def run_fig12b(
     return [
         measure_connector_case(case, repetitions, latencies, seed)
         for case in sorted(CASE_NAMES)
+    ]
+
+
+# ----------------------------------------------------------------------
+# concurrent sessions: N overlapping clients through one bridge
+# ----------------------------------------------------------------------
+#: Client counts of the concurrency sweep (overlap levels).
+DEFAULT_CLIENT_COUNTS = (1, 10, 100)
+
+
+@dataclass(frozen=True)
+class ConcurrencySummary:
+    """One row of the concurrent-sessions sweep."""
+
+    case: int
+    label: str
+    clients: int
+    completed: int
+    #: Per-session translation times, milliseconds.
+    translation_ms: tuple
+    #: Virtual seconds from the first request to the last reply.
+    makespan_s: float
+    #: Completed sessions per virtual second of makespan.
+    throughput: float
+    #: Datagrams the engine could not route to any session.
+    unrouted: int
+
+    @property
+    def median_translation_ms(self) -> float:
+        return statistics.median(self.translation_ms) if self.translation_ms else 0.0
+
+
+def measure_concurrent_sessions(
+    case: int,
+    clients: int,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+    spacing: float = 0.002,
+) -> ConcurrencySummary:
+    """Run ``clients`` overlapping lookups through the bridge of ``case``."""
+    scenario = concurrent_scenario(
+        case, clients=clients, spacing=spacing, latencies=latencies, seed=seed
+    )
+    result = scenario.run()
+    if not result.all_found:
+        raise RuntimeError(
+            f"{clients - result.completed} of {clients} concurrent lookups failed "
+            f"for case {case}"
+        )
+    return ConcurrencySummary(
+        case=case,
+        label=f"{case}. {CASE_NAMES[case]}",
+        clients=clients,
+        completed=result.completed,
+        translation_ms=tuple(value * 1000.0 for value in result.translation_times),
+        makespan_s=result.makespan,
+        throughput=result.throughput,
+        unrouted=result.unrouted_datagrams,
+    )
+
+
+def run_concurrency(
+    case: int = 2,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> List[ConcurrencySummary]:
+    """The concurrency sweep: one row per overlap level of ``client_counts``."""
+    return [
+        measure_concurrent_sessions(case, clients, latencies, seed)
+        for clients in client_counts
     ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .harness import Summary
+from .harness import ConcurrencySummary, Summary
 
 __all__ = [
     "PAPER_FIG12A",
@@ -18,6 +18,7 @@ __all__ = [
     "format_table",
     "format_fig12a",
     "format_fig12b",
+    "format_concurrency",
     "overhead_ratios",
 ]
 
@@ -76,6 +77,33 @@ def format_fig12b(summaries: Sequence[Summary]) -> str:
         summaries,
         PAPER_FIG12B,
     )
+
+
+def format_concurrency(rows: Sequence[ConcurrencySummary]) -> str:
+    """Render the concurrent-sessions sweep as a text table.
+
+    There is no paper column here — the paper measures one client at a
+    time; this table is the scaling story of the session-multiplexed
+    engine (aggregate throughput should grow with the overlap level).
+    """
+    header = (
+        f"{'Case':<22} {'Clients':>8} {'Completed':>10} "
+        f"{'Median transl. (ms)':>20} {'Makespan (s)':>13} {'Sessions/s':>11}"
+    )
+    lines = [
+        "Concurrent sessions - overlapping legacy clients through one bridge",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:<22} {row.clients:>8} {row.completed:>10} "
+            f"{row.median_translation_ms:>20.0f} {row.makespan_s:>13.3f} "
+            f"{row.throughput:>11.1f}"
+        )
+    lines.append("-" * len(header))
+    return "\n".join(lines)
 
 
 def overhead_ratios(

@@ -106,6 +106,65 @@ class BonjourBrowser(LegacyClient):
                 else _LATENCIES.mdns_client_overhead
             ),
         )
+        #: Query ID -> virtual time the browse was started (non-blocking API).
+        self._pending_lookups: Dict[int, float] = {}
+        #: Query ID -> result, cached so clear_responses() cannot lose it.
+        self._completed_lookups: Dict[int, LookupResult] = {}
+
+    def _question(self, query_id: int, service_name: str) -> AbstractMessage:
+        question = AbstractMessage(DNS_QUESTION, protocol="mDNS")
+        question.set("ID", query_id, type_name="Integer")
+        question.set("Flags", 0, type_name="Integer")
+        question.set("QDCount", 1, type_name="Integer")
+        question.set("DomainName", service_name, type_name="FQDN")
+        question.set("QType", 16, type_name="Integer")
+        question.set("QClass", 1, type_name="Integer")
+        return question
+
+    def start_lookup(
+        self, network: NetworkEngine, service_name: str = "_test._tcp.local"
+    ) -> int:
+        """Multicast one DNS question without blocking; returns its query ID.
+
+        Use :meth:`lookup_result` to collect the matching response later
+        (mDNS responders echo the query ID, so overlapping browses from
+        many clients stay distinguishable).
+        """
+        query_id = next(self._id_counter) & 0xFFFF
+        self._pending_lookups[query_id] = network.now()
+        self._send(network, self._question(query_id, service_name), mdns_group_endpoint())
+        return query_id
+
+    def lookup_started_at(self, query_id: int) -> Optional[float]:
+        """Virtual time a :meth:`start_lookup` question was sent."""
+        return self._pending_lookups.get(query_id)
+
+    def lookup_result(self, query_id: int) -> Optional[LookupResult]:
+        """The response matching a :meth:`start_lookup` ID, or ``None`` so far."""
+        cached = self._completed_lookups.get(query_id)
+        if cached is not None:
+            return cached
+        started = self._pending_lookups.get(query_id)
+        if started is None:
+            return None
+        for received_at, message, _ in self._responses:
+            if message.name == DNS_RESPONSE and message.get("ID") == query_id:
+                result = LookupResult(
+                    found=True,
+                    url=str(message.get("RDATA", "")),
+                    response_time=received_at - started,
+                    responses=1,
+                )
+                self._completed_lookups[query_id] = result
+                return result
+        return None
+
+    def clear_responses(self) -> None:
+        # Harvest responses for outstanding non-blocking browses first, so a
+        # blocking lookup() cannot lose them.
+        for query_id in list(self._pending_lookups):
+            self.lookup_result(query_id)
+        super().clear_responses()
 
     def lookup(
         self,
@@ -116,15 +175,8 @@ class BonjourBrowser(LegacyClient):
         """Multicast a DNS question and wait for the matching response."""
         self.clear_responses()
         query_id = next(self._id_counter) & 0xFFFF
-        question = AbstractMessage(DNS_QUESTION, protocol="mDNS")
-        question.set("ID", query_id, type_name="Integer")
-        question.set("Flags", 0, type_name="Integer")
-        question.set("QDCount", 1, type_name="Integer")
-        question.set("DomainName", service_name, type_name="FQDN")
-        question.set("QType", 16, type_name="Integer")
-        question.set("QClass", 1, type_name="Integer")
         started = network.now()
-        self._send(network, question, mdns_group_endpoint())
+        self._send(network, self._question(query_id, service_name), mdns_group_endpoint())
         responses = self._await_responses(network, 1, timeout, DNS_RESPONSE)
         overhead = sample_latency(network, self.client_overhead)
         if not responses:

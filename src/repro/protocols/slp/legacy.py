@@ -102,6 +102,63 @@ class SLPUserAgent(LegacyClient):
                 else _LATENCIES.slp_client_overhead
             ),
         )
+        #: XID -> virtual time the lookup was started (non-blocking API).
+        self._pending_lookups: Dict[int, float] = {}
+        #: XID -> result, cached so a later clear_responses() cannot lose it.
+        self._completed_lookups: Dict[int, LookupResult] = {}
+
+    def _srv_request(self, xid: int, service_type: str) -> AbstractMessage:
+        request = AbstractMessage(SLP_SRVREQ, protocol="SLP")
+        request.set("Version", 2, type_name="Integer")
+        request.set("XID", xid, type_name="Integer")
+        request.set("LangTag", "en", type_name="String")
+        request.set("SRVType", service_type, type_name="String")
+        return request
+
+    def start_lookup(
+        self, network: NetworkEngine, service_type: str = "service:test"
+    ) -> int:
+        """Multicast one SrvRqst without blocking; returns its XID.
+
+        Use :meth:`lookup_result` to collect the matching reply later.
+        This is what the concurrent-clients workload drives: many user
+        agents with overlapping outstanding requests.
+        """
+        xid = next(self._xid_counter)
+        self._pending_lookups[xid] = network.now()
+        self._send(network, self._srv_request(xid, service_type), slp_group_endpoint())
+        return xid
+
+    def lookup_started_at(self, xid: int) -> Optional[float]:
+        """Virtual time a :meth:`start_lookup` request was sent."""
+        return self._pending_lookups.get(xid)
+
+    def lookup_result(self, xid: int) -> Optional[LookupResult]:
+        """The reply matching a :meth:`start_lookup` XID, or ``None`` so far."""
+        cached = self._completed_lookups.get(xid)
+        if cached is not None:
+            return cached
+        started = self._pending_lookups.get(xid)
+        if started is None:
+            return None
+        for received_at, message, _ in self._responses:
+            if message.name == SLP_SRVREPLY and message.get("XID") == xid:
+                result = LookupResult(
+                    found=True,
+                    url=str(message.get("URLEntry", "")),
+                    response_time=received_at - started,
+                    responses=1,
+                )
+                self._completed_lookups[xid] = result
+                return result
+        return None
+
+    def clear_responses(self) -> None:
+        # Harvest replies for outstanding non-blocking lookups first, so a
+        # blocking lookup() cannot lose them.
+        for xid in list(self._pending_lookups):
+            self.lookup_result(xid)
+        super().clear_responses()
 
     def lookup(
         self,
@@ -112,13 +169,8 @@ class SLPUserAgent(LegacyClient):
         """Multicast a SrvRqst and wait for a SrvRply (OpenSLP default timeout 15 s)."""
         self.clear_responses()
         xid = next(self._xid_counter)
-        request = AbstractMessage(SLP_SRVREQ, protocol="SLP")
-        request.set("Version", 2, type_name="Integer")
-        request.set("XID", xid, type_name="Integer")
-        request.set("LangTag", "en", type_name="String")
-        request.set("SRVType", service_type, type_name="String")
         started = network.now()
-        self._send(network, request, slp_group_endpoint())
+        self._send(network, self._srv_request(xid, service_type), slp_group_endpoint())
         responses = self._await_responses(network, 1, timeout, SLP_SRVREPLY)
         matching = [entry for entry in responses if entry[1].get("XID") == xid] or responses
         overhead = sample_latency(network, self.client_overhead)

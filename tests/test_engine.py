@@ -78,10 +78,14 @@ class TestAutomataEngine:
         with pytest.raises(ConfigurationError):
             AutomataEngine(bridge.merged, {"SLP": bridge.mdl_specs["SLP"]})
 
-    def test_engine_listens_on_client_facing_group(self, deployed_engine):
+    def test_engine_joins_all_colour_groups_client_facing_first(self, deployed_engine):
         _, engine, _ = deployed_engine
         groups = engine.multicast_groups()
-        assert groups == [Endpoint("239.255.255.253", 427, Transport.UDP)]
+        # The client-facing SLP group comes first; the upstream mDNS group is
+        # joined too, so multicast traffic for any protocol leg is observable.
+        assert groups[0] == Endpoint("239.255.255.253", 427, Transport.UDP)
+        assert Endpoint("224.0.0.251", 5353, Transport.UDP) in groups
+        assert len(groups) == 2
 
     def test_one_local_endpoint_per_component_automaton(self, deployed_engine):
         _, engine, _ = deployed_engine

@@ -127,8 +127,9 @@ class TestEngineEdgeCases:
         network = SimulatedNetwork(latencies=fast_latencies)
         engine = AutomataEngine(merged, {"Lonely": slp_mdl()})
         network.attach(engine)
+        session = engine.open_session()
         with pytest.raises(EngineError):
-            engine._advance(network)  # noqa: SLF001 - deliberately driving the internals
+            engine._advance(network, session)  # noqa: SLF001 - deliberately driving the internals
 
     def test_duplicate_responses_do_not_create_extra_sessions(self, fast_latencies):
         """Two Bonjour responders both answer; the bridge serves the client once

@@ -143,3 +143,84 @@ class TestDNSRoundTrip:
         response.set("RDATA", "url", type_name="String")
         assert parser.parse(composer.compose(question)).name == DNS_QUESTION
         assert parser.parse(composer.compose(response)).name == DNS_RESPONSE
+
+
+class TestLengthFieldSynchronisation:
+    """Regression tests: the composer refuses ambiguous length prefixes."""
+
+    @staticmethod
+    def _toy_spec(message_fields, types):
+        from repro.core.mdl.spec import (
+            FieldSpec,
+            HeaderSpec,
+            MDLKind,
+            MDLSpec,
+            MessageRule,
+            MessageSpec,
+            SizeSpec,
+        )
+
+        spec = MDLSpec(protocol="Toy", kind=MDLKind.BINARY)
+        spec.add_type("Kind", "Integer")
+        for label, type_name in types.items():
+            spec.add_type(label, type_name)
+        spec.header = HeaderSpec(
+            protocol="Toy", fields=[FieldSpec("Kind", SizeSpec.fixed(8))]
+        )
+        spec.add_message(
+            MessageSpec(name="Only", rule=MessageRule("Kind", "1"), fields=message_fields)
+        )
+        return spec
+
+    def test_non_byte_aligned_data_field_raises_compose_error(self):
+        """A 1-bit Boolean cannot be described by a byte-counting length
+        field; the seed silently truncated the length to 0."""
+        from repro.core.mdl.spec import FieldSpec, SizeSpec
+
+        spec = self._toy_spec(
+            [
+                FieldSpec("FlagLen", SizeSpec.fixed(8)),
+                FieldSpec("Flag", SizeSpec.field_reference("FlagLen")),
+            ],
+            {"FlagLen": "Integer", "Flag": "Boolean"},
+        )
+        message = AbstractMessage("Only")
+        message.set("Flag", True, type_name="Boolean")
+        with pytest.raises(ComposeError, match="not byte-aligned"):
+            create_composer(spec).compose(message)
+
+    def test_length_field_shared_by_two_data_fields_raises(self):
+        """Two data fields referencing one length field: the seed let the
+        last writer win, producing a self-inconsistent message."""
+        from repro.core.mdl.spec import FieldSpec, SizeSpec
+
+        spec = self._toy_spec(
+            [
+                FieldSpec("Len", SizeSpec.fixed(16)),
+                FieldSpec("First", SizeSpec.field_reference("Len")),
+                FieldSpec("Second", SizeSpec.field_reference("Len")),
+            ],
+            {"Len": "Integer", "First": "String", "Second": "String"},
+        )
+        message = AbstractMessage("Only")
+        message.set("First", "abc", type_name="String")
+        message.set("Second", "defghi", type_name="String")
+        with pytest.raises(ComposeError, match="ambiguous"):
+            create_composer(spec).compose(message)
+
+    def test_well_formed_length_prefix_still_synchronised(self):
+        from repro.core.mdl.base import create_parser
+        from repro.core.mdl.spec import FieldSpec, SizeSpec
+
+        spec = self._toy_spec(
+            [
+                FieldSpec("Len", SizeSpec.fixed(16)),
+                FieldSpec("Payload", SizeSpec.field_reference("Len")),
+            ],
+            {"Len": "Integer", "Payload": "String"},
+        )
+        message = AbstractMessage("Only")
+        message.set("Payload", "hello", type_name="String")
+        parsed = create_parser(spec).parse(create_composer(spec).compose(message))
+        assert parsed["Payload"] == "hello"
+        assert parsed["Len"] == 5
