@@ -31,7 +31,7 @@ from repro.evaluation.workloads import concurrent_scenario
 CLIENT_COUNTS = DEFAULT_CLIENT_COUNTS
 
 
-def test_concurrent_sessions_scaling_slp_to_bonjour(capsys, benchmark):
+def test_concurrent_sessions_scaling_slp_to_bonjour(capsys, benchmark, bench_results):
     rows = benchmark.pedantic(
         run_concurrency,
         kwargs={"case": 2, "client_counts": CLIENT_COUNTS},
@@ -41,6 +41,12 @@ def test_concurrent_sessions_scaling_slp_to_bonjour(capsys, benchmark):
     with capsys.disabled():
         print()
         print(format_concurrency(rows))
+    bench_results(
+        "concurrency",
+        [row.as_row() for row in rows],
+        case=2,
+        client_counts=list(CLIENT_COUNTS),
+    )
 
     by_clients = {row.clients: row for row in rows}
 
@@ -65,6 +71,17 @@ def test_concurrent_sessions_scaling_slp_to_bonjour(capsys, benchmark):
 def test_concurrent_sessions_bonjour_client_case(capsys):
     """The sweep also holds for a Bonjour-client bridge (case 5)."""
     rows = run_concurrency(case=5, client_counts=(1, 10))
+    with capsys.disabled():
+        print()
+        print(format_concurrency(rows))
+    assert all(row.completed == row.clients and row.unrouted == 0 for row in rows)
+    assert rows[1].throughput > 5.0 * rows[0].throughput
+
+
+def test_concurrent_sessions_upnp_client_case(capsys):
+    """The two-leg UPnP control point (case 4) joins the sweep via its
+    non-blocking start_control driver."""
+    rows = run_concurrency(case=4, client_counts=(1, 10))
     with capsys.disabled():
         print()
         print(format_concurrency(rows))

@@ -1,0 +1,110 @@
+"""Sharded runtime: throughput scaling across parallel worker engines.
+
+The session-multiplexed engine of PR 1 overlaps service round trips inside
+one event loop; its translation compute is still a single serial resource.
+This benchmark drives the same N=100 concurrent-client load (case 2, SLP
+clients answered by a Bonjour responder) through the sharded runtime at
+1 / 2 / 4 / 8 worker shards and regenerates the scaling table:
+
+* every client is served with its own translated response at every shard
+  count, nothing dropped by the router or any worker;
+* the translated outputs are **byte-identical** regardless of the worker
+  count — sharding changes where a session executes, never what it says;
+* simulated throughput grows with the shard count, with at least the
+  acceptance-criterion 1.5x at 4 shards over the single-shard baseline
+  (the baseline runs the identical serialised-compute worker model, so
+  the gain measured is parallelism, not a cost-model change).
+
+The pytest-benchmark measurement times the whole sweep — four full
+100-client simulations — i.e. the real processing cost of the router,
+hash ring and worker engines on this machine.  Results are also written to
+``BENCH_sharding.json`` so CI can archive the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.evaluation.harness import DEFAULT_WORKER_COUNTS, run_sharding
+from repro.evaluation.tables import format_sharding
+from repro.evaluation.workloads import sharded_scenario
+
+#: Concurrent clients held constant while the worker count is swept.  The
+#: acceptance criterion runs at 100; CI smoke runs may shrink it.
+CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "100"))
+
+#: Shard counts of the sweep.
+WORKER_COUNTS = DEFAULT_WORKER_COUNTS
+
+#: The swept case: SLP clients, Bonjour service (cheap enough that worker
+#: compute — the thing sharding parallelises — dominates the makespan).
+CASE = 2
+
+
+def test_sharded_runtime_scaling(capsys, benchmark, bench_results):
+    rows = benchmark.pedantic(
+        run_sharding,
+        kwargs={"case": CASE, "clients": CLIENTS, "worker_counts": WORKER_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_sharding(rows))
+    bench_results(
+        "sharding",
+        [row.as_row() for row in rows],
+        case=CASE,
+        clients=CLIENTS,
+        worker_counts=list(WORKER_COUNTS),
+    )
+
+    by_workers = {row.workers: row for row in rows}
+
+    # Completeness at every shard count: all clients served, nothing dropped.
+    for row in rows:
+        assert row.completed == CLIENTS
+        assert row.unrouted == 0
+        assert sum(row.worker_sessions) == CLIENTS
+
+    # The acceptance criterion: >= 1.5x simulated throughput at 4 shards.
+    assert by_workers[4].throughput >= 1.5 * by_workers[1].throughput
+
+    # Throughput grows monotonically with the worker count, and per-session
+    # translation time (which includes worker queueing) shrinks.
+    throughputs = [by_workers[n].throughput for n in WORKER_COUNTS]
+    assert throughputs == sorted(throughputs)
+    assert (
+        by_workers[WORKER_COUNTS[-1]].median_translation_ms
+        < by_workers[1].median_translation_ms
+    )
+
+
+def test_sharded_outputs_byte_identical_across_worker_counts():
+    """Sharding must not change a single translated byte.
+
+    The same seeded workload runs at 1 and 4 shards; each client's raw
+    reply bytes (the engine-composed SLP SrvReply it received) must match
+    exactly.  Client transaction identifiers are pinned per client index,
+    so the comparison is exact, not statistical.
+    """
+    per_run = []
+    for workers in (1, 4):
+        scenario = sharded_scenario(CASE, clients=CLIENTS, workers=workers, seed=7)
+        result = scenario.run()
+        assert result.all_found
+        per_run.append(
+            {client.name: tuple(client.raw_responses) for client in scenario.clients}
+        )
+    baseline, sharded = per_run
+    assert sharded == baseline
+
+
+def test_sharded_balance_is_reasonable():
+    """Consistent hashing spreads the load: no shard hoards the sessions."""
+    scenario = sharded_scenario(CASE, clients=max(CLIENTS, 40), workers=4, seed=7)
+    result = scenario.run()
+    assert result.all_found
+    counts = scenario.bridge.worker_session_counts()
+    assert all(count > 0 for count in counts)
+    assert max(counts) < 0.6 * sum(counts)

@@ -13,7 +13,10 @@ heterogeneous middleware protocols* (Bromberg, Grace, Réveillère — ICDCS
   mDNS/Bonjour, UPnP) plus simulated legacy endpoints;
 * ``repro.bridges`` — the six case-study bridges, a runtime registry and the
   hand-coded / ESB ablation baselines;
-* ``repro.evaluation`` — the harness regenerating the paper's Fig. 12 tables.
+* ``repro.runtime`` — the sharded runtime: consistent-hash partitioning of
+  sessions across parallel worker engines behind a shard router;
+* ``repro.evaluation`` — the harness regenerating the paper's Fig. 12 tables
+  plus the concurrency and sharding scaling sweeps.
 
 Quickstart::
 
@@ -35,8 +38,9 @@ Quickstart::
 from .core.engine.bridge import StarlinkBridge
 from .core.message import AbstractMessage, PrimitiveField, StructuredField
 from .network.simulated import SimulatedNetwork
+from .runtime import ShardedRuntime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -45,4 +49,5 @@ __all__ = [
     "PrimitiveField",
     "StructuredField",
     "SimulatedNetwork",
+    "ShardedRuntime",
 ]

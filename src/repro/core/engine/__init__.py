@@ -1,8 +1,14 @@
 """Runtime engines: λ-actions, sessions, the automata engine and the bridge API."""
 
 from .actions import ActionRegistry, default_action_registry
-from .automata_engine import AutomataEngine, DEFAULT_SESSION_TIMEOUT, ProtocolBinding
+from .automata_engine import (
+    AutomataEngine,
+    DEFAULT_SESSION_TIMEOUT,
+    ProtocolBinding,
+    binding_plan,
+)
 from .bridge import StarlinkBridge
+from .core import EngineCore
 from .session import (
     EndpointCorrelator,
     FieldCorrelator,
@@ -17,6 +23,8 @@ __all__ = [
     "AutomataEngine",
     "DEFAULT_SESSION_TIMEOUT",
     "ProtocolBinding",
+    "binding_plan",
+    "EngineCore",
     "SessionRecord",
     "SessionContext",
     "SessionCorrelator",

@@ -26,11 +26,12 @@ datagram from a second client arriving while the first session is
 mid-flight simply opens (or resumes) another session instead of being
 dropped.
 
-Demultiplexing works in three steps:
+Demultiplexing is split into the :class:`~repro.core.engine.core.EngineCore`
+steps so the sharded runtime can drive them separately:
 
-1. the destination endpoint selects the component automaton (any automaton
-   whose colour matches a multicast group, or the owner of the unicast
-   endpoint) and thereby the MDL parser;
+1. :meth:`AutomataEngine.classify` — the destination endpoint selects the
+   component automaton (any automaton whose colour matches a multicast
+   group, or the owner of the unicast endpoint) and thereby the MDL parser;
 2. datagrams arriving on the *client-facing* (initial) automaton are keyed
    by the pluggable :class:`~repro.core.engine.session.SessionCorrelator`
    — source endpoint by default, a transaction-identifier field (SLP XID,
@@ -39,14 +40,27 @@ Demultiplexing works in three steps:
    whose message matches the merged initial state opens a new session;
 3. datagrams arriving on any other automaton are responses from legacy
    services: they are matched by reply token when the correlator extracted
-   one from the translated request, and otherwise fall back to the oldest
-   session waiting for that message on that automaton (preferring a
-   session whose client shares the datagram's source host, which routes
-   multi-leg client dialogs such as UPnP's follow-up HTTP GET).
+   one from the translated request, by the **per-session ephemeral source
+   port** the request went out on (exact attribution for protocols such as
+   SSDP and HTTP that carry no transaction identifier), and otherwise fall
+   back to the oldest session waiting for that message on that automaton
+   (preferring a session whose client shares the datagram's source host,
+   which routes multi-leg client dialogs such as UPnP's follow-up HTTP GET).
 
 Sessions that stop making progress are evicted after ``session_timeout``
-seconds of inactivity via :meth:`NetworkEngine.call_later`, so abandoned
-lookups cannot accumulate state in a long-running bridge.
+seconds of inactivity by a **single periodic sweep** per engine (one
+``call_later`` chain total, instead of one per session), so abandoned
+lookups cannot accumulate state in a long-running bridge and high session
+rates do not flood the event queue with eviction timers.
+
+When ``serialize_processing`` is enabled the engine additionally models its
+own compute as a serial resource: each translated send occupies the
+engine's virtual CPU for ``processing_delay`` seconds and overlapping
+sessions queue behind one another (a busy-until clock).  The standalone
+engine keeps the historical default (translation cost as a fixed latency,
+infinitely parallel); the sharded runtime turns serialisation on so that
+adding workers buys genuine parallel capacity in the simulation, exactly
+as adding processes would on real hardware.
 
 The engine remains a reactive :class:`~repro.network.engine.NetworkNode`,
 so the same code runs unchanged on the discrete-event simulation and on
@@ -58,8 +72,9 @@ by the framework to the last translated output sent).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ...network.addressing import Endpoint
 from ...network.engine import NetworkEngine, NetworkNode
@@ -70,6 +85,7 @@ from ..mdl.base import MessageComposer, MessageParser, create_composer, create_p
 from ..mdl.spec import MDLSpec
 from ..message import AbstractMessage
 from .actions import ActionRegistry, default_action_registry
+from .core import EngineCore
 from .session import (
     EndpointCorrelator,
     FieldCorrelator,
@@ -86,6 +102,7 @@ __all__ = [
     "FieldCorrelator",
     "ProtocolBinding",
     "AutomataEngine",
+    "binding_plan",
     "DEFAULT_SESSION_TIMEOUT",
 ]
 
@@ -93,6 +110,27 @@ __all__ = [
 #: enough for the paper's slowest leg (the ~6 s SLP service agent) plus
 #: client retransmissions.
 DEFAULT_SESSION_TIMEOUT = 30.0
+
+#: Offset above ``base_port`` where per-session ephemeral ports start, well
+#: clear of the per-automaton binding ports.
+_EPHEMERAL_PORT_OFFSET = 1000
+
+
+def binding_plan(
+    merged: MergedAutomaton, host: str, base_port: int
+) -> Dict[str, Endpoint]:
+    """The per-automaton unicast endpoints an engine at ``host`` binds.
+
+    Shared by the engine itself and by the shard router, which advertises
+    the same endpoint layout under the bridge's public host.
+    """
+    plan: Dict[str, Endpoint] = {}
+    port = base_port
+    for automaton_name, automaton in merged.automata.items():
+        color = automaton.single_color()
+        plan[automaton_name] = Endpoint(host, port, color.transport)
+        port += 1
+    return plan
 
 
 @dataclass
@@ -108,7 +146,7 @@ class ProtocolBinding:
     forced_destination: Optional[Endpoint] = None
 
 
-class AutomataEngine(NetworkNode):
+class AutomataEngine(NetworkNode, EngineCore):
     """Executes one merged automaton, multiplexing concurrent sessions."""
 
     def __init__(
@@ -122,6 +160,11 @@ class AutomataEngine(NetworkNode):
         name: str = "",
         correlator: Optional[SessionCorrelator] = None,
         session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
+        sweep_interval: Optional[float] = None,
+        serialize_processing: bool = False,
+        public_endpoints: Optional[Mapping[str, Endpoint]] = None,
+        join_groups: bool = True,
+        ephemeral_ports: bool = True,
     ) -> None:
         """Create an engine for ``merged``.
 
@@ -129,10 +172,22 @@ class AutomataEngine(NetworkNode):
         specification of its protocol (used to build the parser and
         composer).  ``processing_delay`` adds a fixed delay (seconds) to
         every outgoing send, modelling the framework's own translation cost
-        on the virtual clock of a simulation; it defaults to zero.
+        on the virtual clock of a simulation; it defaults to zero, and with
+        ``serialize_processing`` the cost additionally occupies the
+        engine's serial compute (overlapping sessions queue).
         ``correlator`` decides which session an incoming datagram belongs
         to (source endpoint by default); ``session_timeout`` evicts
-        sessions idle for that many seconds (``None``/``0`` disables).
+        sessions idle for that many seconds (``None``/``0`` disables) via a
+        periodic sweep every ``sweep_interval`` seconds (default: half the
+        timeout).  ``public_endpoints`` substitutes the advertised
+        bridge endpoints in translation context and destination
+        classification when the engine runs as a worker behind a
+        :class:`~repro.runtime.router.ShardRouter`; ``join_groups`` is
+        turned off for workers so only the router receives group traffic.
+        ``ephemeral_ports`` sends upstream legs that carry no transaction
+        identifier from a fresh per-session source port, so their replies
+        are attributed exactly instead of FIFO (requires a network engine
+        with ``bind_endpoint``; silently falls back otherwise).
         """
         self.merged = merged
         self.name = name or f"starlink:{merged.name}"
@@ -141,22 +196,26 @@ class AutomataEngine(NetworkNode):
         self.processing_delay = processing_delay
         self.correlator = correlator if correlator is not None else EndpointCorrelator()
         self.session_timeout = session_timeout
+        if sweep_interval is None and session_timeout:
+            sweep_interval = session_timeout / 2.0
+        self.sweep_interval = sweep_interval
+        self.serialize_processing = serialize_processing
+        self.join_groups = join_groups
+        self.ephemeral_ports = ephemeral_ports
+        self.public_endpoints: Dict[str, Endpoint] = dict(public_endpoints or {})
         self._bindings: Dict[str, ProtocolBinding] = {}
-        port = base_port
+        plan = binding_plan(merged, host, base_port)
         for automaton_name, automaton in merged.automata.items():
             spec = mdl_specs.get(automaton_name)
             if spec is None:
                 raise ConfigurationError(
                     f"no MDL specification supplied for automaton '{automaton_name}'"
                 )
-            color = automaton.single_color()
-            endpoint = Endpoint(host, port, color.transport)
-            port += 1
             self._bindings[automaton_name] = ProtocolBinding(
                 automaton=automaton,
                 parser=create_parser(spec),
                 composer=create_composer(spec),
-                local_endpoint=endpoint,
+                local_endpoint=plan[automaton_name],
             )
         #: Static multicast routing, precomputed once: the automata are
         #: read-only at runtime, so colours never change after this point.
@@ -185,8 +244,31 @@ class AutomataEngine(NetworkNode):
         self._sessions: Dict[Any, SessionContext] = {}
         #: Upstream reply tokens -> sessions awaiting a response, FIFO.
         self._pending_replies: Dict[Hashable, List[SessionContext]] = {}
+        #: Ephemeral source endpoints -> (automaton, owning session).
+        self._ephemeral_routes: Dict[
+            Tuple[str, int, str], Tuple[str, SessionContext]
+        ] = {}
+        self._ephemeral_next_port = base_port + _EPHEMERAL_PORT_OFFSET
+        #: Released ephemeral ports, FIFO with their release time.  A port
+        #: is quarantined for a session-timeout's worth of virtual seconds
+        #: before reuse (the sockets' TIME_WAIT discipline): a late reply
+        #: for the dead session must not be delivered to a new session
+        #: that inherited its port.  Reuse keeps a long-running engine
+        #: inside its port range.
+        self._ephemeral_free_ports: Deque[Tuple[float, int]] = deque()
+        self._ephemeral_quarantine = session_timeout or DEFAULT_SESSION_TIMEOUT
+        #: ``(host, port)`` of every address this engine sends from (the
+        #: bindings plus live ephemeral ports); O(1) echo detection for
+        #: the shard router's hot path.
+        self._source_addresses = {
+            (endpoint.host, endpoint.port) for endpoint in plan.values()
+        }
         #: The session currently being advanced (targets λ-actions).
         self._active_session: Optional[SessionContext] = None
+        #: True while a sweep event is pending on the network engine.
+        self._sweep_scheduled = False
+        #: Virtual time the serialised compute resource frees up.
+        self._busy_until = 0.0
         #: Completed sessions, in order of completion.
         self.sessions: List[SessionRecord] = []
         #: Sessions abandoned by the idle-timeout sweeper.
@@ -198,6 +280,8 @@ class AutomataEngine(NetworkNode):
         #: Datagrams routed to a session that was not receptive to them
         #: (duplicates, retransmissions while mid-flight).
         self.ignored_datagrams: int = 0
+        #: Upstream replies attributed exactly via an ephemeral source port.
+        self.ephemeral_hits: int = 0
         self._engine: Optional[NetworkEngine] = None
 
     # ------------------------------------------------------------------
@@ -212,8 +296,18 @@ class AutomataEngine(NetworkNode):
         The client-facing (initial) colour's group comes first — that is
         where legacy client requests arrive — followed by the groups of the
         other component automata, so multicast traffic addressed to *any*
-        protocol leg of the bridge is observable.
+        protocol leg of the bridge is observable.  Workers behind a shard
+        router (``join_groups=False``) join nothing: the router owns the
+        groups and forwards.
         """
+        if not self.join_groups:
+            return []
+        return list(self._group_endpoints)
+
+    @property
+    def group_endpoints(self) -> List[Endpoint]:
+        """The colour groups of the merged automaton, independent of
+        whether this engine joins them itself (the shard router asks)."""
         return list(self._group_endpoints)
 
     def on_attached(self, engine: NetworkEngine) -> None:
@@ -233,6 +327,19 @@ class AutomataEngine(NetworkNode):
     def active_sessions(self) -> List[SessionContext]:
         """The in-flight sessions, oldest first."""
         return list(self._sessions.values())
+
+    def has_session(self, key: Any) -> bool:
+        return key in self._sessions
+
+    def owns_endpoint(self, endpoint: Endpoint) -> bool:
+        """Whether ``endpoint`` is one of this engine's source addresses.
+
+        Covers the per-automaton bindings and the live per-session
+        ephemeral ports; the shard router uses this to recognise (and
+        drop) the bridge's own upstream multicast echoing back through
+        the groups it joined.
+        """
+        return (endpoint.host, endpoint.port) in self._source_addresses
 
     def binding(self, automaton_name: str) -> ProtocolBinding:
         try:
@@ -264,16 +371,36 @@ class AutomataEngine(NetworkNode):
         else:
             binding.forced_destination = endpoint
 
+    def advertised_endpoint(self, automaton_name: str) -> Endpoint:
+        """The endpoint the bridge presents for an automaton: the public
+        (router) endpoint when running sharded, the local binding else."""
+        public = self.public_endpoints.get(automaton_name)
+        if public is not None:
+            return public
+        return self.binding(automaton_name).local_endpoint
+
     def translation_context(
         self, session: Optional[SessionContext] = None
     ) -> Dict[str, Any]:
-        """Context passed to translation functions (bridge endpoints etc.)."""
+        """Context passed to translation functions (bridge endpoints etc.).
+
+        Sharded workers advertise the *public* router endpoints here, so
+        translated messages that embed a bridge address (e.g. the SSDP
+        ``LOCATION`` header) are byte-identical regardless of which worker
+        produced them — and follow-up client legs land on the router.
+        """
+        advertised_host = self.host
+        if self.public_endpoints:
+            advertised_host = next(iter(self.public_endpoints.values())).host
         context: Dict[str, Any] = {
             "bridge_endpoints": {
-                name: (binding.local_endpoint.host, binding.local_endpoint.port)
-                for name, binding in self._bindings.items()
+                name: (
+                    self.advertised_endpoint(name).host,
+                    self.advertised_endpoint(name).port,
+                )
+                for name in self._bindings
             },
-            "bridge_host": self.host,
+            "bridge_host": advertised_host,
         }
         if session is not None:
             context["session"] = {
@@ -307,15 +434,16 @@ class AutomataEngine(NetworkNode):
         session contexts; completed :class:`SessionRecord` measurements are
         kept.
         """
-        for session in self._sessions.values():
+        for session in list(self._sessions.values()):
             session.finished = True
+            self._release_ephemeral(session)
         self._sessions.clear()
         self._pending_replies.clear()
         for binding in self._bindings.values():
             binding.forced_destination = None
 
     # ------------------------------------------------------------------
-    # datagram handling
+    # datagram handling (EngineCore pipeline)
     # ------------------------------------------------------------------
     def on_datagram(
         self,
@@ -325,27 +453,66 @@ class AutomataEngine(NetworkNode):
         destination: Endpoint,
     ) -> None:
         self._engine = engine
+        if self._deliver_to_ephemeral(engine, data, source, destination):
+            return
+        classified = self.classify(data, destination, now=engine.now())
+        if classified is None:
+            return
+        automaton_name, message = classified
+        self.dispatch(engine, automaton_name, message, source)
+
+    def classify(
+        self, data: bytes, destination: Endpoint, now: float = 0.0
+    ) -> Optional[Tuple[str, AbstractMessage]]:
+        """Select the component automaton for ``destination`` and parse.
+
+        Candidate automata are tried in order (client-facing first for
+        multicast groups shared by several colours); the first parser that
+        accepts the bytes wins.  Returns ``None`` when no automaton owns
+        the destination, or when every candidate parser rejected the bytes
+        (recorded in :attr:`parse_failures`).
+        """
         candidates = self._automata_for_destination(destination)
         if not candidates:
-            return
-        message: Optional[AbstractMessage] = None
+            return None
         automaton_name = candidates[0]
         last_error: Optional[str] = None
         for name in candidates:
             try:
                 message = self._bindings[name].parser.parse(data)
-                automaton_name = name
-                break
+                return name, message
             except ParseError as exc:
                 automaton_name, last_error = name, str(exc)
-        if message is None:
-            self.parse_failures.append((engine.now(), automaton_name, last_error or ""))
-            return
-        session = self._route(engine, automaton_name, message, source)
+        self.parse_failures.append((now, automaton_name, last_error or ""))
+        return None
+
+    def routing_key(
+        self, automaton_name: str, message: AbstractMessage, source: Endpoint
+    ) -> Optional[Hashable]:
+        """The sticky session key for client-facing traffic, else ``None``."""
+        initial_automaton, _ = self.merged.initial_state
+        if automaton_name != initial_automaton:
+            return None
+        return self.correlator.client_key(source, message)
+
+    def dispatch(
+        self,
+        engine: NetworkEngine,
+        automaton_name: str,
+        message: AbstractMessage,
+        source: Endpoint,
+        count_unrouted: bool = True,
+        strict: bool = False,
+    ) -> bool:
+        """Route an already-parsed message to its session and advance it."""
+        self._engine = engine
+        session = self._route(engine, automaton_name, message, source, strict=strict)
         if session is None:
-            self.unrouted_datagrams += 1
-            return
+            if count_unrouted:
+                self.unrouted_datagrams += 1
+            return False
         self._deliver(engine, session, automaton_name, message, source)
+        return True
 
     def _automata_for_destination(self, destination: Endpoint) -> List[str]:
         """Component automata addressed by ``destination``, client-facing first.
@@ -353,14 +520,20 @@ class AutomataEngine(NetworkNode):
         A multicast destination selects *every* automaton one of whose
         colours names that group — not only the merged automaton's initial
         one — so upstream multicast legs receive their traffic too.  A
-        unicast destination selects the owner of the endpoint.
+        unicast destination selects the owner of the endpoint; the public
+        (router-advertised) endpoints count as owned too, so a worker can
+        classify traffic the router received on the bridge's behalf.
         """
         if destination.is_multicast:
             return list(self._group_routes.get((destination.host, destination.port), []))
         for name, binding in self._bindings.items():
-            endpoint = binding.local_endpoint
-            if endpoint.host == destination.host and endpoint.port == destination.port:
-                return [name]
+            for endpoint in (binding.local_endpoint, self.public_endpoints.get(name)):
+                if (
+                    endpoint is not None
+                    and endpoint.host == destination.host
+                    and endpoint.port == destination.port
+                ):
+                    return [name]
         return []
 
     # ------------------------------------------------------------------
@@ -372,6 +545,7 @@ class AutomataEngine(NetworkNode):
         automaton_name: str,
         message: AbstractMessage,
         source: Endpoint,
+        strict: bool = False,
     ) -> Optional[SessionContext]:
         """Find (or open) the session an incoming message belongs to."""
         initial_automaton, initial_state = self.merged.initial_state
@@ -404,6 +578,11 @@ class AutomataEngine(NetworkNode):
         for session in waiting:
             if session.client is not None and session.client.host == source.host:
                 return session
+        if strict:
+            # No exact evidence ties this datagram to one of our sessions;
+            # a fanning-out router will fall back FIFO only after every
+            # shard declined the strict pass.
+            return None
         return waiting[0]
 
     def _expects(
@@ -429,7 +608,7 @@ class AutomataEngine(NetworkNode):
             last_activity=now,
         )
         self._sessions[key] = session
-        self._schedule_eviction(engine, session)
+        self._ensure_sweeper(engine)
         return session
 
     def _deliver(
@@ -458,6 +637,91 @@ class AutomataEngine(NetworkNode):
         session.current = (automaton_name, transition.target)
         session.touch(engine.now())
         self._advance(engine, session)
+
+    # ------------------------------------------------------------------
+    # ephemeral per-session source ports (exact upstream attribution)
+    # ------------------------------------------------------------------
+    def _deliver_to_ephemeral(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> bool:
+        """Deliver a reply addressed to a per-session ephemeral port.
+
+        The port *is* the session attribution: no correlator, no FIFO
+        fallback.  Returns True when the destination was an ephemeral
+        endpoint of this engine (whether or not delivery succeeded).
+        """
+        entry = self._ephemeral_routes.get(
+            (destination.host, destination.port, destination.transport)
+        )
+        if entry is None:
+            return False
+        automaton_name, session = entry
+        try:
+            message = self._bindings[automaton_name].parser.parse(data)
+        except ParseError as exc:
+            self.parse_failures.append((engine.now(), automaton_name, str(exc)))
+            return True
+        if session.finished:
+            self.ignored_datagrams += 1
+            return True
+        self.ephemeral_hits += 1
+        self._deliver(engine, session, automaton_name, message, source)
+        return True
+
+    def _ephemeral_source(
+        self, session: SessionContext, automaton_name: str, binding: ProtocolBinding
+    ) -> Optional[Endpoint]:
+        """A per-session source endpoint for a token-less upstream send.
+
+        Allocated once per (session, automaton) and registered with the
+        network engine when it supports late binding; ``None`` when the
+        feature is off or the engine cannot bind new endpoints (the shared
+        binding endpoint and FIFO matching remain the fallback).
+        """
+        if not self.ephemeral_ports or self._engine is None:
+            return None
+        bind = getattr(self._engine, "bind_endpoint", None)
+        if bind is None:
+            return None
+        existing = session.ephemeral_sources.get(automaton_name)
+        if existing is not None:
+            return existing
+        now = self._engine.now()
+        if (
+            self._ephemeral_free_ports
+            and now - self._ephemeral_free_ports[0][0] >= self._ephemeral_quarantine
+        ):
+            _, port = self._ephemeral_free_ports.popleft()
+        else:
+            port = self._ephemeral_next_port
+            self._ephemeral_next_port += 1
+        endpoint = Endpoint(self.host, port, binding.local_endpoint.transport)
+        bind(self, endpoint)
+        session.ephemeral_sources[automaton_name] = endpoint
+        self._ephemeral_routes[
+            (endpoint.host, endpoint.port, endpoint.transport)
+        ] = (automaton_name, session)
+        self._source_addresses.add((endpoint.host, endpoint.port))
+        return endpoint
+
+    def _release_ephemeral(self, session: SessionContext) -> None:
+        if not session.ephemeral_sources:
+            return
+        unbind = getattr(self._engine, "unbind_endpoint", None)
+        now = self._engine.now() if self._engine is not None else 0.0
+        for endpoint in session.ephemeral_sources.values():
+            self._ephemeral_routes.pop(
+                (endpoint.host, endpoint.port, endpoint.transport), None
+            )
+            self._source_addresses.discard((endpoint.host, endpoint.port))
+            self._ephemeral_free_ports.append((now, endpoint.port))
+            if unbind is not None:
+                unbind(self, endpoint)
+        session.ephemeral_sources.clear()
 
     @staticmethod
     def _matching_receive(
@@ -533,6 +797,21 @@ class AutomataEngine(NetworkNode):
                 values.append(instance.get(argument.field))
             self.actions.execute(action.name, self, delta, values)
 
+    def _charge_processing(self, now: float) -> float:
+        """Seconds until the translated output leaves the engine.
+
+        Plain mode: the fixed ``processing_delay``.  Serialised mode: the
+        engine's compute is a serial resource — the send waits for the
+        busy-until clock, then occupies it for ``processing_delay``, so
+        overlapping sessions queue behind each other and a sharded runtime
+        gains real capacity from additional workers.
+        """
+        if not self.serialize_processing:
+            return self.processing_delay
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.processing_delay
+        return self._busy_until - now
+
     def _send(
         self,
         engine: NetworkEngine,
@@ -552,31 +831,32 @@ class AutomataEngine(NetworkNode):
         data = binding.composer.compose(outgoing)
 
         destination = self._destination_for(session, automaton_name, binding, state.color)
+        source = binding.local_endpoint
+        token: Optional[Hashable] = None
+        initial_automaton, _ = self.merged.initial_state
+        if automaton_name != initial_automaton:
+            token = self.correlator.reply_token(outgoing)
+            if token is None:
+                # No transaction identifier to correlate the reply by: give
+                # the request its own return address instead.
+                source = self._ephemeral_source(session, automaton_name, binding) or source
+        delay = self._charge_processing(engine.now())
         engine.send(
             data,
-            source=binding.local_endpoint,
+            source=source,
             destination=destination,
-            delay=self.processing_delay,
+            delay=delay,
         )
 
         session.store(automaton_name, state_name, outgoing)
         session.instances[message_name] = outgoing
-        initial_automaton, _ = self.merged.initial_state
-        if automaton_name != initial_automaton:
-            self._register_reply_token(session, outgoing)
+        if token is not None:
+            self._pending_replies.setdefault(token, []).append(session)
+            session.reply_tokens.append(token)
         session.record.messages_sent += 1
         session.record.sent_names.append(message_name)
-        session.record.finished_at = engine.now() + self.processing_delay
+        session.record.finished_at = engine.now() + delay
         session.touch(engine.now())
-
-    def _register_reply_token(
-        self, session: SessionContext, outgoing: AbstractMessage
-    ) -> None:
-        token = self.correlator.reply_token(outgoing)
-        if token is None:
-            return
-        self._pending_replies.setdefault(token, []).append(session)
-        session.reply_tokens.append(token)
 
     def _destination_for(
         self,
@@ -619,21 +899,34 @@ class AutomataEngine(NetworkNode):
                 if not waiting:
                     del self._pending_replies[token]
         session.reply_tokens.clear()
+        self._release_ephemeral(session)
 
-    def _schedule_eviction(self, engine: NetworkEngine, session: SessionContext) -> None:
+    # -- idle-session eviction: one periodic sweep per engine -------------
+    def _ensure_sweeper(self, engine: NetworkEngine) -> None:
+        """Schedule the next eviction sweep, if one is not pending already.
+
+        One ``call_later`` chain serves the whole engine regardless of how
+        many sessions are in flight (the per-session timers this replaces
+        scheduled one event per session).  The chain stops when the session
+        table drains, so simulations still quiesce.
+        """
         if not self.session_timeout or self.session_timeout <= 0:
             return
+        if self._sweep_scheduled:
+            return
+        self._sweep_scheduled = True
+        interval = self.sweep_interval or self.session_timeout
+        engine.call_later(interval, lambda: self._sweep(engine))
 
-        def check() -> None:
-            if session.finished:
-                return
-            idle = engine.now() - session.last_activity
-            if idle + 1e-9 >= self.session_timeout:
+    def _sweep(self, engine: NetworkEngine) -> None:
+        self._sweep_scheduled = False
+        assert self.session_timeout is not None
+        now = engine.now()
+        for session in list(self._sessions.values()):
+            if now - session.last_activity + 1e-9 >= self.session_timeout:
                 self._evict(engine, session)
-            else:
-                engine.call_later(self.session_timeout - idle, check)
-
-        engine.call_later(self.session_timeout, check)
+        if self._sessions:
+            self._ensure_sweeper(engine)
 
     def _evict(self, engine: NetworkEngine, session: SessionContext) -> None:
         record = session.record

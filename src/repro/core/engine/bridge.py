@@ -51,6 +51,7 @@ class StarlinkBridge:
         actions: Optional[ActionRegistry] = None,
         correlator: Optional[SessionCorrelator] = None,
         session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
+        ephemeral_ports: bool = True,
     ) -> None:
         missing = [name for name in merged.automaton_names if name not in mdl_specs]
         if missing:
@@ -67,6 +68,9 @@ class StarlinkBridge:
         #: the engine's default source-endpoint correlation).
         self.correlator = correlator
         self.session_timeout = session_timeout
+        #: Per-session ephemeral source ports on upstream legs without a
+        #: transaction identifier (exact reply attribution).
+        self.ephemeral_ports = ephemeral_ports
         self._engine: Optional[AutomataEngine] = None
         self._network: Optional[NetworkEngine] = None
 
@@ -118,6 +122,7 @@ class StarlinkBridge:
             actions=self.actions,
             correlator=self.correlator,
             session_timeout=self.session_timeout,
+            ephemeral_ports=self.ephemeral_ports,
         )
         network.attach(engine)
         self._engine = engine
@@ -145,6 +150,20 @@ class StarlinkBridge:
     def active_session_count(self) -> int:
         """Number of in-flight (not yet completed) sessions."""
         return len(self._engine.active_sessions) if self._engine is not None else 0
+
+    @property
+    def unrouted_datagrams(self) -> int:
+        """Datagrams the engine could not route to any session.
+
+        Mirrors :class:`~repro.runtime.runtime.ShardedRuntime`, so the
+        evaluation scenarios drive either deployment through one surface.
+        """
+        return self._engine.unrouted_datagrams if self._engine is not None else 0
+
+    @property
+    def ignored_datagrams(self) -> int:
+        """Datagrams routed to a session that was not receptive to them."""
+        return self._engine.ignored_datagrams if self._engine is not None else 0
 
     @property
     def protocols(self) -> List[str]:

@@ -89,6 +89,10 @@ class SessionContext:
     forced_destinations: Dict[str, Endpoint] = field(default_factory=dict)
     #: Reply-correlation tokens registered for this session's upstream sends.
     reply_tokens: List[Hashable] = field(default_factory=list)
+    #: Per-session ephemeral source endpoints, per automaton: upstream legs
+    #: without a transaction identifier send from one of these so the reply
+    #: address alone attributes the response exactly (no FIFO fallback).
+    ephemeral_sources: Dict[str, Endpoint] = field(default_factory=dict)
     last_activity: float = 0.0
     finished: bool = False
 

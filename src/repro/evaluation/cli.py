@@ -1,10 +1,12 @@
 """Command-line entry point for the evaluation harness.
 
-``python -m repro.evaluation [--repetitions N] [--table fig12a|fig12b|overhead|concurrency|all]``
-regenerates the paper's Fig. 12 tables (and the Section VI overhead
-analysis) plus the concurrent-sessions scaling sweep, and prints them next
-to the published numbers.  This is the same code path the benchmarks use;
-the CLI exists so the headline result can be reproduced without pytest.
+``python -m repro.evaluation [--repetitions N]
+[--table fig12a|fig12b|overhead|concurrency|sharding|all]`` regenerates the
+paper's Fig. 12 tables (and the Section VI overhead analysis) plus the
+concurrent-sessions and sharded-runtime scaling sweeps, and prints them
+next to the published numbers.  This is the same code path the benchmarks
+use; the CLI exists so the headline result can be reproduced without
+pytest.
 """
 
 from __future__ import annotations
@@ -13,8 +15,21 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .harness import DEFAULT_REPETITIONS, run_concurrency, run_fig12a, run_fig12b
-from .tables import format_concurrency, format_fig12a, format_fig12b, overhead_ratios
+from .harness import (
+    DEFAULT_REPETITIONS,
+    DEFAULT_SHARDING_CLIENTS,
+    run_concurrency,
+    run_fig12a,
+    run_fig12b,
+    run_sharding,
+)
+from .tables import (
+    format_concurrency,
+    format_fig12a,
+    format_fig12b,
+    format_sharding,
+    overhead_ratios,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -32,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--table",
-        choices=["fig12a", "fig12b", "overhead", "concurrency", "all"],
+        choices=["fig12a", "fig12b", "overhead", "concurrency", "sharding", "all"],
         default="all",
         help="which table to regenerate",
     )
@@ -41,7 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency-case",
         type=int,
         default=2,
-        help="bridge case for the concurrency sweep (client protocol SLP/Bonjour)",
+        help="bridge case for the concurrency and sharding sweeps (1..6)",
+    )
+    parser.add_argument(
+        "--sharding-clients",
+        type=int,
+        default=DEFAULT_SHARDING_CLIENTS,
+        help="concurrent clients held constant while the worker count is swept",
     )
     return parser
 
@@ -76,6 +97,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         lines.append(format_concurrency(rows))
+        lines.append("")
+    if args.table in ("sharding", "all"):
+        try:
+            sharding_rows = run_sharding(
+                case=args.concurrency_case,
+                clients=args.sharding_clients,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_sharding(sharding_rows))
         lines.append("")
 
     print("\n".join(lines).rstrip())

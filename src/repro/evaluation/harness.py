@@ -24,19 +24,25 @@ from .workloads import (
     bridged_scenario,
     concurrent_scenario,
     legacy_scenario,
+    sharded_scenario,
 )
 
 __all__ = [
     "Summary",
     "ConcurrencySummary",
+    "ShardingSummary",
     "summarise",
     "measure_legacy_protocol",
     "measure_connector_case",
     "measure_concurrent_sessions",
+    "measure_sharded_sessions",
     "run_fig12a",
     "run_fig12b",
     "run_concurrency",
+    "run_sharding",
     "DEFAULT_CLIENT_COUNTS",
+    "DEFAULT_WORKER_COUNTS",
+    "DEFAULT_SHARDING_CLIENTS",
 ]
 
 #: Default repetition count, matching the paper.
@@ -181,6 +187,18 @@ class ConcurrencySummary:
     def median_translation_ms(self) -> float:
         return statistics.median(self.translation_ms) if self.translation_ms else 0.0
 
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "label": self.label,
+            "clients": self.clients,
+            "completed": self.completed,
+            "median_translation_ms": round(self.median_translation_ms, 1),
+            "makespan_s": round(self.makespan_s, 4),
+            "throughput": round(self.throughput, 2),
+            "unrouted": self.unrouted,
+        }
+
 
 def measure_concurrent_sessions(
     case: int,
@@ -222,3 +240,126 @@ def run_concurrency(
         measure_concurrent_sessions(case, clients, latencies, seed)
         for clients in client_counts
     ]
+
+
+# ----------------------------------------------------------------------
+# sharded runtime: fixed client load swept over worker counts
+# ----------------------------------------------------------------------
+#: Shard counts of the sharding sweep.
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Concurrent clients held constant while the worker count is swept.
+DEFAULT_SHARDING_CLIENTS = 100
+
+
+@dataclass(frozen=True)
+class ShardingSummary:
+    """One row of the sharded-runtime sweep (fixed clients, varying shards)."""
+
+    case: int
+    label: str
+    clients: int
+    workers: int
+    completed: int
+    #: Per-session translation times, milliseconds (includes worker queueing).
+    translation_ms: tuple
+    #: Virtual seconds from the first request to the last reply.
+    makespan_s: float
+    #: Completed sessions per virtual second of makespan.
+    throughput: float
+    #: Throughput relative to the 1-shard row of the same sweep.
+    speedup: float
+    #: Datagrams neither the router nor any worker could place.
+    unrouted: int
+    #: Completed sessions per worker, shard-balance view.
+    worker_sessions: tuple
+
+    @property
+    def median_translation_ms(self) -> float:
+        return statistics.median(self.translation_ms) if self.translation_ms else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "label": self.label,
+            "clients": self.clients,
+            "workers": self.workers,
+            "completed": self.completed,
+            "median_translation_ms": round(self.median_translation_ms, 1),
+            "makespan_s": round(self.makespan_s, 4),
+            "throughput": round(self.throughput, 2),
+            "speedup": round(self.speedup, 2),
+            "unrouted": self.unrouted,
+            "worker_sessions": list(self.worker_sessions),
+        }
+
+
+def measure_sharded_sessions(
+    case: int,
+    clients: int,
+    workers: int,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+    spacing: float = 0.002,
+    baseline_throughput: Optional[float] = None,
+) -> ShardingSummary:
+    """Run ``clients`` overlapping lookups across ``workers`` shards."""
+    scenario = sharded_scenario(
+        case,
+        clients=clients,
+        workers=workers,
+        spacing=spacing,
+        latencies=latencies,
+        seed=seed,
+    )
+    result = scenario.run()
+    if not result.all_found:
+        raise RuntimeError(
+            f"{clients - result.completed} of {clients} sharded lookups failed "
+            f"for case {case} at {workers} workers"
+        )
+    runtime = scenario.bridge
+    throughput = result.throughput
+    return ShardingSummary(
+        case=case,
+        label=f"{case}. {CASE_NAMES[case]}",
+        clients=clients,
+        workers=workers,
+        completed=result.completed,
+        translation_ms=tuple(value * 1000.0 for value in result.translation_times),
+        makespan_s=result.makespan,
+        throughput=throughput,
+        speedup=(throughput / baseline_throughput) if baseline_throughput else 1.0,
+        unrouted=result.unrouted_datagrams,
+        worker_sessions=tuple(runtime.worker_session_counts()),
+    )
+
+
+def run_sharding(
+    case: int = 2,
+    clients: int = DEFAULT_SHARDING_CLIENTS,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+) -> List[ShardingSummary]:
+    """The sharding sweep: the same client load over growing worker pools.
+
+    Speedups are relative to the sweep's first (usually 1-shard) row, which
+    runs the identical serialised-compute worker model — the gain measured
+    is parallelism, not a change of cost model.
+    """
+    rows: List[ShardingSummary] = []
+    baseline: Optional[float] = None
+    for workers in worker_counts:
+        row = measure_sharded_sessions(
+            case,
+            clients,
+            workers,
+            latencies=latencies,
+            seed=seed,
+            baseline_throughput=baseline,
+        )
+        if baseline is None:
+            baseline = row.throughput
+        rows.append(row)
+    return rows

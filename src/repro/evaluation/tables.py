@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .harness import ConcurrencySummary, Summary
+from .harness import ConcurrencySummary, ShardingSummary, Summary
 
 __all__ = [
     "PAPER_FIG12A",
@@ -19,6 +19,7 @@ __all__ = [
     "format_fig12a",
     "format_fig12b",
     "format_concurrency",
+    "format_sharding",
     "overhead_ratios",
 ]
 
@@ -101,6 +102,35 @@ def format_concurrency(rows: Sequence[ConcurrencySummary]) -> str:
             f"{row.label:<22} {row.clients:>8} {row.completed:>10} "
             f"{row.median_translation_ms:>20.0f} {row.makespan_s:>13.3f} "
             f"{row.throughput:>11.1f}"
+        )
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_sharding(rows: Sequence[ShardingSummary]) -> str:
+    """Render the sharded-runtime sweep as a text table.
+
+    Client load is constant down the rows; the worker count grows.  The
+    speedup column is throughput relative to the sweep's first row, and
+    the balance column shows completed sessions per shard.
+    """
+    header = (
+        f"{'Case':<22} {'Clients':>8} {'Workers':>8} "
+        f"{'Median transl. (ms)':>20} {'Makespan (s)':>13} {'Sessions/s':>11} "
+        f"{'Speedup':>8}  {'Shard balance'}"
+    )
+    lines = [
+        "Sharded runtime - one client load across parallel worker engines",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        balance = "/".join(str(count) for count in row.worker_sessions)
+        lines.append(
+            f"{row.label:<22} {row.clients:>8} {row.workers:>8} "
+            f"{row.median_translation_ms:>20.0f} {row.makespan_s:>13.3f} "
+            f"{row.throughput:>11.1f} {row.speedup:>7.2f}x  {balance}"
         )
     lines.append("-" * len(header))
     return "\n".join(lines)

@@ -26,6 +26,7 @@ from ..protocols.common import LookupResult
 from ..protocols.mdns import BonjourBrowser, BonjourResponder
 from ..protocols.slp import SLPServiceAgent, SLPUserAgent
 from ..protocols.upnp import UPnPControlPoint, UPnPDevice
+from ..runtime import ShardedRuntime
 
 __all__ = [
     "SLP_SERVICE_TYPE",
@@ -37,6 +38,7 @@ __all__ = [
     "legacy_scenario",
     "bridged_scenario",
     "concurrent_scenario",
+    "sharded_scenario",
     "LEGACY_PROTOCOLS",
 ]
 
@@ -193,19 +195,25 @@ class ConcurrentResult:
 
 @dataclass
 class ConcurrentScenario:
-    """N legacy clients with overlapping lookups through one bridge.
+    """N legacy clients with overlapping lookups through one runtime.
 
     The clients fire their requests ``spacing`` virtual seconds apart —
     far less than a service round trip — so the bridge holds many sessions
     in flight simultaneously.  Clients use the non-blocking
     ``start_lookup``/``lookup_result`` API and match replies by their
-    transaction identifier, which is how correct per-client attribution is
-    verified end to end.
+    transaction identifier (or, for the two-leg UPnP control point, by
+    completing the SSDP+HTTP dialog), which is how correct per-client
+    attribution is verified end to end.
+
+    ``bridge`` is any deployment exposing ``sessions`` /
+    ``unrouted_datagrams`` / ``ignored_datagrams`` — a single-engine
+    :class:`StarlinkBridge` or a multi-worker
+    :class:`~repro.runtime.runtime.ShardedRuntime`.
     """
 
     name: str
     network: SimulatedNetwork
-    bridge: StarlinkBridge
+    bridge: object
     clients: List
     target: str
     spacing: float
@@ -246,7 +254,6 @@ class ConcurrentScenario:
             reply_times.append(client.lookup_started_at(key) + result.response_time)
         makespan = (max(reply_times) - first_send) if reply_times else 0.0
 
-        engine = self.bridge.engine
         return ConcurrentResult(
             name=self.name,
             clients=expected,
@@ -255,13 +262,18 @@ class ConcurrentScenario:
             translation_times=[
                 record.translation_time for record in self.bridge.sessions
             ],
-            unrouted_datagrams=engine.unrouted_datagrams if engine else 0,
-            ignored_datagrams=engine.ignored_datagrams if engine else 0,
+            unrouted_datagrams=self.bridge.unrouted_datagrams,
+            ignored_datagrams=self.bridge.ignored_datagrams,
         )
 
 
 def _make_concurrent_clients(client_protocol: str, count: int):
-    """N distinct legacy clients of ``client_protocol`` with unique endpoints."""
+    """N distinct legacy clients of ``client_protocol`` with unique endpoints.
+
+    Transaction identifiers are pinned per client index, so two runs of the
+    same workload — regardless of shard count — translate byte-identical
+    outputs (the sharding benchmark asserts exactly that).
+    """
     clients = []
     for index in range(count):
         if client_protocol == "SLP":
@@ -270,6 +282,7 @@ def _make_concurrent_clients(client_protocol: str, count: int):
                     host=f"slp-client-{index}.local",
                     port=5100 + index,
                     name=f"slp-client-{index}",
+                    xid_start=1000 + index * 16,
                 )
             )
         elif client_protocol == "Bonjour":
@@ -278,13 +291,19 @@ def _make_concurrent_clients(client_protocol: str, count: int):
                     host=f"bonjour-client-{index}.local",
                     port=5200 + index,
                     name=f"bonjour-client-{index}",
+                    query_id_start=2000 + index * 16,
+                )
+            )
+        elif client_protocol == "UPnP":
+            clients.append(
+                UPnPControlPoint(
+                    host=f"upnp-client-{index}.local",
+                    port=5300 + index,
+                    name=f"upnp-client-{index}",
                 )
             )
         else:
-            raise ValueError(
-                f"concurrent workload drives SLP and Bonjour clients; the two-leg "
-                f"{client_protocol} control point has no non-blocking driver yet"
-            )
+            raise ValueError(f"unknown client protocol {client_protocol!r}")
     return clients
 
 
@@ -298,10 +317,11 @@ def concurrent_scenario(
 ) -> ConcurrentScenario:
     """``clients`` overlapping legacy lookups through the bridge of ``case``.
 
-    Supports the cases whose client protocol is SLP or Bonjour (1, 2, 5,
-    6); their single-datagram requests can be fired without blocking the
-    simulation.  ``spacing`` staggers the requests — keep it well below the
-    service latency so the sessions genuinely interleave.
+    All six cases are supported: SLP and Bonjour clients fire one
+    non-blocking datagram each, and the two-leg UPnP control point (cases
+    3/4) drives its SSDP+HTTP dialog reactively via ``start_control``.
+    ``spacing`` staggers the requests — keep it well below the service
+    latency so the sessions genuinely interleave.
     """
     if case not in BRIDGE_BUILDERS:
         raise ValueError(f"unknown case {case}; valid cases are 1..6")
@@ -333,5 +353,67 @@ def concurrent_scenario(
         description=(
             f"{clients} overlapping legacy {client_protocol} lookups answered by a "
             f"legacy {service_protocol} service through one Starlink bridge"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# sharded runtime: N clients across W parallel worker engines
+# ----------------------------------------------------------------------
+def sharded_scenario(
+    case: int,
+    clients: int = 100,
+    workers: int = 4,
+    spacing: float = 0.002,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+    processing_delay: Optional[float] = None,
+    serialize_processing: bool = True,
+) -> ConcurrentScenario:
+    """``clients`` overlapping lookups through a ``workers``-shard runtime.
+
+    Same clients and legacy service as :func:`concurrent_scenario`, but the
+    bridge is deployed as a :class:`~repro.runtime.runtime.ShardedRuntime`:
+    a shard router owns the public endpoints and partitions the sessions
+    across ``workers`` engines.  Workers model their translation compute as
+    a serial resource (``serialize_processing``), so the sweep over worker
+    counts measures genuine parallel capacity — run with ``workers=1`` for
+    the like-for-like single-shard baseline.
+    """
+    if case not in BRIDGE_BUILDERS:
+        raise ValueError(f"unknown case {case}; valid cases are 1..6")
+    latencies = latencies if latencies is not None else default_latencies()
+    network = SimulatedNetwork(latencies=latencies, seed=seed)
+
+    client_protocol, _, service_protocol = CASE_NAMES[case].partition(" to ")
+    _, service, target = _make_client_and_service(
+        client_protocol, service_protocol, latencies
+    )
+    concurrent_clients = _make_concurrent_clients(client_protocol, clients)
+
+    if processing_delay is None:
+        processing_delay = latencies.bridge_processing.midpoint
+    bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
+    bridge.validate()
+    runtime = ShardedRuntime.from_bridge(
+        bridge, workers=workers, serialize_processing=serialize_processing
+    )
+    runtime.deploy(network)
+
+    network.attach(service)
+    for client in concurrent_clients:
+        network.attach(client)
+
+    return ConcurrentScenario(
+        name=f"case-{case}-x{clients}-w{workers}",
+        network=network,
+        bridge=runtime,
+        clients=concurrent_clients,
+        target=target,
+        spacing=spacing,
+        description=(
+            f"{clients} overlapping legacy {client_protocol} lookups through a "
+            f"{workers}-shard Starlink runtime answering from a legacy "
+            f"{service_protocol} service"
         ),
     )

@@ -60,7 +60,14 @@ class NetworkNode:
 
 
 class NetworkEngine:
-    """Abstract base class of network engines."""
+    """Abstract base class of network engines.
+
+    Engines may optionally provide ``bind_endpoint(node, endpoint)`` /
+    ``unbind_endpoint(node, endpoint)`` to let an attached node acquire and
+    release additional unicast endpoints at runtime (per-session ephemeral
+    source ports).  Callers feature-detect with ``getattr`` and fall back
+    gracefully when the engine cannot bind late (e.g. the socket engine).
+    """
 
     def now(self) -> float:
         """Current time in seconds (virtual for the simulation, wall otherwise)."""

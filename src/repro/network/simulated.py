@@ -100,6 +100,26 @@ class SimulatedNetwork(NetworkEngine):
             self.detach(node)
         self.attach(node)
 
+    def bind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        """Bind one extra unicast endpoint to an already-attached node.
+
+        The automata engine allocates per-session ephemeral source ports
+        this way (exact upstream attribution); ``detach`` releases them all.
+        """
+        key = (endpoint.host, endpoint.port, endpoint.transport)
+        owner = self._unicast.get(key)
+        if owner is not None and owner is not node:
+            raise NetworkError(
+                f"endpoint {endpoint} already bound by node '{owner.name}'"
+            )
+        self._unicast[key] = node
+
+    def unbind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        """Release an endpoint bound with :meth:`bind_endpoint`."""
+        key = (endpoint.host, endpoint.port, endpoint.transport)
+        if self._unicast.get(key) is node:
+            del self._unicast[key]
+
     def node_for_endpoint(self, endpoint: Endpoint) -> Optional[NetworkNode]:
         return self._unicast.get((endpoint.host, endpoint.port, endpoint.transport))
 

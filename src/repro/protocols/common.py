@@ -149,6 +149,9 @@ class LegacyClient(NetworkNode):
         self.composer = create_composer(mdl)
         self.client_overhead = client_overhead
         self._responses: List[Tuple[float, AbstractMessage, Endpoint]] = []
+        #: Raw bytes of every response, in arrival order (the evaluation
+        #: asserts translated outputs are byte-identical across runtimes).
+        self._raw_responses: List[bytes] = []
 
     # -- NetworkNode ----------------------------------------------------
     def unicast_endpoints(self) -> List[Endpoint]:
@@ -165,7 +168,13 @@ class LegacyClient(NetworkNode):
             message = self.parser.parse(data)
         except ParseError:
             return
-        self._responses.append((engine.now(), message, source))
+        self._record_response(engine.now(), message, source, data)
+
+    def _record_response(
+        self, now: float, message: AbstractMessage, source: Endpoint, data: bytes
+    ) -> None:
+        self._responses.append((now, message, source))
+        self._raw_responses.append(bytes(data))
 
     # -- helpers for subclasses ------------------------------------------
     @property
@@ -174,10 +183,15 @@ class LegacyClient(NetworkNode):
 
     def clear_responses(self) -> None:
         self._responses.clear()
+        self._raw_responses.clear()
 
     @property
     def responses(self) -> List[Tuple[float, AbstractMessage, Endpoint]]:
         return list(self._responses)
+
+    @property
+    def raw_responses(self) -> List[bytes]:
+        return list(self._raw_responses)
 
     def _send(self, network: NetworkEngine, message: AbstractMessage, destination: Endpoint) -> None:
         network.send(self.composer.compose(message), source=self._endpoint, destination=destination)

@@ -95,6 +95,7 @@ class BonjourBrowser(LegacyClient):
         port: int = 5200,
         client_overhead: Optional[LatencyModel] = None,
         name: str = "bonjour-client",
+        query_id_start: Optional[int] = None,
     ) -> None:
         super().__init__(
             name=name,
@@ -106,6 +107,11 @@ class BonjourBrowser(LegacyClient):
                 else _LATENCIES.mdns_client_overhead
             ),
         )
+        #: ``query_id_start`` pins this browser to its own deterministic
+        #: query-ID sequence (reproducible sweeps); by default browsers
+        #: share the process-wide counter.
+        if query_id_start is not None:
+            self._id_counter = itertools.count(query_id_start)
         #: Query ID -> virtual time the browse was started (non-blocking API).
         self._pending_lookups: Dict[int, float] = {}
         #: Query ID -> result, cached so clear_responses() cannot lose it.

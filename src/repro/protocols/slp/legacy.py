@@ -91,6 +91,7 @@ class SLPUserAgent(LegacyClient):
         port: int = 5100,
         client_overhead: Optional[LatencyModel] = None,
         name: str = "slp-client",
+        xid_start: Optional[int] = None,
     ) -> None:
         super().__init__(
             name=name,
@@ -102,6 +103,12 @@ class SLPUserAgent(LegacyClient):
                 else _LATENCIES.slp_client_overhead
             ),
         )
+        #: ``xid_start`` pins this agent to its own deterministic XID
+        #: sequence (reproducible sweeps: the same client issues the same
+        #: identifiers every run); by default agents share the process-wide
+        #: counter, mirroring fresh OpenSLP handles.
+        if xid_start is not None:
+            self._xid_counter = itertools.count(xid_start)
         #: XID -> virtual time the lookup was started (non-blocking API).
         self._pending_lookups: Dict[int, float] = {}
         #: XID -> result, cached so a later clear_responses() cannot lose it.

@@ -14,7 +14,10 @@ that carries the service URL.  Accordingly:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlparse
 
 from ...core.errors import ParseError
 from ...core.mdl.base import create_composer, create_parser
@@ -22,6 +25,7 @@ from ...core.message import AbstractMessage
 from ...network.addressing import Endpoint, Transport
 from ...network.engine import NetworkEngine, NetworkNode
 from ...network.latency import LatencyModel, default_latencies
+from ...network.simulated import SimulatedNetwork
 from ..common import LegacyClient, LookupResult, sample_latency
 from ..http.mdl import HTTP_GET, HTTP_OK, http_mdl
 from ..ssdp.mdl import (
@@ -158,8 +162,32 @@ class UPnPDevice(NetworkNode):
         engine.send(payload, source=self._http_endpoint, destination=source, delay=delay)
 
 
+@dataclass
+class _PendingControl:
+    """One in-flight two-leg discovery of the non-blocking driver."""
+
+    token: int
+    started_at: float
+    #: "ssdp" while the M-SEARCH response is outstanding, "http" while the
+    #: description GET is; finished controls leave the pending table.
+    leg: str = "ssdp"
+
+
 class UPnPControlPoint(LegacyClient):
-    """A legacy UPnP control point performing discovery + description fetch."""
+    """A legacy UPnP control point performing discovery + description fetch.
+
+    The control point is *two-leg*: an SSDP M-SEARCH answered over UDP,
+    then an HTTP GET of the advertised LOCATION answered over TCP.  The
+    non-blocking :meth:`start_control` / :meth:`control_result` driver runs
+    both legs reactively from :meth:`on_datagram` — the follow-up GET fires
+    the moment the SSDP response lands — so many control points (or many
+    lookups) can be in flight at once without blocking the simulation,
+    which is what admits UPnP-client bridge cases into the concurrency and
+    sharding sweeps.  Neither SSDP nor HTTP carries a transaction
+    identifier, so overlapping lookups *within one control point* complete
+    oldest-first; distinct control points are distinguished by their
+    endpoints, as the real Cyberlink stack distinguishes sockets.
+    """
 
     def __init__(
         self,
@@ -180,6 +208,14 @@ class UPnPControlPoint(LegacyClient):
         )
         self._http_parser = create_parser(http_mdl())
         self._http_composer = create_composer(http_mdl())
+        self._token_counter = itertools.count(1)
+        #: In-flight two-leg lookups, by token, in start order.
+        self._controls: Dict[int, _PendingControl] = {}
+        #: Token -> result of a finished lookup (kept so a completed
+        #: control costs nothing on the per-datagram oldest-pending scan).
+        self._completed_controls: Dict[int, LookupResult] = {}
+        #: Token -> virtual start time, surviving completion.
+        self._control_started: Dict[int, float] = {}
 
     # The control point receives both SSDP and HTTP responses on its endpoint.
     # The two share the "HTTP/1.1 200 OK" start line, so the parser is chosen
@@ -197,18 +233,29 @@ class UPnPControlPoint(LegacyClient):
             message = parser.parse(data)
         except ParseError:
             return
-        if message.name in (SSDP_RESP, HTTP_OK):
-            self._responses.append((engine.now(), message, source))
+        if message.name not in (SSDP_RESP, HTTP_OK):
+            return
+        self._record_response(engine.now(), message, source, data)
+        if message.name == SSDP_RESP:
+            self._advance_ssdp_leg(engine, message)
+        else:
+            self._complete_http_leg(engine, message)
 
-    def lookup(
+    # -- the non-blocking two-leg driver ---------------------------------
+    def start_control(
         self,
         network: NetworkEngine,
         service_type: str = "urn:schemas-upnp-org:service:test:1",
-        timeout: float = 10.0,
-    ) -> LookupResult:
-        """Discover a device via SSDP and fetch its description via HTTP."""
-        self.clear_responses()
-        started = network.now()
+    ) -> int:
+        """Multicast one M-SEARCH without blocking; returns a lookup token.
+
+        The description GET is issued automatically when the SSDP response
+        arrives; collect the finished :class:`LookupResult` later with
+        :meth:`control_result`.
+        """
+        token = next(self._token_counter)
+        self._controls[token] = _PendingControl(token=token, started_at=network.now())
+        self._control_started[token] = network.now()
         search = AbstractMessage(SSDP_MSEARCH, protocol="SSDP")
         search.set("Method", "M-SEARCH")
         search.set("URI", "*")
@@ -218,16 +265,38 @@ class UPnPControlPoint(LegacyClient):
         search.set("MX", 3, type_name="Integer")
         search.set("ST", service_type)
         self._send(network, search, ssdp_group_endpoint())
+        return token
 
-        ssdp_responses = self._await_responses(network, 1, timeout, SSDP_RESP)
-        overhead = sample_latency(network, self.client_overhead)
-        if not ssdp_responses:
-            return LookupResult(found=False, response_time=network.now() - started + overhead)
-        _, ssdp_response, _ = ssdp_responses[0]
-        location = str(ssdp_response.get("LOCATION", ""))
+    def control_result(self, token: int) -> Optional[LookupResult]:
+        """The completed lookup for a :meth:`start_control` token, or None."""
+        return self._completed_controls.get(token)
 
-        from urllib.parse import urlparse
+    def discard_control(self, token: int) -> None:
+        """Abandon an outstanding lookup (its legs will serve nobody)."""
+        self._controls.pop(token, None)
+        self._control_started.pop(token, None)
 
+    def lookup_started_at(self, token: int) -> Optional[float]:
+        """Virtual time a :meth:`start_control` M-SEARCH was sent."""
+        return self._control_started.get(token)
+
+    # Uniform non-blocking client API, shared with the SLP and Bonjour
+    # clients, so one driver loop serves all three in the sweeps.
+    start_lookup = start_control
+    lookup_result = control_result
+
+    def _oldest_control(self, leg: str) -> Optional[_PendingControl]:
+        for control in self._controls.values():
+            if control.leg == leg:
+                return control
+        return None
+
+    def _advance_ssdp_leg(self, engine: NetworkEngine, response: AbstractMessage) -> None:
+        control = self._oldest_control("ssdp")
+        if control is None:
+            return
+        control.leg = "http"
+        location = str(response.get("LOCATION", ""))
         parsed = urlparse(location)
         get = AbstractMessage(HTTP_GET, protocol="HTTP")
         get.set("Method", "GET")
@@ -236,21 +305,63 @@ class UPnPControlPoint(LegacyClient):
         get.set("Host", parsed.hostname or "")
         get.set("Connection", "close")
         destination = Endpoint(parsed.hostname or "", parsed.port or 80, Transport.TCP)
-        network.send(
+        engine.send(
             self._http_composer.compose(get), source=self.endpoint, destination=destination
         )
 
-        http_responses = self._await_responses(network, 1, timeout, HTTP_OK)
-        if not http_responses:
-            return LookupResult(found=False, response_time=network.now() - started + overhead)
-        received_at, ok, _ = http_responses[0]
+    def _complete_http_leg(self, engine: NetworkEngine, ok: AbstractMessage) -> None:
+        control = self._oldest_control("http")
+        if control is None:
+            return
         body = str(ok.get("Body", ""))
-        url = _extract_url_base(body)
+        # Finished: move out of the pending table so later responses never
+        # scan it again, keeping the result retrievable by token.
+        del self._controls[control.token]
+        self._completed_controls[control.token] = LookupResult(
+            found=True,
+            url=_extract_url_base(body),
+            response_time=engine.now() - control.started_at,
+            responses=2,
+        )
+
+    # -- the blocking legacy API, expressed over the driver ---------------
+    def lookup(
+        self,
+        network: NetworkEngine,
+        service_type: str = "urn:schemas-upnp-org:service:test:1",
+        timeout: float = 10.0,
+    ) -> LookupResult:
+        """Discover a device via SSDP and fetch its description via HTTP."""
+        self.clear_responses()
+        started = network.now()
+        token = self.start_control(network, service_type)
+        if isinstance(network, SimulatedNetwork):
+            network.run_until(
+                lambda: self.control_result(token) is not None, timeout=timeout
+            )
+        else:  # pragma: no cover - socket engine path, exercised manually
+            import time
+
+            deadline = time.monotonic() + timeout
+            while self.control_result(token) is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+        overhead = sample_latency(network, self.client_overhead)
+        # The blocking API consumes its control either way: a timed-out one
+        # must not swallow a later lookup's SSDP response, and a completed
+        # one is harvested into the returned result (repeated lookups on
+        # one control point accumulate nothing).
+        result = self._completed_controls.pop(token, None)
+        self._controls.pop(token, None)
+        self._control_started.pop(token, None)
+        if result is None:
+            return LookupResult(
+                found=False, response_time=network.now() - started + overhead
+            )
         return LookupResult(
             found=True,
-            url=url,
-            response_time=received_at - started + overhead,
-            responses=len(self._responses),
+            url=result.url,
+            response_time=result.response_time + overhead,
+            responses=result.responses,
         )
 
 

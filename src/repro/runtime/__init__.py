@@ -1,0 +1,29 @@
+"""Sharded runtime: parallel session execution across worker engines.
+
+The paper's Automata Engine executes one merged automaton reactively; the
+session multiplexing of PR 1 let many legacy interactions *interleave* in
+one event loop.  This package adds the next scaling axis — *parallelism*:
+
+* :class:`~repro.runtime.sharding.HashRing` — deterministic consistent
+  hashing of session correlation keys onto shard indices;
+* :class:`~repro.runtime.router.ShardRouter` — the network node owning the
+  bridge's public endpoints and multicast groups, routing each datagram to
+  the worker that owns its session (sticky, rebalance-safe);
+* :class:`~repro.runtime.runtime.ShardedRuntime` — builds and deploys the
+  N worker engines around one read-only behaviour model and aggregates
+  their sessions and statistics.
+
+See ROADMAP.md ("Concurrency model") for the invariants.
+"""
+
+from .router import ShardRouter
+from .runtime import DEFAULT_WORKERS, ShardedRuntime
+from .sharding import HashRing, stable_hash
+
+__all__ = [
+    "HashRing",
+    "stable_hash",
+    "ShardRouter",
+    "ShardedRuntime",
+    "DEFAULT_WORKERS",
+]

@@ -1,0 +1,237 @@
+"""The shard router: the bridge's public face in a sharded deployment.
+
+The :class:`ShardRouter` is the only node that binds the bridge's
+advertised unicast endpoints and joins its multicast colour groups.  Every
+datagram the outside world addresses to the bridge lands here first; the
+router classifies it once (parse + component-automaton selection, via the
+:class:`~repro.core.engine.core.EngineCore` API of its workers) and hands
+the parsed message to the worker engine that owns the session:
+
+* **client-facing traffic** (the merged automaton's initial leg) carries a
+  session correlation key; the router maps the key to a shard by
+  consistent hash, remembers the choice in a sticky table, and from then
+  on every datagram of that session goes to the same worker — including
+  across :meth:`set_workers` rebalances, which only re-home *new* keys;
+* **upstream legs** mostly bypass the router entirely: workers send
+  translated requests from their own (or per-session ephemeral) source
+  endpoints, so unicast replies flow straight back to the owning worker.
+  What does arrive here is multicast on a non-initial colour group and
+  later client legs addressed to the public endpoints (e.g. a UPnP control
+  point's HTTP GET); those fan out across the shards — a strict pass first
+  (reply token or client-host evidence only), then a lenient FIFO pass —
+  and count as unrouted only when *no* shard claims them;
+* **the bridge's own upstream multicast** (a worker's translated M-SEARCH
+  or mDNS question echoing back into the group the router joined) is
+  recognised by its worker source host and dropped, mirroring a disabled
+  ``IP_MULTICAST_LOOP``.
+
+Hand-off to a worker is scheduled as a fresh network event
+(``call_later``), so each worker drains its own queue of deliveries on the
+shared virtual clock — the simulated analogue of one event loop per worker
+process.  Completed sessions are pruned from the sticky table by the same
+periodic-sweep discipline the engines use for eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from ..core.engine.automata_engine import AutomataEngine
+from ..core.errors import ConfigurationError
+from ..network.addressing import Endpoint
+from ..network.engine import NetworkEngine, NetworkNode
+from .sharding import HashRing
+
+__all__ = ["ShardRouter"]
+
+#: Seconds between sticky-table prune sweeps while entries remain.
+DEFAULT_PRUNE_INTERVAL = 15.0
+
+
+class ShardRouter(NetworkNode):
+    """Routes bridge traffic to the worker engine owning each session."""
+
+    def __init__(
+        self,
+        workers: Sequence[AutomataEngine],
+        public_endpoints: Dict[str, Endpoint],
+        hop_delay: float = 0.0,
+        prune_interval: float = DEFAULT_PRUNE_INTERVAL,
+        name: str = "shard-router",
+    ) -> None:
+        if not workers:
+            raise ConfigurationError("a shard router needs at least one worker")
+        self.name = name
+        self.hop_delay = hop_delay
+        self.prune_interval = prune_interval
+        self._public_endpoints = dict(public_endpoints)
+        self._workers: List[AutomataEngine] = []
+        self._ring: Optional[HashRing] = None
+        #: Session key -> worker index, pinned for the session's lifetime.
+        self._sticky: Dict[Hashable, int] = {}
+        #: Datagrams no shard claimed (aggregate of the fan-out passes).
+        self.unrouted_datagrams = 0
+        #: Datagrams routed (client-keyed plus fan-out claims).
+        self.routed_datagrams = 0
+        #: Worker upstream multicast echoes dropped at the edge.
+        self.echoes_dropped = 0
+        self._prune_scheduled = False
+        self._engine: Optional[NetworkEngine] = None
+        self.set_workers(workers)
+
+    # ------------------------------------------------------------------
+    # worker membership / rebalancing
+    # ------------------------------------------------------------------
+    def set_workers(self, workers: Sequence[AutomataEngine]) -> None:
+        """Install the worker set, rebuilding the hash ring.
+
+        Sticky entries survive as long as their worker does — in-flight
+        sessions never migrate — while entries whose worker index fell off
+        the end are dropped and re-homed by the new ring on next arrival.
+        """
+        workers = list(workers)
+        if not workers:
+            raise ConfigurationError("a shard router needs at least one worker")
+        self._workers = workers
+        self._ring = HashRing(len(workers))
+        limit = len(workers)
+        self._sticky = {
+            key: index for key, index in self._sticky.items() if index < limit
+        }
+
+    @property
+    def workers(self) -> List[AutomataEngine]:
+        return list(self._workers)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def shard_for_key(self, key: Hashable) -> int:
+        """The worker index ``key`` routes to right now (sticky-aware)."""
+        sticky = self._sticky.get(key)
+        if sticky is not None:
+            return sticky
+        assert self._ring is not None
+        return self._ring.shard_for(key)
+
+    # ------------------------------------------------------------------
+    # NetworkNode interface
+    # ------------------------------------------------------------------
+    def unicast_endpoints(self) -> List[Endpoint]:
+        return list(self._public_endpoints.values())
+
+    def multicast_groups(self) -> List[Endpoint]:
+        return self._workers[0].group_endpoints
+
+    def on_attached(self, engine: NetworkEngine) -> None:
+        self._engine = engine
+
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        self._engine = engine
+        if any(worker.owns_endpoint(source) for worker in self._workers):
+            # A worker's own translated multicast looping back through the
+            # group membership; the bridge must not consume its own output.
+            self.echoes_dropped += 1
+            return
+        core = self._workers[0]
+        classified = core.classify(data, destination, now=engine.now())
+        if classified is None:
+            return
+        automaton_name, message = classified
+        key = core.routing_key(automaton_name, message, source)
+        if key is not None:
+            self._route_keyed(engine, key, automaton_name, message, source)
+        else:
+            self._fan_out(engine, automaton_name, message, source)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route_keyed(
+        self,
+        engine: NetworkEngine,
+        key: Hashable,
+        automaton_name: str,
+        message,
+        source: Endpoint,
+    ) -> None:
+        index = self.shard_for_key(key)
+        self._sticky[key] = index
+        worker = self._workers[index]
+        self._ensure_pruner(engine)
+
+        def deliver() -> None:
+            if worker.dispatch(
+                engine, automaton_name, message, source, count_unrouted=False
+            ):
+                self.routed_datagrams += 1
+            else:
+                self.unrouted_datagrams += 1
+
+        engine.call_later(self.hop_delay, deliver)
+
+    def _fan_out(
+        self,
+        engine: NetworkEngine,
+        automaton_name: str,
+        message,
+        source: Endpoint,
+    ) -> None:
+        workers = list(self._workers)
+
+        def deliver() -> None:
+            # Strict first: only a shard with hard evidence (reply token or
+            # matching client host) may claim the datagram; the lenient
+            # FIFO pass runs only when every shard declined.
+            for strict in (True, False):
+                for worker in workers:
+                    if worker.dispatch(
+                        engine,
+                        automaton_name,
+                        message,
+                        source,
+                        count_unrouted=False,
+                        strict=strict,
+                    ):
+                        self.routed_datagrams += 1
+                        return
+            self.unrouted_datagrams += 1
+
+        engine.call_later(self.hop_delay, deliver)
+
+    # ------------------------------------------------------------------
+    # sticky-table pruning
+    # ------------------------------------------------------------------
+    def _ensure_pruner(self, engine: NetworkEngine) -> None:
+        if self._prune_scheduled or self.prune_interval <= 0:
+            return
+        self._prune_scheduled = True
+        engine.call_later(self.prune_interval, lambda: self._prune(engine))
+
+    def _prune(self, engine: NetworkEngine) -> None:
+        self._prune_scheduled = False
+        self._sticky = {
+            key: index
+            for key, index in self._sticky.items()
+            if index < len(self._workers) and self._workers[index].has_session(key)
+        }
+        if self._sticky:
+            self._ensure_pruner(engine)
+
+    @property
+    def sticky_sessions(self) -> Dict[Hashable, int]:
+        """A snapshot of the sticky key→shard table (tests, introspection)."""
+        return dict(self._sticky)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(workers={len(self._workers)}, "
+            f"sticky={len(self._sticky)}, routed={self.routed_datagrams})"
+        )

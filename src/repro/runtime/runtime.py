@@ -1,0 +1,268 @@
+"""The sharded runtime: one bridge, N parallel worker engines.
+
+PR 1 made every per-interaction mutable live in a
+:class:`~repro.core.engine.session.SessionContext`, leaving the merged
+automaton and its coloured automata read-only at runtime.  That is exactly
+the precondition for true parallelism: the :class:`ShardedRuntime` deploys
+*N* :class:`~repro.core.engine.automata_engine.AutomataEngine` workers that
+share the read-only behaviour model and nothing else — each worker has its
+own session table, its own statistics, its own serialised compute clock —
+behind a single :class:`~repro.runtime.router.ShardRouter` that owns the
+bridge's public endpoints and partitions sessions by consistent hash of
+the correlation key.
+
+Invariants the design rests on (and the tests pin):
+
+* the merged automaton and coloured automata are **shared and read-only**;
+  workers never write to them, so no cross-worker synchronisation exists;
+* **one session never spans shards**: the router is sticky per correlation
+  key, upstream replies return to the owning worker's (per-session
+  ephemeral) source endpoints, and rebalancing only re-homes future keys;
+* aggregate behaviour equals the single-engine runtime: the same sessions
+  complete with the same translated outputs, only wall/virtual-clock
+  timings change.
+
+On the simulated network the workers are independently-clocked event
+queues: each runs with ``serialize_processing`` so its translation compute
+is a serial resource, and the router hands datagrams over as fresh events.
+Throughput therefore scales with the worker count until the legacy
+protocol latencies dominate — the same shape a process-per-shard
+deployment shows on real hardware.  The same objects deploy unchanged on
+:class:`~repro.network.sockets.SocketNetwork`, where each worker's
+receiver threads provide the parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..core.automata.merge import MergedAutomaton
+from ..core.engine.actions import ActionRegistry
+from ..core.engine.automata_engine import (
+    DEFAULT_SESSION_TIMEOUT,
+    AutomataEngine,
+    binding_plan,
+)
+from ..core.engine.bridge import StarlinkBridge
+from ..core.engine.session import SessionCorrelator, SessionRecord
+from ..core.errors import ConfigurationError
+from ..core.mdl.spec import MDLSpec
+from ..network.engine import NetworkEngine
+from .router import ShardRouter
+
+__all__ = ["ShardedRuntime"]
+
+#: Default shard count; matches the evaluation's sweet spot on the
+#: calibrated workload (beyond it the legacy service latency dominates).
+DEFAULT_WORKERS = 4
+
+
+class ShardedRuntime:
+    """Run one bridge's merged automaton across parallel worker engines."""
+
+    def __init__(
+        self,
+        merged: MergedAutomaton,
+        mdl_specs: Mapping[str, MDLSpec],
+        workers: int = DEFAULT_WORKERS,
+        host: str = "starlink.bridge",
+        base_port: int = 41000,
+        processing_delay: float = 0.0,
+        actions: Optional[ActionRegistry] = None,
+        correlator: Optional[SessionCorrelator] = None,
+        session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
+        serialize_processing: bool = True,
+        hop_delay: float = 0.0,
+        ephemeral_ports: bool = True,
+        worker_port_stride: int = 0,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigurationError(
+                f"a sharded runtime needs at least one worker, got {workers}"
+            )
+        self.merged = merged
+        self.mdl_specs: Dict[str, MDLSpec] = dict(mdl_specs)
+        self.host = host
+        self.base_port = base_port
+        self.processing_delay = processing_delay
+        self.actions = actions
+        self.correlator = correlator
+        self.session_timeout = session_timeout
+        self.serialize_processing = serialize_processing
+        self.hop_delay = hop_delay
+        self.ephemeral_ports = ephemeral_ports
+        #: With a stride, worker *i* shares the runtime's host and claims
+        #: the port range ``base_port + (i+1) * stride`` — required on the
+        #: socket engine, where hosts are real addresses (everything is
+        #: 127.0.0.1) and only ports distinguish the nodes.  Without one
+        #: (the simulation default), workers share ``base_port`` under
+        #: derived per-worker hostnames.
+        self.worker_port_stride = worker_port_stride
+        #: The advertised (router-owned) endpoint per component automaton.
+        self.public_endpoints = binding_plan(merged, host, base_port)
+        self._workers: List[AutomataEngine] = [
+            self._build_worker(index) for index in range(workers)
+        ]
+        self._router: Optional[ShardRouter] = None
+        self._network: Optional[NetworkEngine] = None
+
+    @classmethod
+    def from_bridge(
+        cls, bridge: StarlinkBridge, workers: int = DEFAULT_WORKERS, **overrides: Any
+    ) -> "ShardedRuntime":
+        """Shard an (undeployed) :class:`StarlinkBridge` across workers.
+
+        The bridge supplies the models and configuration; keyword
+        ``overrides`` adjust runtime-only knobs (``serialize_processing``,
+        ``hop_delay``, ...).
+        """
+        options: Dict[str, Any] = dict(
+            host=bridge.host,
+            base_port=bridge.base_port,
+            processing_delay=bridge.processing_delay,
+            actions=bridge.actions,
+            correlator=bridge.correlator,
+            session_timeout=bridge.session_timeout,
+            ephemeral_ports=bridge.ephemeral_ports,
+        )
+        options.update(overrides)
+        return cls(bridge.merged, bridge.mdl_specs, workers=workers, **options)
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def _build_worker(self, index: int) -> AutomataEngine:
+        if self.worker_port_stride > 0:
+            worker_host = self.host
+            worker_base_port = self.base_port + (index + 1) * self.worker_port_stride
+        else:
+            worker_host = f"{self.host}.w{index}"
+            worker_base_port = self.base_port
+        return AutomataEngine(
+            self.merged,
+            self.mdl_specs,
+            host=worker_host,
+            base_port=worker_base_port,
+            processing_delay=self.processing_delay,
+            actions=self.actions,
+            name=f"starlink:{self.merged.name}.w{index}",
+            correlator=self.correlator,
+            session_timeout=self.session_timeout,
+            serialize_processing=self.serialize_processing,
+            public_endpoints=self.public_endpoints,
+            join_groups=False,
+            ephemeral_ports=self.ephemeral_ports,
+        )
+
+    def deploy(self, network: NetworkEngine) -> ShardRouter:
+        """Attach the workers and the router; returns the router node."""
+        if self._router is not None:
+            raise ConfigurationError(
+                f"sharded runtime '{self.merged.name}' is already deployed"
+            )
+        for worker in self._workers:
+            network.attach(worker)
+        router = ShardRouter(
+            self._workers,
+            self.public_endpoints,
+            hop_delay=self.hop_delay,
+            name=f"router:{self.merged.name}",
+        )
+        network.attach(router)
+        self._router = router
+        self._network = network
+        return router
+
+    def undeploy(self) -> None:
+        if self._network is not None:
+            if self._router is not None:
+                self._network.detach(self._router)
+            for worker in self._workers:
+                self._network.detach(worker)
+        self._router = None
+        self._network = None
+
+    def scale_to(self, workers: int) -> None:
+        """Grow or shrink the worker pool of a deployed runtime.
+
+        Growing attaches fresh workers and rebuilds the router's ring; keys
+        of in-flight sessions stay pinned to their original worker by the
+        sticky table (one session never spans shards).  Shrinking detaches
+        the excess workers — their in-flight sessions are abandoned, as
+        when a real worker process is drained without hand-off.
+        """
+        if workers <= 0:
+            raise ConfigurationError(
+                f"a sharded runtime needs at least one worker, got {workers}"
+            )
+        if self._router is None or self._network is None:
+            raise ConfigurationError("scale_to requires a deployed runtime")
+        while len(self._workers) < workers:
+            worker = self._build_worker(len(self._workers))
+            self._network.attach(worker)
+            self._workers.append(worker)
+        while len(self._workers) > workers:
+            worker = self._workers.pop()
+            self._network.detach(worker)
+        self._router.set_workers(self._workers)
+
+    # ------------------------------------------------------------------
+    # introspection / aggregated statistics
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> Optional[ShardRouter]:
+        return self._router
+
+    @property
+    def workers(self) -> List[AutomataEngine]:
+        return list(self._workers)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    @property
+    def sessions(self) -> List[SessionRecord]:
+        """Completed sessions across all workers, in completion order."""
+        records = [record for worker in self._workers for record in worker.sessions]
+        records.sort(key=lambda record: record.finished_at)
+        return records
+
+    @property
+    def evicted_sessions(self) -> List[SessionRecord]:
+        records = [
+            record for worker in self._workers for record in worker.evicted_sessions
+        ]
+        records.sort(key=lambda record: record.finished_at)
+        return records
+
+    @property
+    def active_session_count(self) -> int:
+        return sum(len(worker.active_sessions) for worker in self._workers)
+
+    @property
+    def unrouted_datagrams(self) -> int:
+        """Datagrams neither the router nor any worker could place."""
+        router_unrouted = self._router.unrouted_datagrams if self._router else 0
+        return router_unrouted + sum(
+            worker.unrouted_datagrams for worker in self._workers
+        )
+
+    @property
+    def ignored_datagrams(self) -> int:
+        return sum(worker.ignored_datagrams for worker in self._workers)
+
+    @property
+    def parse_failures(self) -> List:
+        return [failure for worker in self._workers for failure in worker.parse_failures]
+
+    def worker_session_counts(self) -> List[int]:
+        """Completed sessions per worker (the shard-balance view)."""
+        return [len(worker.sessions) for worker in self._workers]
+
+    def __repr__(self) -> str:
+        deployed = "deployed" if self._router is not None else "not deployed"
+        return (
+            f"ShardedRuntime({self.merged.name!r}, workers={len(self._workers)}, "
+            f"{deployed})"
+        )
