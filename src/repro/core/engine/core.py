@@ -26,6 +26,13 @@ read-only merged automaton and multiplexes sessions over it:
 ``on_datagram`` remains the single-engine fast path and is expressed as
 ``classify`` + ``dispatch``, so the standalone engine and the sharded
 workers execute the same code.
+
+Threading contract: :meth:`classify` and :meth:`routing_key` are pure with
+respect to session state and safe to call from any thread (the live shard
+router classifies on socket receiver threads); :meth:`dispatch` and
+:meth:`has_session` touch the session table and must be serialised per
+engine — the simulation's event queue does this implicitly, the live
+runtime does it with one event-loop thread (plus lock) per worker.
 """
 
 from __future__ import annotations

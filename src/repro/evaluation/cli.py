@@ -1,37 +1,73 @@
 """Command-line entry point for the evaluation harness.
 
 ``python -m repro.evaluation [--repetitions N]
-[--table fig12a|fig12b|overhead|concurrency|sharding|all]`` regenerates the
-paper's Fig. 12 tables (and the Section VI overhead analysis) plus the
-concurrent-sessions and sharded-runtime scaling sweeps, and prints them
-next to the published numbers.  This is the same code path the benchmarks
-use; the CLI exists so the headline result can be reproduced without
-pytest.
+[--table fig12a|fig12b|overhead|concurrency|sharding|live-sharding|all]``
+regenerates the paper's Fig. 12 tables (and the Section VI overhead
+analysis) plus the concurrent-sessions and sharded-runtime scaling sweeps,
+and prints them next to the published numbers.  This is the same code path
+the benchmarks use; the CLI exists so the headline result can be
+reproduced without pytest.
+
+``--table live-sharding`` runs the sweep over **real loopback sockets**
+(thread-per-worker engines, wall-clock timings) and writes the rows to
+``BENCH_live_sharding.json`` (directory overridable with
+``REPRO_BENCH_RESULTS_DIR``).  It is excluded from ``all``: it needs
+permission to bind loopback sockets and measures the machine, not the
+model.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import platform
 import sys
 from typing import List, Optional, Sequence
 
 from .harness import (
+    DEFAULT_LIVE_CLIENTS,
+    DEFAULT_LIVE_WORKER_COUNTS,
     DEFAULT_REPETITIONS,
     DEFAULT_SHARDING_CLIENTS,
     run_concurrency,
     run_fig12a,
     run_fig12b,
+    run_live_sharding,
     run_sharding,
 )
 from .tables import (
     format_concurrency,
     format_fig12a,
     format_fig12b,
+    format_live_sharding,
     format_sharding,
     overhead_ratios,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "write_live_sharding_results"]
+
+
+def write_live_sharding_results(rows, clients: int, case: int) -> str:
+    """Write the live-sharding rows to ``BENCH_live_sharding.json``.
+
+    Same payload shape as the benchmark suite's writers, so CI archives
+    the CLI output interchangeably with the pytest-benchmark artifacts.
+    """
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR", os.getcwd())
+    payload = {
+        "benchmark": "live_sharding",
+        "python": platform.python_version(),
+        "case": case,
+        "clients": clients,
+        "worker_counts": [row.workers for row in rows],
+        "rows": [row.as_row() for row in rows],
+    }
+    path = os.path.join(results_dir, "BENCH_live_sharding.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,9 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--table",
-        choices=["fig12a", "fig12b", "overhead", "concurrency", "sharding", "all"],
+        choices=[
+            "fig12a",
+            "fig12b",
+            "overhead",
+            "concurrency",
+            "sharding",
+            "live-sharding",
+            "all",
+        ],
         default="all",
-        help="which table to regenerate",
+        help="which table to regenerate ('all' covers the simulated tables; "
+        "live-sharding runs on real loopback sockets and must be asked for)",
     )
     parser.add_argument("--seed", type=int, default=7, help="simulation seed")
     parser.add_argument(
@@ -63,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_SHARDING_CLIENTS,
         help="concurrent clients held constant while the worker count is swept",
+    )
+    parser.add_argument(
+        "--live-clients",
+        type=int,
+        default=DEFAULT_LIVE_CLIENTS,
+        help="concurrent OS-socket clients of the live-sharding sweep",
     )
     return parser
 
@@ -110,6 +161,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         lines.append(format_sharding(sharding_rows))
+        lines.append("")
+    if args.table == "live-sharding":
+        try:
+            live_rows = run_live_sharding(
+                case=args.concurrency_case,
+                clients=args.live_clients,
+                worker_counts=DEFAULT_LIVE_WORKER_COUNTS,
+            )
+        except (ValueError, OSError, RuntimeError) as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_live_sharding(live_rows))
+        path = write_live_sharding_results(
+            live_rows, clients=args.live_clients, case=args.concurrency_case
+        )
+        lines.append(f"(rows written to {path})")
         lines.append("")
 
     print("\n".join(lines).rstrip())

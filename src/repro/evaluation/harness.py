@@ -21,9 +21,12 @@ from ..bridges.specs import CASE_NAMES
 from ..network.latency import CalibratedLatencies
 from .workloads import (
     LEGACY_PROTOCOLS,
+    LIVE_PROCESSING_DELAY,
     bridged_scenario,
     concurrent_scenario,
     legacy_scenario,
+    live_sharded_scenario,
+    live_twin_scenario,
     sharded_scenario,
 )
 
@@ -31,18 +34,23 @@ __all__ = [
     "Summary",
     "ConcurrencySummary",
     "ShardingSummary",
+    "LiveShardingSummary",
     "summarise",
     "measure_legacy_protocol",
     "measure_connector_case",
     "measure_concurrent_sessions",
     "measure_sharded_sessions",
+    "measure_live_sharded_sessions",
     "run_fig12a",
     "run_fig12b",
     "run_concurrency",
     "run_sharding",
+    "run_live_sharding",
     "DEFAULT_CLIENT_COUNTS",
     "DEFAULT_WORKER_COUNTS",
     "DEFAULT_SHARDING_CLIENTS",
+    "DEFAULT_LIVE_WORKER_COUNTS",
+    "DEFAULT_LIVE_CLIENTS",
 ]
 
 #: Default repetition count, matching the paper.
@@ -357,6 +365,119 @@ def run_sharding(
             workers,
             latencies=latencies,
             seed=seed,
+            baseline_throughput=baseline,
+        )
+        if baseline is None:
+            baseline = row.throughput
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# live sharded runtime: the same sweep over real loopback sockets
+# ----------------------------------------------------------------------
+#: Shard counts of the live sweep (each shard is a real worker thread).
+DEFAULT_LIVE_WORKER_COUNTS = (1, 2, 4)
+
+#: Concurrent OS-socket clients held constant across the live sweep.
+DEFAULT_LIVE_CLIENTS = 24
+
+
+@dataclass(frozen=True)
+class LiveShardingSummary(ShardingSummary):
+    """One row of the live sweep: wall-clock timings over real sockets.
+
+    ``makespan_s``/``throughput`` are *wall-clock* here — the time real
+    datagrams took on the loopback interface, translation compute included
+    — and every row records whether the raw bytes each client received
+    matched the deterministic simulated twin of the same topology.
+    """
+
+    #: True when every client's raw responses equal the simulated twin's.
+    outputs_match_simulated: bool = True
+
+    def as_row(self) -> Dict[str, object]:
+        row = super().as_row()
+        row["outputs_match_simulated"] = self.outputs_match_simulated
+        return row
+
+
+def measure_live_sharded_sessions(
+    case: int,
+    clients: int,
+    workers: int,
+    processing_delay: float = LIVE_PROCESSING_DELAY,
+    baseline_throughput: Optional[float] = None,
+    seed: int = 7,
+) -> LiveShardingSummary:
+    """One live row: ``clients`` OS-socket lookups across ``workers`` shards.
+
+    Runs the live scenario on real loopback sockets, then its simulated
+    twin (identical topology on the virtual clock), and compares the raw
+    translated bytes every client received — the live deployment must not
+    change a single output byte.
+    """
+    live = live_sharded_scenario(
+        case, clients=clients, workers=workers, processing_delay=processing_delay
+    )
+    result = live.run()
+    if not result.all_found:
+        raise RuntimeError(
+            f"{clients - result.completed} of {clients} live lookups failed "
+            f"for case {case} at {workers} workers"
+        )
+    live_bytes = live.raw_responses_by_client
+
+    twin = live_twin_scenario(
+        case,
+        clients=clients,
+        workers=workers,
+        processing_delay=processing_delay,
+        seed=seed,
+    )
+    twin_result = twin.run()
+    twin_bytes = {
+        client.name: tuple(client.raw_responses) for client in twin.clients
+    }
+    outputs_match = twin_result.all_found and live_bytes == twin_bytes
+
+    throughput = result.throughput
+    return LiveShardingSummary(
+        case=case,
+        label=f"{case}. {CASE_NAMES[case]}",
+        clients=clients,
+        workers=workers,
+        completed=result.completed,
+        translation_ms=tuple(value * 1000.0 for value in result.translation_times),
+        makespan_s=result.makespan,
+        throughput=throughput,
+        speedup=(throughput / baseline_throughput) if baseline_throughput else 1.0,
+        unrouted=result.unrouted_datagrams,
+        worker_sessions=tuple(live.runtime.worker_session_counts()),
+        outputs_match_simulated=outputs_match,
+    )
+
+
+def run_live_sharding(
+    case: int = 2,
+    clients: int = DEFAULT_LIVE_CLIENTS,
+    worker_counts: Sequence[int] = DEFAULT_LIVE_WORKER_COUNTS,
+    processing_delay: float = LIVE_PROCESSING_DELAY,
+) -> List[LiveShardingSummary]:
+    """The live sweep: one wall-clock row per shard count, same client load.
+
+    Unlike the simulated sweep this measures real elapsed time, so rows
+    carry scheduler jitter; the speedup column is still throughput relative
+    to the sweep's single-shard row, which runs the identical workload.
+    """
+    rows: List[LiveShardingSummary] = []
+    baseline: Optional[float] = None
+    for workers in worker_counts:
+        row = measure_live_sharded_sessions(
+            case,
+            clients,
+            workers,
+            processing_delay=processing_delay,
             baseline_throughput=baseline,
         )
         if baseline is None:

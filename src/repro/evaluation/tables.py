@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .harness import ConcurrencySummary, ShardingSummary, Summary
+from .harness import ConcurrencySummary, LiveShardingSummary, ShardingSummary, Summary
 
 __all__ = [
     "PAPER_FIG12A",
@@ -20,6 +20,7 @@ __all__ = [
     "format_fig12b",
     "format_concurrency",
     "format_sharding",
+    "format_live_sharding",
     "overhead_ratios",
 ]
 
@@ -131,6 +132,36 @@ def format_sharding(rows: Sequence[ShardingSummary]) -> str:
             f"{row.label:<22} {row.clients:>8} {row.workers:>8} "
             f"{row.median_translation_ms:>20.0f} {row.makespan_s:>13.3f} "
             f"{row.throughput:>11.1f} {row.speedup:>7.2f}x  {balance}"
+        )
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_live_sharding(rows: Sequence[LiveShardingSummary]) -> str:
+    """Render the live (real-socket) sharding sweep as a text table.
+
+    Timings are wall clock — real datagrams on the loopback interface —
+    and the last column confirms the raw bytes every client received match
+    the deterministic simulated twin of the same topology.
+    """
+    header = (
+        f"{'Case':<22} {'Clients':>8} {'Workers':>8} "
+        f"{'Makespan (s)':>13} {'Sessions/s':>11} {'Speedup':>8} "
+        f"{'Bytes=sim':>10}  {'Shard balance'}"
+    )
+    lines = [
+        "Live sharded runtime - real loopback sockets, wall-clock timings",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        balance = "/".join(str(count) for count in row.worker_sessions)
+        identical = "yes" if row.outputs_match_simulated else "NO"
+        lines.append(
+            f"{row.label:<22} {row.clients:>8} {row.workers:>8} "
+            f"{row.makespan_s:>13.3f} {row.throughput:>11.1f} "
+            f"{row.speedup:>7.2f}x {identical:>10}  {balance}"
         )
     lines.append("-" * len(header))
     return "\n".join(lines)

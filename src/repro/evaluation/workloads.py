@@ -15,18 +15,20 @@ test service, one per discovery vocabulary:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
 from ..core.engine.bridge import StarlinkBridge
-from ..network.latency import CalibratedLatencies, default_latencies
+from ..network.latency import CalibratedLatencies, LatencyModel, default_latencies
 from ..network.simulated import SimulatedNetwork
+from ..network.sockets import SocketNetwork
 from ..protocols.common import LookupResult
 from ..protocols.mdns import BonjourBrowser, BonjourResponder
 from ..protocols.slp import SLPServiceAgent, SLPUserAgent
 from ..protocols.upnp import UPnPControlPoint, UPnPDevice
-from ..runtime import ShardedRuntime
+from ..runtime import LiveShardedRuntime, ShardedRuntime
 
 __all__ = [
     "SLP_SERVICE_TYPE",
@@ -35,11 +37,17 @@ __all__ = [
     "Scenario",
     "ConcurrentScenario",
     "ConcurrentResult",
+    "LiveScenario",
     "legacy_scenario",
     "bridged_scenario",
     "concurrent_scenario",
     "sharded_scenario",
+    "live_sharded_scenario",
+    "live_twin_scenario",
     "LEGACY_PROTOCOLS",
+    "LIVE_BRIDGE_PORT",
+    "LIVE_SERVICE_PORT",
+    "LIVE_CLIENT_PORT_BASE",
 ]
 
 SLP_SERVICE_TYPE = "service:test"
@@ -240,66 +248,89 @@ class ConcurrentScenario:
         network.run_until(
             all_answered, timeout=timeout + expected * self.spacing
         )
-
-        # Makespan from the virtual reply timestamps themselves, so idle
-        # simulation time after the last reply does not inflate it.
-        results: List[LookupResult] = []
-        reply_times: List[float] = []
-        for client, key in started:
-            result = client.lookup_result(key)
-            if result is None:
-                results.append(LookupResult(found=False))
-                continue
-            results.append(result)
-            reply_times.append(client.lookup_started_at(key) + result.response_time)
-        makespan = (max(reply_times) - first_send) if reply_times else 0.0
-
-        return ConcurrentResult(
-            name=self.name,
-            clients=expected,
-            results=results,
-            makespan=makespan,
-            translation_times=[
-                record.translation_time for record in self.bridge.sessions
-            ],
-            unrouted_datagrams=self.bridge.unrouted_datagrams,
-            ignored_datagrams=self.bridge.ignored_datagrams,
+        return _collect_concurrent_result(
+            self.name, self.bridge, started, first_send, expected
         )
 
 
-def _make_concurrent_clients(client_protocol: str, count: int):
+def _collect_concurrent_result(
+    name: str, bridge, started, first_send: float, expected: int
+) -> ConcurrentResult:
+    """Harvest the per-client results after a concurrent run.
+
+    Makespan comes from the reply timestamps themselves (virtual on the
+    simulation, wall on sockets), so idle time after the last reply —
+    simulation quiescence or live polling slack — does not inflate it.
+    """
+    results: List[LookupResult] = []
+    reply_times: List[float] = []
+    for client, key in started:
+        result = client.lookup_result(key)
+        if result is None:
+            results.append(LookupResult(found=False))
+            continue
+        results.append(result)
+        reply_times.append(client.lookup_started_at(key) + result.response_time)
+    makespan = (max(reply_times) - first_send) if reply_times else 0.0
+
+    return ConcurrentResult(
+        name=name,
+        clients=expected,
+        results=results,
+        makespan=makespan,
+        translation_times=[record.translation_time for record in bridge.sessions],
+        unrouted_datagrams=bridge.unrouted_datagrams,
+        ignored_datagrams=bridge.ignored_datagrams,
+    )
+
+
+def _make_concurrent_clients(
+    client_protocol: str,
+    count: int,
+    host: Optional[str] = None,
+    port_base: Optional[int] = None,
+    client_overhead: Optional[LatencyModel] = None,
+):
     """N distinct legacy clients of ``client_protocol`` with unique endpoints.
 
     Transaction identifiers are pinned per client index, so two runs of the
-    same workload — regardless of shard count — translate byte-identical
-    outputs (the sharding benchmark asserts exactly that).
+    same workload — regardless of shard count or network engine — translate
+    byte-identical outputs (the sharding benchmarks assert exactly that).
+    ``host``/``port_base`` relocate the clients for the socket engine,
+    where every node shares the loopback address and only ports differ.
     """
     clients = []
     for index in range(count):
+        kwargs: Dict[str, object] = {}
+        if client_overhead is not None:
+            kwargs["client_overhead"] = client_overhead
         if client_protocol == "SLP":
             clients.append(
                 SLPUserAgent(
-                    host=f"slp-client-{index}.local",
-                    port=5100 + index,
+                    host=host or f"slp-client-{index}.local",
+                    port=(port_base or 5100) + index,
                     name=f"slp-client-{index}",
                     xid_start=1000 + index * 16,
+                    **kwargs,
                 )
             )
         elif client_protocol == "Bonjour":
             clients.append(
                 BonjourBrowser(
-                    host=f"bonjour-client-{index}.local",
-                    port=5200 + index,
+                    host=host or f"bonjour-client-{index}.local",
+                    port=(port_base or 5200) + index,
                     name=f"bonjour-client-{index}",
                     query_id_start=2000 + index * 16,
+                    **kwargs,
                 )
             )
         elif client_protocol == "UPnP":
             clients.append(
                 UPnPControlPoint(
-                    host=f"upnp-client-{index}.local",
-                    port=5300 + index,
+                    host=host or f"upnp-client-{index}.local",
+                    port=(port_base or 5300) + index,
                     name=f"upnp-client-{index}",
+                    **kwargs,
                 )
             )
         else:
@@ -415,5 +446,236 @@ def sharded_scenario(
             f"{clients} overlapping legacy {client_protocol} lookups through a "
             f"{workers}-shard Starlink runtime answering from a legacy "
             f"{service_protocol} service"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# live sharded runtime: the same workload over real loopback sockets
+# ----------------------------------------------------------------------
+#: Fixed loopback port layout of the live workload.  The ports are part of
+#: the topology: the simulated twin uses the same numbers, so translated
+#: bytes that embed a bridge or service endpoint are identical in both.
+LIVE_BRIDGE_PORT = 41700
+LIVE_SERVICE_PORT = 42700
+LIVE_CLIENT_PORT_BASE = 42750
+
+#: Wall-clock seconds of translation compute charged per translated send in
+#: the live workload (the serial resource each worker parallelises).
+LIVE_PROCESSING_DELAY = 0.005
+
+_LIVE_HOST = "127.0.0.1"
+_NO_LATENCY = LatencyModel(0.0, 0.0)
+_LIVE_SERVICE_LATENCY = LatencyModel(0.001, 0.001)
+
+
+def _fast_calibration() -> CalibratedLatencies:
+    """Sub-millisecond calibration for the simulated twin of a live run."""
+    quick = LatencyModel(0.001, 0.001)
+    return CalibratedLatencies(
+        link=LatencyModel(0.0001, 0.0001),
+        slp_service=quick,
+        mdns_service=quick,
+        ssdp_service=quick,
+        http_service=quick,
+        slp_client_overhead=_NO_LATENCY,
+        mdns_client_overhead=_NO_LATENCY,
+        upnp_client_overhead=_NO_LATENCY,
+        bridge_processing=_NO_LATENCY,
+    )
+
+
+def _live_service(service_protocol: str):
+    """The legacy service of a live topology, pinned to the loopback layout."""
+    if service_protocol == "SLP":
+        return SLPServiceAgent(
+            host=_LIVE_HOST, port=LIVE_SERVICE_PORT, latency=_LIVE_SERVICE_LATENCY
+        )
+    if service_protocol == "Bonjour":
+        return BonjourResponder(
+            host=_LIVE_HOST, port=LIVE_SERVICE_PORT, latency=_LIVE_SERVICE_LATENCY
+        )
+    if service_protocol == "UPnP":
+        return UPnPDevice(
+            host=_LIVE_HOST,
+            ssdp_port=LIVE_SERVICE_PORT,
+            http_port=LIVE_SERVICE_PORT + 1,
+            ssdp_latency=_LIVE_SERVICE_LATENCY,
+            http_latency=_LIVE_SERVICE_LATENCY,
+        )
+    raise ValueError(f"unknown service protocol {service_protocol!r}")
+
+
+@dataclass
+class LiveScenario:
+    """N legacy clients through a live sharded runtime on real sockets.
+
+    The socket-engine sibling of :class:`ConcurrentScenario`: the same
+    clients, the same non-blocking lookup driver, but the network is a
+    :class:`~repro.network.sockets.SocketNetwork` and time is the wall
+    clock — :meth:`run` polls for completion instead of advancing a
+    simulation.  ``run`` also tears the deployment down (sockets and worker
+    threads are real resources), so a scenario runs **once**.
+    """
+
+    name: str
+    network: SocketNetwork
+    runtime: LiveShardedRuntime
+    clients: List
+    target: str
+    description: str = ""
+
+    def run(self, timeout: float = 15.0) -> ConcurrentResult:
+        network = self.network
+        try:
+            started = []
+            first_send = network.now()
+            for client in self.clients:
+                started.append((client, client.start_lookup(network, self.target)))
+
+            def all_answered() -> bool:
+                return all(
+                    client.lookup_result(key) is not None for client, key in started
+                )
+
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline and not all_answered():
+                # A worker-loop exception means the missing replies will
+                # never come; fail immediately instead of draining the
+                # timeout.
+                if self.runtime.worker_errors:
+                    break
+                time.sleep(0.002)
+            if self.runtime.worker_errors:
+                raise self.runtime.worker_errors[0]
+            return _collect_concurrent_result(
+                self.name, self.runtime, started, first_send, len(self.clients)
+            )
+        finally:
+            self.runtime.undeploy()
+            self.network.close()
+
+    @property
+    def raw_responses_by_client(self) -> Dict[str, Tuple[bytes, ...]]:
+        """Raw translated bytes each client received (byte-identity checks)."""
+        return {client.name: tuple(client.raw_responses) for client in self.clients}
+
+
+def _live_case_parts(case: int, clients: int):
+    if case not in BRIDGE_BUILDERS:
+        raise ValueError(f"unknown case {case}; valid cases are 1..6")
+    client_protocol, _, service_protocol = CASE_NAMES[case].partition(" to ")
+    targets = {
+        "SLP": SLP_SERVICE_TYPE,
+        "Bonjour": BONJOUR_SERVICE_NAME,
+        "UPnP": UPNP_SERVICE_TYPE,
+    }
+    concurrent_clients = _make_concurrent_clients(
+        client_protocol,
+        clients,
+        host=_LIVE_HOST,
+        port_base=LIVE_CLIENT_PORT_BASE,
+        client_overhead=_NO_LATENCY,
+    )
+    service = _live_service(service_protocol)
+    return concurrent_clients, service, targets[client_protocol], service_protocol
+
+
+def _live_bridge(case: int, processing_delay: float) -> StarlinkBridge:
+    bridge = BRIDGE_BUILDERS[case](
+        host=_LIVE_HOST,
+        base_port=LIVE_BRIDGE_PORT,
+        processing_delay=processing_delay,
+    )
+    bridge.validate()
+    return bridge
+
+
+def live_sharded_scenario(
+    case: int,
+    clients: int = 24,
+    workers: int = 4,
+    processing_delay: float = LIVE_PROCESSING_DELAY,
+) -> LiveScenario:
+    """``clients`` real-socket lookups through a ``workers``-shard runtime.
+
+    Deploys a :class:`~repro.runtime.live.LiveShardedRuntime` (router +
+    thread-per-worker engines) on a fresh :class:`SocketNetwork`, with the
+    legacy service and N OS-socket clients of the case attached alongside.
+    Throughput here is *real wall-clock* throughput: ``processing_delay``
+    seconds of serialised translation compute per translated send is what
+    the workers parallelise.
+    """
+    network = SocketNetwork()
+    concurrent_clients, service, target, service_protocol = _live_case_parts(
+        case, clients
+    )
+    runtime = LiveShardedRuntime.from_bridge(
+        _live_bridge(case, processing_delay), workers=workers
+    )
+    try:
+        runtime.deploy(network)
+        network.attach(service)
+        for client in concurrent_clients:
+            network.attach(client)
+    except Exception:
+        runtime.undeploy()
+        network.close()
+        raise
+    client_protocol, _, _ = CASE_NAMES[case].partition(" to ")
+    return LiveScenario(
+        name=f"live-case-{case}-x{clients}-w{workers}",
+        network=network,
+        runtime=runtime,
+        clients=concurrent_clients,
+        target=target,
+        description=(
+            f"{clients} legacy {client_protocol} lookups over real loopback "
+            f"sockets through a {workers}-shard live Starlink runtime answering "
+            f"from a legacy {service_protocol} service"
+        ),
+    )
+
+
+def live_twin_scenario(
+    case: int,
+    clients: int = 24,
+    workers: int = 4,
+    processing_delay: float = LIVE_PROCESSING_DELAY,
+    seed: int = 7,
+) -> ConcurrentScenario:
+    """The simulated twin of :func:`live_sharded_scenario`.
+
+    Identical topology — same loopback host, same port layout, same pinned
+    client transaction identifiers, same shard count, ephemeral ports off —
+    on the deterministic simulation.  Translated outputs must be
+    byte-identical to the live run's; only timings differ.  The live
+    benchmark and ``--table live-sharding`` assert that equality.
+    """
+    network = SimulatedNetwork(latencies=_fast_calibration(), seed=seed)
+    concurrent_clients, service, target, service_protocol = _live_case_parts(
+        case, clients
+    )
+    runtime = ShardedRuntime.from_bridge(
+        _live_bridge(case, processing_delay),
+        workers=workers,
+        serialize_processing=True,
+        ephemeral_ports=False,
+        worker_port_stride=16,
+    )
+    runtime.deploy(network)
+    network.attach(service)
+    for client in concurrent_clients:
+        network.attach(client)
+    return ConcurrentScenario(
+        name=f"live-twin-case-{case}-x{clients}-w{workers}",
+        network=network,
+        bridge=runtime,
+        clients=concurrent_clients,
+        target=target,
+        spacing=0.0005,
+        description=(
+            f"Simulated twin of the live {workers}-shard case-{case} workload "
+            f"(same loopback topology, virtual clock)"
         ),
     )

@@ -13,12 +13,20 @@ loopback interface:
   semantics the framework relies on.
 * **TCP** endpoints get a listening socket; each accepted connection reads
   one request (until the peer half-closes or a short idle timeout expires),
-  hands it to the owning node, and writes back whatever the node sends to
-  the ephemeral peer endpoint before closing.
+  hands it to the owning node, and keeps the connection open as the node's
+  **reply channel**: whatever the node later sends to the ephemeral peer
+  endpoint is written back on the same connection, which is then closed.
+  The channel survives the node's handler returning — a node that answers
+  *after a delay* (a translated response scheduled behind a processing
+  delay, or a sharded router handing the request to a worker thread) still
+  reaches the waiting client, instead of the engine dialling the peer's
+  kernel-ephemeral port and hitting ``ConnectionRefusedError``.  An
+  unanswered connection is closed after ``tcp_reply_timeout`` seconds.
 
 The engine exists to demonstrate that the framework's logic is independent
 of the transport substrate; the evaluation harness uses the simulation for
-determinism and speed.
+determinism and speed, while :mod:`repro.runtime.live` deploys the sharded
+runtime on this engine for real wall-clock benchmarks.
 """
 
 from __future__ import annotations
@@ -32,17 +40,71 @@ from ..core.errors import NetworkError
 from .addressing import Endpoint, Transport
 from .engine import NetworkEngine, NetworkNode
 
-__all__ = ["SocketNetwork"]
+__all__ = ["SocketNetwork", "loopback_available"]
+
+
+def loopback_available() -> bool:
+    """Whether this environment permits binding loopback UDP sockets.
+
+    Some sandboxes and minimal containers forbid it; the live tests,
+    benchmarks and examples probe with this and skip themselves.
+    """
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
 
 _RECV_BUFFER = 65536
 _TCP_IDLE_TIMEOUT = 0.2
+
+#: Seconds an accepted TCP connection stays open waiting for the owning
+#: node's (possibly delayed) reply before the engine gives up and closes it.
+DEFAULT_TCP_REPLY_TIMEOUT = 5.0
+
+
+class _TcpReplyChannel:
+    """An accepted TCP connection held open as a node's reply channel."""
+
+    def __init__(self, connection: socket.socket) -> None:
+        self.connection = connection
+        #: Set once a reply has been written; the accept handler waits on
+        #: this instead of closing the connection right after dispatch.
+        self.replied = threading.Event()
+        #: Serialises writes against the handler's close.
+        self.lock = threading.Lock()
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        with self.lock:
+            if self.closed:
+                raise NetworkError("TCP reply channel already closed")
+            self.connection.sendall(data)
+        self.replied.set()
+
+    def close(self) -> None:
+        with self.lock:
+            if self.closed:
+                return
+            self.closed = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
 
 
 class SocketNetwork(NetworkEngine):
     """Network engine backed by real loopback sockets."""
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        tcp_reply_timeout: float = DEFAULT_TCP_REPLY_TIMEOUT,
+    ) -> None:
         self.host = host
+        self.tcp_reply_timeout = tcp_reply_timeout
         self._nodes: List[NetworkNode] = []
         self._udp_sockets: Dict[Tuple[str, int], socket.socket] = {}
         self._tcp_servers: Dict[Tuple[str, int], socket.socket] = {}
@@ -51,7 +113,7 @@ class SocketNetwork(NetworkEngine):
         self._threads: List[threading.Thread] = []
         self._timers: List[threading.Timer] = []
         #: Open TCP reply channels keyed by the peer's ephemeral endpoint.
-        self._tcp_replies: Dict[Tuple[str, int], socket.socket] = {}
+        self._tcp_replies: Dict[Tuple[str, int], _TcpReplyChannel] = {}
         self._lock = threading.Lock()
         self._running = True
 
@@ -96,11 +158,8 @@ class SocketNetwork(NetworkEngine):
                 sock.close()
             except OSError:
                 pass
-        for sock in self._tcp_replies.values():
-            try:
-                sock.close()
-            except OSError:
-                pass
+        for channel in list(self._tcp_replies.values()):
+            channel.close()
         self._udp_sockets.clear()
         self._tcp_servers.clear()
         self._tcp_replies.clear()
@@ -192,17 +251,20 @@ class SocketNetwork(NetworkEngine):
         request = b"".join(chunks)
         source = Endpoint(peer[0], peer[1], Transport.TCP)
         destination = Endpoint(host, port, Transport.TCP)
+        channel = _TcpReplyChannel(connection)
         with self._lock:
-            self._tcp_replies[(peer[0], peer[1])] = connection
+            self._tcp_replies[(peer[0], peer[1])] = channel
         try:
             node.on_datagram(self, request, source, destination)
+            # The node's reply may be scheduled rather than written inline
+            # (a processing delay, or a shard router handing the request to
+            # a worker thread): keep the reply channel open until the reply
+            # has actually been written, bounded by the reply timeout.
+            channel.replied.wait(self.tcp_reply_timeout)
         finally:
             with self._lock:
                 self._tcp_replies.pop((peer[0], peer[1]), None)
-            try:
-                connection.close()
-            except OSError:
-                pass
+            channel.close()
 
     # ------------------------------------------------------------------
     def send(
@@ -251,7 +313,7 @@ class SocketNetwork(NetworkEngine):
             reply_channel = self._tcp_replies.get((destination.host, destination.port))
         if reply_channel is not None:
             try:
-                reply_channel.sendall(data)
+                reply_channel.write(data)
             except OSError as exc:
                 raise NetworkError(f"TCP reply to {destination} failed: {exc}") from exc
             return
@@ -260,9 +322,13 @@ class SocketNetwork(NetworkEngine):
         owner = self._endpoint_owner.get((source.host, source.port, source.transport)) or (
             self._endpoint_owner.get((source.host, source.port, Transport.UDP))
         )
+        # Read deadline slightly above the server side's reply timeout, so an
+        # unanswered request ends in the server's clean EOF (empty response)
+        # rather than racing it with a client-side timeout error.
         try:
             with socket.create_connection(
-                (destination.host, destination.port), timeout=5.0
+                (destination.host, destination.port),
+                timeout=self.tcp_reply_timeout + 2.0,
             ) as connection:
                 connection.sendall(data)
                 connection.shutdown(socket.SHUT_WR)

@@ -11,11 +11,16 @@ one event loop.  This package adds the next scaling axis — *parallelism*:
   the worker that owns its session (sticky, rebalance-safe);
 * :class:`~repro.runtime.runtime.ShardedRuntime` — builds and deploys the
   N worker engines around one read-only behaviour model and aggregates
-  their sessions and statistics.
+  their sessions and statistics;
+* :class:`~repro.runtime.live.LiveShardedRuntime` — the same deployment on
+  real loopback sockets, one thread-per-worker event loop each, behind a
+  :class:`~repro.runtime.live.LiveShardRouter`.
 
-See ROADMAP.md ("Concurrency model") for the invariants.
+See docs/architecture.md and ROADMAP.md ("Concurrency model") for the
+invariants.
 """
 
+from .live import LiveShardedRuntime, LiveShardRouter, WorkerLoop
 from .router import ShardRouter
 from .runtime import DEFAULT_WORKERS, ShardedRuntime
 from .sharding import HashRing, stable_hash
@@ -25,5 +30,8 @@ __all__ = [
     "stable_hash",
     "ShardRouter",
     "ShardedRuntime",
+    "LiveShardRouter",
+    "LiveShardedRuntime",
+    "WorkerLoop",
     "DEFAULT_WORKERS",
 ]

@@ -1,0 +1,408 @@
+"""Live sharded deployment: thread-per-worker engines over real sockets.
+
+:class:`~repro.runtime.runtime.ShardedRuntime` proves the sharding design
+on the discrete-event simulation, where every hand-off is an event on one
+virtual clock.  This module deploys the *same objects* — the same read-only
+merged automaton, the same worker :class:`AutomataEngine` instances, the
+same sticky :class:`~repro.runtime.sharding.HashRing` routing — on a
+:class:`~repro.network.sockets.SocketNetwork`, where traffic is real
+UDP/TCP datagrams on the loopback interface and time is the wall clock.
+
+The concurrency model mirrors a process-per-shard deployment:
+
+* every worker engine gets a **dedicated thread** draining a thread-safe
+  queue of deliveries (its "event loop"); all mutations of a worker's
+  session table happen on that thread, so the engines need no internal
+  locking — exactly as on the simulation, where each worker drains its own
+  event queue;
+* the :class:`LiveShardRouter` receives the bridge's public traffic on the
+  socket engine's receiver threads, classifies each datagram once, and
+  **posts keyed deliveries to the owning worker's queue**.  Fan-out
+  deliveries (multicast on a non-initial colour group, later client legs
+  such as a UPnP control point's HTTP GET) must try the shards in the
+  strict-then-lenient order, so they run on the router's thread and
+  synchronise with each worker loop through the loop's re-entrant lock;
+* timers the engines set (eviction sweeps, delayed sends re-entering the
+  engine) are re-routed onto the owning worker's queue by a per-worker
+  **engine view**, so a ``threading.Timer`` callback never touches a
+  worker's state from a foreign thread.
+
+Translated outputs are byte-identical to the simulated deployment at any
+shard count: workers advertise the router's public endpoints in
+translation context either way, and the evaluation's live benchmark
+(`benchmarks/bench_live_sharding.py`) asserts the equality against a
+simulated twin of the same topology.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, List, Sequence
+
+from ..core.engine.automata_engine import AutomataEngine
+from ..core.errors import ConfigurationError
+from ..network.addressing import Endpoint
+from ..network.engine import NetworkEngine, NetworkNode
+from .router import ShardRouter
+from .runtime import DEFAULT_WORKERS, ShardedRuntime
+
+__all__ = ["WorkerLoop", "LiveShardRouter", "LiveShardedRuntime"]
+
+#: Sentinel shutting a worker loop down.
+_STOP = object()
+
+#: Default port distance between the router's public range and each
+#: worker's range on the socket engine, where everything shares one real
+#: host address and only ports distinguish the nodes.
+DEFAULT_WORKER_PORT_STRIDE = 16
+
+
+class _WorkerEngineView(NetworkEngine):
+    """The network engine as one worker sees it: sends pass through,
+    callbacks come home.
+
+    ``call_later`` re-posts the callback onto the worker's queue when the
+    delay expires, so everything the engine schedules (eviction sweeps)
+    executes on the worker's own thread instead of a timer thread.
+    """
+
+    def __init__(self, network: NetworkEngine, loop: "WorkerLoop") -> None:
+        self._network = network
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._network.now()
+
+    def send(
+        self,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+        delay: float = 0.0,
+    ) -> None:
+        self._network.send(data, source=source, destination=destination, delay=delay)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        self._network.call_later(delay, lambda: self._loop.post(callback))
+
+    def attach(self, node: NetworkNode) -> None:  # pragma: no cover - delegation
+        self._network.attach(node)
+
+    def detach(self, node: NetworkNode) -> None:  # pragma: no cover - delegation
+        self._network.detach(node)
+
+
+class WorkerLoop:
+    """One worker engine's event loop: a queue drained by a dedicated thread.
+
+    All keyed deliveries, upstream datagrams and engine timers for the
+    worker run as jobs on this thread.  Fan-out deliveries from the router
+    run on the router's thread instead but take :attr:`lock` around each
+    dispatch, so the worker's state is only ever touched under the lock
+    (the loop thread holds it while running jobs).
+    """
+
+    def __init__(self, worker: AutomataEngine, network: NetworkEngine) -> None:
+        self.worker = worker
+        self.lock = threading.RLock()
+        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.view = _WorkerEngineView(network, self)
+        #: Exceptions raised by jobs (fail loudly in tests, keep serving).
+        self.errors: List[BaseException] = []
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"worker-loop:{worker.name}"
+        )
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def stop(self) -> None:
+        if self._started:
+            self._jobs.put(_STOP)
+
+    def post(self, job: Callable[[], None]) -> None:
+        """Enqueue ``job`` to run on the worker's thread."""
+        self._jobs.put(job)
+
+    def _run(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is _STOP:
+                return
+            with self.lock:
+                try:
+                    job()
+                except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                    self.errors.append(exc)
+
+
+class _WorkerShell(NetworkNode):
+    """The node actually attached to the socket engine for one worker.
+
+    It owns the worker's unicast endpoints (so upstream replies land on
+    real sockets) but forwards every datagram onto the worker's queue; the
+    worker engine itself never runs on a socket receiver thread.
+    """
+
+    def __init__(self, loop: WorkerLoop) -> None:
+        self._loop = loop
+        self.name = f"{loop.worker.name}.shell"
+
+    def unicast_endpoints(self) -> List[Endpoint]:
+        return self._loop.worker.unicast_endpoints()
+
+    def multicast_groups(self) -> List[Endpoint]:
+        # Workers behind a router never join groups; the router owns them.
+        return []
+
+    def on_attached(self, engine: NetworkEngine) -> None:
+        self._loop.worker.on_attached(self._loop.view)
+
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        loop = self._loop
+        loop.post(
+            lambda: loop.worker.on_datagram(loop.view, data, source, destination)
+        )
+
+
+class LiveShardRouter(ShardRouter):
+    """The shard router on real sockets: same routing, thread-safe edges.
+
+    The routing logic — classify once, sticky consistent-hash placement,
+    strict-then-lenient fan-out, worker-echo drop — is inherited unchanged
+    from :class:`~repro.runtime.router.ShardRouter`.  What changes is the
+    execution substrate:
+
+    * datagrams arrive on the socket engine's receiver threads, so the
+      router's own mutable state (sticky table, counters) is guarded by
+      one lock;
+    * keyed deliveries are posted to the owning worker's
+      :class:`WorkerLoop` queue — the live analogue of the simulation's
+      fresh ``call_later`` event per hand-off;
+    * fan-out deliveries run on the router's thread (the strict pass over
+      every shard must complete before the lenient pass starts) and take
+      each worker's loop lock around the dispatch.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[AutomataEngine],
+        public_endpoints: Dict[str, Endpoint],
+        loops: Sequence[WorkerLoop],
+        name: str = "live-shard-router",
+        prune_interval: float = 15.0,
+    ) -> None:
+        self._loops: Dict[int, WorkerLoop] = {
+            id(loop.worker): loop for loop in loops
+        }
+        # Re-entrant: fan-out deliveries record their outcome while the
+        # receiving thread still holds the lock from on_datagram.
+        self._route_lock = threading.RLock()
+        super().__init__(
+            workers,
+            public_endpoints,
+            hop_delay=0.0,
+            prune_interval=prune_interval,
+            name=name,
+        )
+
+    def _loop_for(self, worker: AutomataEngine) -> WorkerLoop:
+        try:
+            return self._loops[id(worker)]
+        except KeyError:
+            raise ConfigurationError(
+                f"worker '{worker.name}' has no live worker loop"
+            ) from None
+
+    def set_workers(self, workers: Sequence[AutomataEngine]) -> None:
+        for worker in workers:
+            if id(worker) not in self._loops:
+                raise ConfigurationError(
+                    f"worker '{worker.name}' has no live worker loop"
+                )
+        super().set_workers(workers)
+
+    # -- thread-safe edges over the inherited routing ---------------------
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        with self._route_lock:
+            super().on_datagram(engine, data, source, destination)
+
+    def _hand_off(self, engine: NetworkEngine, worker, deliver) -> None:
+        if worker is not None:
+            self._loop_for(worker).post(deliver)
+        else:
+            # Fan-out: the strict pass over all shards must finish before
+            # the lenient pass starts, so it cannot be split across worker
+            # queues; _dispatch_to takes each worker's lock instead.
+            deliver()
+
+    def _dispatch_to(
+        self,
+        worker,
+        engine: NetworkEngine,
+        automaton_name: str,
+        message,
+        source: Endpoint,
+        strict: bool = False,
+    ) -> bool:
+        loop = self._loop_for(worker)
+        with loop.lock:
+            return worker.dispatch(
+                loop.view,
+                automaton_name,
+                message,
+                source,
+                count_unrouted=False,
+                strict=strict,
+            )
+
+    def _record_outcome(self, routed: bool) -> None:
+        # Keyed deliveries run on worker-loop threads, fan-out on receiver
+        # threads: the counters need the router lock either way.
+        with self._route_lock:
+            super()._record_outcome(routed)
+
+    def _prune(self, engine: NetworkEngine) -> None:
+        with self._route_lock:
+            super()._prune(engine)
+
+
+class LiveShardedRuntime(ShardedRuntime):
+    """A sharded bridge deployment on real loopback sockets.
+
+    Construction mirrors :class:`~repro.runtime.runtime.ShardedRuntime`
+    (same models, same worker build), with socket-engine defaults:
+
+    * ``host`` defaults to ``127.0.0.1`` — on the socket engine hosts are
+      real addresses, so router and workers share the loopback host and
+      are distinguished by **port ranges**: the router's public endpoints
+      sit at ``base_port``, worker *i* claims ``base_port + (i+1) *
+      worker_port_stride``;
+    * ``ephemeral_ports`` defaults off (the socket engine cannot bind new
+      endpoints after attach); upstream replies are attributed by reply
+      token or waiting-session matching, as before PR 2;
+    * ``serialize_processing`` defaults on, so ``processing_delay`` models
+      each worker's translation compute as a serial resource in *wall
+      time* — throughput then scales with the worker count for real, which
+      is what ``--table live-sharding`` measures.
+
+    :meth:`deploy` starts one :class:`WorkerLoop` thread per worker and
+    attaches a :class:`LiveShardRouter`; :meth:`undeploy` stops them.
+    Example (see ``examples/live_sharded_bridge.py`` for a complete run)::
+
+        runtime = LiveShardedRuntime.from_bridge(bridge, workers=4)
+        with SocketNetwork() as network:
+            runtime.deploy(network)
+            ...   # real legacy clients talk to the router's endpoints
+            runtime.undeploy()
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("host", "127.0.0.1")
+        kwargs.setdefault("worker_port_stride", DEFAULT_WORKER_PORT_STRIDE)
+        kwargs.setdefault("ephemeral_ports", False)
+        kwargs.setdefault("serialize_processing", True)
+        super().__init__(*args, **kwargs)
+        if self.worker_port_stride < len(self.merged.automata):
+            raise ConfigurationError(
+                "worker_port_stride must cover one port per component automaton "
+                f"({len(self.merged.automata)} needed, got {self.worker_port_stride})"
+            )
+        self._loops: List[WorkerLoop] = []
+        self._shells: List[_WorkerShell] = []
+        #: Worker-loop exceptions from undeployed generations, preserved so
+        #: post-run inspection survives the teardown in scenario drivers.
+        self._worker_error_log: List[BaseException] = []
+
+    @classmethod
+    def from_bridge(cls, bridge, workers: int = DEFAULT_WORKERS, **overrides):
+        """Build a live runtime from an (undeployed) bridge.
+
+        Unlike the simulated runtime this *does not* inherit the bridge's
+        ``host``: model-level bridge hosts (``starlink.bridge``) are not
+        bindable addresses, so the live runtime rebinds the public
+        endpoints at ``127.0.0.1`` (same ``base_port``) unless ``host`` is
+        overridden explicitly.  ``ephemeral_ports`` likewise defaults off —
+        the socket engine cannot bind endpoints after attach.
+        """
+        overrides.setdefault("host", "127.0.0.1")
+        overrides.setdefault("ephemeral_ports", False)
+        return super().from_bridge(bridge, workers=workers, **overrides)
+
+    # ------------------------------------------------------------------
+    def deploy(self, network: NetworkEngine) -> LiveShardRouter:
+        """Start the worker loops and attach shells + router to ``network``."""
+        if self._router is not None:
+            raise ConfigurationError(
+                f"live sharded runtime '{self.merged.name}' is already deployed"
+            )
+        self._loops = [WorkerLoop(worker, network) for worker in self._workers]
+        self._shells = [_WorkerShell(loop) for loop in self._loops]
+        for loop, shell in zip(self._loops, self._shells):
+            loop.start()
+            network.attach(shell)
+        router = LiveShardRouter(
+            self._workers,
+            self.public_endpoints,
+            self._loops,
+            name=f"live-router:{self.merged.name}",
+        )
+        network.attach(router)
+        self._router = router
+        self._network = network
+        return router
+
+    def undeploy(self) -> None:
+        if self._network is not None:
+            if self._router is not None:
+                self._network.detach(self._router)
+            for shell in self._shells:
+                self._network.detach(shell)
+        for loop in self._loops:
+            loop.stop()
+            self._worker_error_log.extend(loop.errors)
+        self._loops = []
+        self._shells = []
+        self._router = None
+        self._network = None
+
+    def scale_to(self, workers: int) -> None:
+        raise ConfigurationError(
+            "live runtimes do not rebalance in place; undeploy and redeploy "
+            "with the new worker count"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def worker_errors(self) -> List[BaseException]:
+        """Exceptions raised on any worker loop (empty on a clean run).
+
+        Survives :meth:`undeploy`, so a scenario can tear the deployment
+        down before asserting the run was clean.
+        """
+        return self._worker_error_log + [
+            error for loop in self._loops for error in loop.errors
+        ]
+
+    def __repr__(self) -> str:
+        deployed = "deployed" if self._router is not None else "not deployed"
+        return (
+            f"LiveShardedRuntime({self.merged.name!r}, "
+            f"workers={len(self._workers)}, {deployed})"
+        )

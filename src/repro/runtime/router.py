@@ -154,6 +154,44 @@ class ShardRouter(NetworkNode):
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    # The two overridable seams below are how the live (thread-per-worker)
+    # router of :mod:`repro.runtime.live` reuses this routing logic over
+    # real sockets: ``_hand_off`` decides *where* a delivery closure runs
+    # (a simulated event here, a worker thread's queue live), and
+    # ``_dispatch_to`` decides *how* one worker's engine is invoked (bare
+    # here, under the worker's lock and engine view live).
+
+    def _hand_off(self, engine: NetworkEngine, worker, deliver) -> None:
+        """Run ``deliver`` as a fresh event owned by ``worker``.
+
+        On the simulation every hand-off is a ``call_later`` event on the
+        shared virtual clock — the analogue of posting to a worker process'
+        queue.  ``worker`` is ``None`` for fan-out deliveries, which touch
+        every shard.
+        """
+        engine.call_later(self.hop_delay, deliver)
+
+    def _dispatch_to(
+        self,
+        worker,
+        engine: NetworkEngine,
+        automaton_name: str,
+        message,
+        source: Endpoint,
+        strict: bool = False,
+    ) -> bool:
+        """Invoke one worker's :meth:`~repro.core.engine.core.EngineCore.dispatch`."""
+        return worker.dispatch(
+            engine, automaton_name, message, source, count_unrouted=False, strict=strict
+        )
+
+    def _record_outcome(self, routed: bool) -> None:
+        """Count one delivery's outcome (overridable for thread-safety)."""
+        if routed:
+            self.routed_datagrams += 1
+        else:
+            self.unrouted_datagrams += 1
+
     def _route_keyed(
         self,
         engine: NetworkEngine,
@@ -168,14 +206,11 @@ class ShardRouter(NetworkNode):
         self._ensure_pruner(engine)
 
         def deliver() -> None:
-            if worker.dispatch(
-                engine, automaton_name, message, source, count_unrouted=False
-            ):
-                self.routed_datagrams += 1
-            else:
-                self.unrouted_datagrams += 1
+            self._record_outcome(
+                self._dispatch_to(worker, engine, automaton_name, message, source)
+            )
 
-        engine.call_later(self.hop_delay, deliver)
+        self._hand_off(engine, worker, deliver)
 
     def _fan_out(
         self,
@@ -192,19 +227,14 @@ class ShardRouter(NetworkNode):
             # FIFO pass runs only when every shard declined.
             for strict in (True, False):
                 for worker in workers:
-                    if worker.dispatch(
-                        engine,
-                        automaton_name,
-                        message,
-                        source,
-                        count_unrouted=False,
-                        strict=strict,
+                    if self._dispatch_to(
+                        worker, engine, automaton_name, message, source, strict=strict
                     ):
-                        self.routed_datagrams += 1
+                        self._record_outcome(True)
                         return
-            self.unrouted_datagrams += 1
+            self._record_outcome(False)
 
-        engine.call_later(self.hop_delay, deliver)
+        self._hand_off(engine, None, deliver)
 
     # ------------------------------------------------------------------
     # sticky-table pruning

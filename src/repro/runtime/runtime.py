@@ -58,7 +58,18 @@ DEFAULT_WORKERS = 4
 
 
 class ShardedRuntime:
-    """Run one bridge's merged automaton across parallel worker engines."""
+    """Run one bridge's merged automaton across parallel worker engines.
+
+    The runtime owns the worker :class:`AutomataEngine` instances (built
+    eagerly, deployed by :meth:`deploy`) and aggregates their sessions and
+    statistics behind the same surface a single-engine
+    :class:`~repro.core.engine.bridge.StarlinkBridge` exposes, so the
+    evaluation scenarios drive either deployment interchangeably.  Build
+    one from an undeployed bridge with :meth:`from_bridge`, or directly
+    from the models.  For a deployment over real sockets use the
+    :class:`~repro.runtime.live.LiveShardedRuntime` subclass, which runs
+    each worker on its own thread.
+    """
 
     def __init__(
         self,
@@ -155,7 +166,15 @@ class ShardedRuntime:
         )
 
     def deploy(self, network: NetworkEngine) -> ShardRouter:
-        """Attach the workers and the router; returns the router node."""
+        """Attach the workers and the router to ``network``.
+
+        The workers bind their own (per-worker) endpoints so upstream
+        replies reach them directly; the returned :class:`ShardRouter` is
+        the only node binding the bridge's *public* endpoints and joining
+        its multicast groups.  Deploying twice raises
+        :class:`~repro.core.errors.ConfigurationError`; :meth:`undeploy`
+        makes a runtime deployable again.
+        """
         if self._router is not None:
             raise ConfigurationError(
                 f"sharded runtime '{self.merged.name}' is already deployed"
@@ -174,6 +193,12 @@ class ShardedRuntime:
         return router
 
     def undeploy(self) -> None:
+        """Detach the router and every worker from the network.
+
+        Completed :class:`SessionRecord` measurements survive undeployment
+        (the aggregation properties below keep working), so a scenario can
+        tear its deployment down before harvesting results.
+        """
         if self._network is not None:
             if self._router is not None:
                 self._network.detach(self._router)

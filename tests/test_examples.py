@@ -49,3 +49,12 @@ def test_xml_model_deployment_round_trips_and_answers():
     output = _run("xml_model_deployment.py")
     assert "answered: True" in output
     assert ".bridge.xml" in output
+
+
+def test_live_sharded_bridge_serves_both_control_points():
+    output = _run("live_sharded_bridge.py")
+    if "loopback unavailable" in output:
+        pytest.skip("loopback sockets unavailable in this environment")
+    assert output.count("answered: True") == 2
+    assert "service:test://127.0.0.1:9000" in output
+    assert "unrouted datagrams: 0" in output

@@ -15,9 +15,11 @@ from repro.bridges.specs import BRIDGE_BUILDERS
 from repro.core.errors import EngineError
 from repro.network.latency import LatencyModel
 from repro.network.simulated import SimulatedNetwork
+from repro.network.sockets import SocketNetwork, loopback_available
 from repro.protocols.mdns import BonjourBrowser, BonjourResponder
 from repro.protocols.slp import SLPServiceAgent, SLPUserAgent
 from repro.protocols.upnp import UPnPControlPoint, UPnPDevice
+from repro.runtime import LiveShardedRuntime
 
 _FAST = LatencyModel(0.001, 0.002)
 _NONE = LatencyModel(0.0, 0.0)
@@ -187,6 +189,100 @@ class TestCase6BonjourToSlp:
         assert result.url == service.services["service:test"]
         # The DNS response carries the question's transaction id back.
         assert client.responses[0][1]["ID"] == service.handled[0]["XID"]
+
+
+@pytest.mark.skipif(
+    not loopback_available(), reason="loopback sockets unavailable in this environment"
+)
+class TestLiveBridgeCases:
+    """The bridge cases over real loopback sockets (SocketNetwork).
+
+    The TCP/HTTP legs exercise the engine's reply-channel handling: the
+    bridge's translated HTTP response is scheduled behind its processing
+    delay, long after the connection handler returned, and must still
+    reach the waiting legacy client on the accepted connection.
+    """
+
+    _FAST_LIVE = LatencyModel(0.001, 0.001)
+
+    def test_case3_single_engine_with_tcp_leg(self):
+        """UPnP control point -> SLP service: the client's HTTP GET is a
+        real TCP exchange answered by the bridge after a delay."""
+        bridge = BRIDGE_BUILDERS[3](
+            host="127.0.0.1", base_port=46300, processing_delay=0.01
+        )
+        with SocketNetwork() as network:
+            bridge.deploy(network)
+            service = SLPServiceAgent(
+                host="127.0.0.1", port=46390, latency=self._FAST_LIVE
+            )
+            network.attach(service)
+            client = UPnPControlPoint(
+                host="127.0.0.1", port=46395, client_overhead=_NONE
+            )
+            network.attach(client)
+            result = client.lookup(
+                network, "urn:schemas-upnp-org:service:test:1", timeout=5.0
+            )
+            assert result.found
+            assert result.url == service.services["service:test"]
+            session = bridge.sessions[0]
+            assert session.received_names == ["SSDP_M-Search", "SLP_SrvReply", "HTTP_GET"]
+            assert session.sent_names == ["SLP_SrvReq", "SSDP_Resp", "HTTP_OK"]
+            bridge.undeploy()
+
+    def test_case3_sharded_with_tcp_leg(self):
+        """The same TCP-leg case through a live sharded runtime: the HTTP
+        GET lands on the router's public endpoint, fans out to the owning
+        worker, and the worker's delayed reply rides the reply channel."""
+        bridge = BRIDGE_BUILDERS[3](
+            host="127.0.0.1", base_port=46400, processing_delay=0.01
+        )
+        bridge.validate()
+        runtime = LiveShardedRuntime.from_bridge(bridge, workers=2)
+        with SocketNetwork() as network:
+            runtime.deploy(network)
+            service = SLPServiceAgent(
+                host="127.0.0.1", port=46490, latency=self._FAST_LIVE
+            )
+            network.attach(service)
+            client = UPnPControlPoint(
+                host="127.0.0.1", port=46495, client_overhead=_NONE
+            )
+            network.attach(client)
+            result = client.lookup(
+                network, "urn:schemas-upnp-org:service:test:1", timeout=5.0
+            )
+            assert result.found
+            assert result.url == service.services["service:test"]
+            assert runtime.unrouted_datagrams == 0
+            assert runtime.worker_errors == []
+            assert len(runtime.sessions) == 1
+            runtime.undeploy()
+
+    def test_case1_single_engine_dials_upstream_http(self):
+        """SLP client -> UPnP device: the *bridge* is the TCP client here,
+        dialling the device's HTTP server and collecting a delayed reply."""
+        bridge = BRIDGE_BUILDERS[1](
+            host="127.0.0.1", base_port=46500, processing_delay=0.01
+        )
+        with SocketNetwork() as network:
+            bridge.deploy(network)
+            device = UPnPDevice(
+                host="127.0.0.1",
+                ssdp_port=46590,
+                http_port=46591,
+                ssdp_latency=self._FAST_LIVE,
+                http_latency=self._FAST_LIVE,
+            )
+            network.attach(device)
+            client = SLPUserAgent(host="127.0.0.1", port=46595, client_overhead=_NONE)
+            network.attach(client)
+            result = client.lookup(network, "service:test", timeout=5.0)
+            assert result.found
+            assert result.url == device.service_url
+            assert [kind for kind, _ in device.handled] == ["SSDP", "HTTP"]
+            bridge.undeploy()
 
 
 class TestTransparencyAndRegistry:

@@ -1,0 +1,110 @@
+"""Tests for the live sharded runtime (thread-per-worker over real sockets).
+
+These run the same workloads as the simulated sharding tests, but over
+:class:`~repro.network.sockets.SocketNetwork` with real loopback datagrams
+and wall-clock time.  Skipped automatically where loopback sockets cannot
+be bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridges.specs import BRIDGE_BUILDERS
+from repro.core.errors import ConfigurationError
+from repro.evaluation.harness import measure_live_sharded_sessions
+from repro.evaluation.workloads import live_sharded_scenario, live_twin_scenario
+from repro.network.sockets import SocketNetwork, loopback_available
+from repro.runtime import LiveShardedRuntime
+
+pytestmark = pytest.mark.skipif(
+    not loopback_available(), reason="loopback sockets unavailable in this environment"
+)
+
+
+def test_live_sharded_run_serves_every_client():
+    scenario = live_sharded_scenario(2, clients=10, workers=4)
+    runtime = scenario.runtime
+    result = scenario.run()
+    assert result.all_found
+    assert result.unrouted_datagrams == 0
+    assert runtime.worker_errors == []
+    # Sessions really spread across the worker engines.
+    counts = runtime.worker_session_counts()
+    assert sum(counts) == 10
+    assert sum(1 for count in counts if count > 0) > 1
+
+
+def test_live_outputs_byte_identical_to_simulated_twin():
+    """Going live must not change a single translated byte."""
+    scenario = live_sharded_scenario(2, clients=8, workers=2)
+    result = scenario.run()
+    assert result.all_found
+    live_bytes = scenario.raw_responses_by_client
+
+    twin = live_twin_scenario(2, clients=8, workers=2)
+    twin_result = twin.run()
+    assert twin_result.all_found
+    twin_bytes = {client.name: tuple(client.raw_responses) for client in twin.clients}
+    assert live_bytes == twin_bytes
+
+
+def test_measure_live_sharded_sessions_row():
+    row = measure_live_sharded_sessions(2, clients=6, workers=2)
+    assert row.completed == 6
+    assert row.unrouted == 0
+    assert row.outputs_match_simulated
+    assert row.makespan_s > 0.0
+    assert sum(row.worker_sessions) == 6
+
+
+def test_from_bridge_rebinds_model_level_hosts_on_loopback():
+    """A bridge built with the default model host must still deploy live."""
+    from repro.bridges.specs import upnp_to_slp_bridge
+
+    runtime = LiveShardedRuntime.from_bridge(
+        upnp_to_slp_bridge(base_port=45900), workers=2
+    )
+    assert runtime.host == "127.0.0.1"
+    assert not runtime.ephemeral_ports
+    with SocketNetwork() as network:
+        runtime.deploy(network)
+        assert all(
+            endpoint.host == "127.0.0.1"
+            for endpoint in runtime.public_endpoints.values()
+        )
+        runtime.undeploy()
+
+
+def test_live_runtime_rejects_in_place_rescale():
+    runtime = LiveShardedRuntime.from_bridge(
+        BRIDGE_BUILDERS[2](host="127.0.0.1", base_port=46000), workers=2
+    )
+    with SocketNetwork() as network:
+        runtime.deploy(network)
+        with pytest.raises(ConfigurationError):
+            runtime.scale_to(4)
+        runtime.undeploy()
+
+
+def test_live_runtime_requires_room_for_worker_ports():
+    with pytest.raises(ConfigurationError):
+        LiveShardedRuntime.from_bridge(
+            BRIDGE_BUILDERS[1](host="127.0.0.1", base_port=46100),
+            workers=2,
+            worker_port_stride=1,
+        )
+
+
+def test_live_runtime_redeploys_after_undeploy():
+    runtime = LiveShardedRuntime.from_bridge(
+        BRIDGE_BUILDERS[2](host="127.0.0.1", base_port=46200), workers=2
+    )
+    with SocketNetwork() as network:
+        runtime.deploy(network)
+        with pytest.raises(ConfigurationError):
+            runtime.deploy(network)
+        runtime.undeploy()
+    with SocketNetwork() as network:
+        runtime.deploy(network)
+        runtime.undeploy()

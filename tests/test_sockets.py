@@ -15,21 +15,10 @@ import pytest
 
 from repro.network.addressing import Endpoint, Transport
 from repro.network.engine import NetworkNode
-from repro.network.sockets import SocketNetwork
-
-
-def _loopback_available() -> bool:
-    try:
-        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        probe.bind(("127.0.0.1", 0))
-        probe.close()
-        return True
-    except OSError:
-        return False
-
+from repro.network.sockets import SocketNetwork, loopback_available
 
 pytestmark = pytest.mark.skipif(
-    not _loopback_available(), reason="loopback sockets unavailable in this environment"
+    not loopback_available(), reason="loopback sockets unavailable in this environment"
 )
 
 
@@ -54,6 +43,30 @@ class EchoTcp(Sink):
     def on_datagram(self, engine, data, source, destination):
         super().on_datagram(engine, data, source, destination)
         engine.send(b"pong:" + data, source=self._endpoints[0], destination=source)
+
+
+class DelayedEchoTcp(Sink):
+    """A TCP server that answers *after* its handler has returned.
+
+    This is the shape of every bridged TCP exchange: the automata engine
+    schedules the translated response behind its processing delay (and a
+    shard router first hands the request to a worker thread), so the reply
+    is sent long after ``on_datagram`` returned.  The engine must keep the
+    accepted connection open as the reply channel until then.
+    """
+
+    def __init__(self, name, endpoints, delay: float = 0.15):
+        super().__init__(name, endpoints)
+        self.delay = delay
+
+    def on_datagram(self, engine, data, source, destination):
+        super().on_datagram(engine, data, source, destination)
+        engine.send(
+            b"late:" + data,
+            source=self._endpoints[0],
+            destination=source,
+            delay=self.delay,
+        )
 
 
 def _wait(predicate, timeout: float = 2.0) -> bool:
@@ -109,6 +122,55 @@ def test_tcp_request_response():
         )
         assert _wait(lambda: client.received, timeout=3.0)
         assert client.received[0].startswith(b"pong:GET /x")
+
+
+def test_tcp_delayed_reply_reaches_a_client_that_finished_sending():
+    """Regression: a server reply scheduled after dispatch must still arrive.
+
+    Before the reply-channel fix the engine closed the accepted connection
+    as soon as ``on_datagram`` returned; the delayed reply then fell back to
+    dialling the peer's kernel-ephemeral port and died with
+    ``ConnectionRefusedError``, which is exactly how every bridge case with
+    a TCP/HTTP leg failed live.
+    """
+    with SocketNetwork() as network:
+        port = _free_port()
+        server = DelayedEchoTcp(
+            "server", [Endpoint("127.0.0.1", port, Transport.TCP)], delay=0.2
+        )
+        client_port = _free_port()
+        client = Sink("client", [Endpoint("127.0.0.1", client_port, Transport.UDP)])
+        network.attach(server)
+        network.attach(client)
+        network.send(
+            b"GET /slow HTTP/1.1\r\n\r\n",
+            Endpoint("127.0.0.1", client_port, Transport.UDP),
+            Endpoint("127.0.0.1", port, Transport.TCP),
+        )
+        assert _wait(lambda: client.received, timeout=5.0)
+        assert client.received[0] == b"late:GET /slow HTTP/1.1\r\n\r\n"
+
+
+def test_tcp_unanswered_connection_closes_after_reply_timeout():
+    """A node that never answers must not hold the client forever."""
+    with SocketNetwork(tcp_reply_timeout=0.2) as network:
+        port = _free_port()
+        server = Sink("mute", [Endpoint("127.0.0.1", port, Transport.TCP)])
+        client_port = _free_port()
+        client = Sink("client", [Endpoint("127.0.0.1", client_port, Transport.UDP)])
+        network.attach(server)
+        network.attach(client)
+        started = time.monotonic()
+        network.send(
+            b"ping",
+            Endpoint("127.0.0.1", client_port, Transport.UDP),
+            Endpoint("127.0.0.1", port, Transport.TCP),
+        )
+        # The sender's read loop ends on the server's timeout close (EOF,
+        # empty response, nothing delivered) well before its own deadline.
+        assert time.monotonic() - started < 3.0
+        assert server.received == [b"ping"]
+        assert client.received == []
 
 
 def test_now_is_monotonic_and_call_later_fires():
