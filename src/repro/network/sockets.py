@@ -44,21 +44,37 @@ __all__ = ["SocketNetwork", "loopback_available"]
 
 
 def loopback_available() -> bool:
-    """Whether this environment permits binding loopback UDP sockets.
+    """Whether this environment permits loopback UDP *and* TCP sockets.
 
-    Some sandboxes and minimal containers forbid it; the live tests,
-    benchmarks and examples probe with this and skip themselves.
+    Some sandboxes and minimal containers forbid them; the live tests,
+    benchmarks and examples probe with this and skip themselves.  The
+    gated code binds UDP sockets, binds TCP listeners *and* dials TCP
+    connections, so the probe exercises all three — a sandbox that allows
+    UDP but blocks TCP (or allows binds but blocks connects) must fail it.
     """
     try:
         probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         probe.bind(("127.0.0.1", 0))
         probe.close()
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            server.bind(("127.0.0.1", 0))
+            server.listen(1)
+            with socket.create_connection(
+                ("127.0.0.1", server.getsockname()[1]), timeout=1.0
+            ):
+                pass
+        finally:
+            server.close()
         return True
     except OSError:
         return False
 
 _RECV_BUFFER = 65536
 _TCP_IDLE_TIMEOUT = 0.2
+#: UDP receiver threads poll at this interval so they notice their socket
+#: was closed (a blocked ``recvfrom`` holds the fd alive forever otherwise).
+_UDP_POLL_INTERVAL = 0.5
 
 #: Seconds an accepted TCP connection stays open waiting for the owning
 #: node's (possibly delayed) reply before the engine gives up and closes it.
@@ -77,12 +93,19 @@ class _TcpReplyChannel:
         self.lock = threading.Lock()
         self.closed = False
 
-    def write(self, data: bytes) -> None:
+    def write(self, data: bytes) -> bool:
+        """Write ``data`` back to the peer; ``False`` if already closed.
+
+        The handler's timeout can close the channel between a sender
+        looking it up and writing, so "already closed" is an expected
+        race, reported by return value rather than an exception.
+        """
         with self.lock:
             if self.closed:
-                raise NetworkError("TCP reply channel already closed")
+                return False
             self.connection.sendall(data)
         self.replied.set()
+        return True
 
     def close(self) -> None:
         with self.lock:
@@ -112,8 +135,19 @@ class SocketNetwork(NetworkEngine):
         self._groups: Dict[Tuple[str, int], Set[NetworkNode]] = {}
         self._threads: List[threading.Thread] = []
         self._timers: List[threading.Timer] = []
+        #: Sockets bound on behalf of each attached node (``id(node)`` →
+        #: registry kind + key), so :meth:`detach` can close exactly them.
+        self._owned_sockets: Dict[int, List[Tuple[str, Tuple[str, int]]]] = {}
         #: Open TCP reply channels keyed by the peer's ephemeral endpoint.
         self._tcp_replies: Dict[Tuple[str, int], _TcpReplyChannel] = {}
+        #: Replies that lost the race against the handler's reply timeout:
+        #: the channel was closed between lookup and write, the client is
+        #: gone, and the reply is dropped (counted, not raised).
+        self.tcp_replies_dropped = 0
+        #: Exceptions raised by ``call_later`` callbacks on timer threads
+        #: (delayed sends included), which would otherwise vanish with the
+        #: thread; inspect after a run, like ``WorkerLoop.errors``.
+        self.errors: List[BaseException] = []
         self._lock = threading.Lock()
         self._running = True
 
@@ -122,7 +156,13 @@ class SocketNetwork(NetworkEngine):
         return time.monotonic()
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> None:
-        timer = threading.Timer(max(0.0, delay), callback)
+        def run() -> None:
+            try:
+                callback()
+            except Exception as exc:  # noqa: BLE001 - timer threads have no caller
+                self.errors.append(exc)
+
+        timer = threading.Timer(max(0.0, delay), run)
         timer.daemon = True
         timer.start()
         self._timers.append(timer)
@@ -139,6 +179,15 @@ class SocketNetwork(NetworkEngine):
         node.on_attached(self)
 
     def detach(self, node: NetworkNode) -> None:
+        """Remove ``node`` and close the sockets bound on its behalf.
+
+        Closing unblocks the node's receiver/acceptor threads (their
+        blocking calls raise and the threads exit) and frees the ports, so
+        the same endpoints can be re-bound by a later attach — a failed
+        deployment can unwind and retry on the same network.  A node that
+        was never attached (or only partially attached before its
+        ``attach`` raised mid-bind) detaches as a no-op / partial cleanup.
+        """
         if node not in self._nodes:
             return
         self._nodes.remove(node)
@@ -147,22 +196,41 @@ class SocketNetwork(NetworkEngine):
         }
         for members in self._groups.values():
             members.discard(node)
+        for kind, key in self._owned_sockets.pop(id(node), []):
+            registry = self._udp_sockets if kind == "udp" else self._tcp_servers
+            sock = registry.pop(key, None)
+            if sock is not None:
+                self._close_socket(sock, wake=kind == "tcp")
+
+    @staticmethod
+    def _close_socket(sock: socket.socket, wake: bool) -> None:
+        if wake:
+            # A thread blocked in accept() holds the fd alive past close(),
+            # keeping the port bound; shutdown() wakes it first.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     def close(self) -> None:
         """Stop receiver threads and close every socket."""
         self._running = False
         for timer in self._timers:
             timer.cancel()
-        for sock in list(self._udp_sockets.values()) + list(self._tcp_servers.values()):
-            try:
-                sock.close()
-            except OSError:
-                pass
+        for sock in self._udp_sockets.values():
+            self._close_socket(sock, wake=False)
+        for sock in self._tcp_servers.values():
+            self._close_socket(sock, wake=True)
         for channel in list(self._tcp_replies.values()):
             channel.close()
         self._udp_sockets.clear()
         self._tcp_servers.clear()
         self._tcp_replies.clear()
+        self._owned_sockets.clear()
 
     def __enter__(self) -> "SocketNetwork":
         return self
@@ -187,16 +255,29 @@ class SocketNetwork(NetworkEngine):
         sock.bind((endpoint.host, endpoint.port))
         actual_port = sock.getsockname()[1]
         self._udp_sockets[(endpoint.host, actual_port)] = sock
+        self._owned_sockets.setdefault(id(node), []).append(
+            ("udp", (endpoint.host, actual_port))
+        )
+
+        sock.settimeout(_UDP_POLL_INTERVAL)
 
         def receiver() -> None:
             while self._running:
                 try:
                     data, peer = sock.recvfrom(_RECV_BUFFER)
+                except socket.timeout:
+                    continue
                 except OSError:
                     return
                 source = Endpoint(peer[0], peer[1], Transport.UDP)
                 destination = Endpoint(endpoint.host, actual_port, Transport.UDP)
-                node.on_datagram(self, data, source, destination)
+                try:
+                    node.on_datagram(self, data, source, destination)
+                except Exception as exc:  # noqa: BLE001 - keep the port alive
+                    # A handler exception must not kill the receiver: the
+                    # port would stay bound but permanently deaf.  Record
+                    # it (like timer-thread errors) and keep receiving.
+                    self.errors.append(exc)
 
         thread = threading.Thread(target=receiver, daemon=True, name=f"udp-{actual_port}")
         thread.start()
@@ -209,6 +290,9 @@ class SocketNetwork(NetworkEngine):
         server.listen(8)
         actual_port = server.getsockname()[1]
         self._tcp_servers[(endpoint.host, actual_port)] = server
+        self._owned_sockets.setdefault(id(node), []).append(
+            ("tcp", (endpoint.host, actual_port))
+        )
 
         def acceptor() -> None:
             while self._running:
@@ -255,12 +339,18 @@ class SocketNetwork(NetworkEngine):
         with self._lock:
             self._tcp_replies[(peer[0], peer[1])] = channel
         try:
-            node.on_datagram(self, request, source, destination)
-            # The node's reply may be scheduled rather than written inline
-            # (a processing delay, or a shard router handing the request to
-            # a worker thread): keep the reply channel open until the reply
-            # has actually been written, bounded by the reply timeout.
-            channel.replied.wait(self.tcp_reply_timeout)
+            try:
+                node.on_datagram(self, request, source, destination)
+            except Exception as exc:  # noqa: BLE001 - record, then close below
+                self.errors.append(exc)
+            else:
+                # The node's reply may be scheduled rather than written
+                # inline (a processing delay, or a shard router handing the
+                # request to a worker thread): keep the reply channel open
+                # until the reply has actually been written, bounded by the
+                # reply timeout.  A handler that raised sends no reply, so
+                # there is nothing to wait for.
+                channel.replied.wait(self.tcp_reply_timeout)
         finally:
             with self._lock:
                 self._tcp_replies.pop((peer[0], peer[1]), None)
@@ -313,9 +403,16 @@ class SocketNetwork(NetworkEngine):
             reply_channel = self._tcp_replies.get((destination.host, destination.port))
         if reply_channel is not None:
             try:
-                reply_channel.write(data)
+                wrote = reply_channel.write(data)
             except OSError as exc:
                 raise NetworkError(f"TCP reply to {destination} failed: {exc}") from exc
+            if not wrote:
+                # The handler's reply timeout closed the channel between the
+                # lookup above and the write: the client is gone, so the
+                # reply is dropped — dialling the peer's kernel-ephemeral
+                # port would only manufacture a ConnectionRefusedError.
+                with self._lock:
+                    self.tcp_replies_dropped += 1
             return
         # Otherwise open a client connection, send, and feed any response back
         # to the owning node of the source endpoint.

@@ -27,6 +27,14 @@ The concurrency model mirrors a process-per-shard deployment:
   **engine view**, so a ``threading.Timer`` callback never touches a
   worker's state from a foreign thread.
 
+Lock order: ``LiveShardRouter._route_lock`` → ``WorkerLoop.lock`` →
+``LiveShardRouter._stats_lock``.  A thread may skip levels but never
+acquire a higher-level lock while holding a lower one; in particular the
+routed/unrouted counters live under their own leaf lock precisely so that
+a worker-loop thread (which holds its ``loop.lock`` while running keyed
+deliveries) never needs the route lock a receiver thread may hold while
+waiting for that same ``loop.lock`` on the inline fan-out path.
+
 Translated outputs are byte-identical to the simulated deployment at any
 shard count: workers advertise the router's public endpoints in
 translation context either way, and the evaluation's live benchmark
@@ -38,7 +46,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.engine.automata_engine import AutomataEngine
 from ..core.errors import ConfigurationError
@@ -56,6 +64,10 @@ _STOP = object()
 #: worker's range on the socket engine, where everything shares one real
 #: host address and only ports distinguish the nodes.
 DEFAULT_WORKER_PORT_STRIDE = 16
+
+#: Seconds :meth:`LiveShardedRuntime.undeploy` waits for each worker-loop
+#: thread to drain and exit before recording the straggler as an error.
+UNDEPLOY_JOIN_TIMEOUT = 5.0
 
 
 class _WorkerEngineView(NetworkEngine):
@@ -121,8 +133,21 @@ class WorkerLoop:
             self._thread.start()
 
     def stop(self) -> None:
+        """Ask the loop thread to exit once the queued jobs have drained."""
         if self._started:
             self._jobs.put(_STOP)
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the loop thread to exit; ``True`` if it did.
+
+        Call after :meth:`stop`: the thread drains every job queued before
+        the stop sentinel, so :attr:`errors` is complete once this returns
+        ``True``.
+        """
+        if not self._started:
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
 
     def post(self, job: Callable[[], None]) -> None:
         """Enqueue ``job`` to run on the worker's thread."""
@@ -184,14 +209,22 @@ class LiveShardRouter(ShardRouter):
     execution substrate:
 
     * datagrams arrive on the socket engine's receiver threads, so the
-      router's own mutable state (sticky table, counters) is guarded by
-      one lock;
+      router's routing state (sticky table, echo counter) is guarded by
+      ``_route_lock``;
     * keyed deliveries are posted to the owning worker's
       :class:`WorkerLoop` queue — the live analogue of the simulation's
       fresh ``call_later`` event per hand-off;
     * fan-out deliveries run on the router's thread (the strict pass over
       every shard must complete before the lenient pass starts) and take
-      each worker's loop lock around the dispatch.
+      each worker's loop lock around the dispatch;
+    * the routed/unrouted counters are guarded by a **separate leaf lock**
+      (``_stats_lock``), never held while acquiring anything else.  Keyed
+      deliveries record their outcome on worker-loop threads *while
+      holding that worker's loop lock*; guarding the counters with
+      ``_route_lock`` instead would close a cycle against a receiver
+      thread that holds ``_route_lock`` and waits for the same loop lock
+      on the inline fan-out path — a lock-order-inversion deadlock.  Lock
+      order: ``_route_lock`` → ``loop.lock`` → ``_stats_lock``.
     """
 
     def __init__(
@@ -205,9 +238,11 @@ class LiveShardRouter(ShardRouter):
         self._loops: Dict[int, WorkerLoop] = {
             id(loop.worker): loop for loop in loops
         }
-        # Re-entrant: fan-out deliveries record their outcome while the
-        # receiving thread still holds the lock from on_datagram.
         self._route_lock = threading.RLock()
+        # Leaf lock for the routed/unrouted counters: worker-loop threads
+        # record keyed outcomes while holding their loop lock, so the
+        # counters must not share _route_lock (see the class docstring).
+        self._stats_lock = threading.Lock()
         super().__init__(
             workers,
             public_endpoints,
@@ -273,10 +308,18 @@ class LiveShardRouter(ShardRouter):
             )
 
     def _record_outcome(self, routed: bool) -> None:
-        # Keyed deliveries run on worker-loop threads, fan-out on receiver
-        # threads: the counters need the router lock either way.
-        with self._route_lock:
+        # Runs on worker-loop threads (keyed, under that loop's lock) and
+        # on receiver threads (fan-out, under _route_lock): must use the
+        # leaf _stats_lock only, or the two callers deadlock each other.
+        with self._stats_lock:
             super()._record_outcome(routed)
+
+    def _has_session(self, worker, key) -> bool:
+        # Pruning runs on a timer thread; worker session tables are only
+        # ever touched under the owning loop's lock (route_lock → loop.lock
+        # is the documented order, so taking it here is safe).
+        with self._loop_for(worker).lock:
+            return worker.has_session(key)
 
     def _prune(self, engine: NetworkEngine) -> None:
         with self._route_lock:
@@ -347,40 +390,87 @@ class LiveShardedRuntime(ShardedRuntime):
 
     # ------------------------------------------------------------------
     def deploy(self, network: NetworkEngine) -> LiveShardRouter:
-        """Start the worker loops and attach shells + router to ``network``."""
+        """Start the worker loops and attach shells + router to ``network``.
+
+        All-or-nothing: if any attach fails (an endpoint already bound,
+        say), the worker-loop threads already started and the shells
+        already attached are torn back down before the error propagates,
+        so a failed deploy leaks nothing and a retry starts clean.
+        """
         if self._router is not None:
             raise ConfigurationError(
                 f"live sharded runtime '{self.merged.name}' is already deployed"
             )
-        self._loops = [WorkerLoop(worker, network) for worker in self._workers]
-        self._shells = [_WorkerShell(loop) for loop in self._loops]
-        for loop, shell in zip(self._loops, self._shells):
-            loop.start()
-            network.attach(shell)
-        router = LiveShardRouter(
-            self._workers,
-            self.public_endpoints,
-            self._loops,
-            name=f"live-router:{self.merged.name}",
-        )
-        network.attach(router)
+        loops = [WorkerLoop(worker, network) for worker in self._workers]
+        shells = [_WorkerShell(loop) for loop in loops]
+        router: Optional[LiveShardRouter] = None
+        try:
+            for loop, shell in zip(loops, shells):
+                loop.start()
+                network.attach(shell)
+            router = LiveShardRouter(
+                self._workers,
+                self.public_endpoints,
+                loops,
+                name=f"live-router:{self.merged.name}",
+            )
+            network.attach(router)
+        except BaseException:
+            # Detach the router and every shell, not only fully-attached
+            # nodes: an attach that raised mid-bind left its node
+            # registered on the network with some endpoints live, and
+            # detach is a no-op for never-attached nodes.
+            if router is not None:
+                network.detach(router)
+            for shell in shells:
+                network.detach(shell)
+            self._shutdown_loops(loops)
+            raise
+        self._loops = loops
+        self._shells = shells
         self._router = router
         self._network = network
         return router
 
     def undeploy(self) -> None:
+        """Detach from the network and stop the worker-loop threads.
+
+        Each loop thread is joined (bounded by
+        :data:`UNDEPLOY_JOIN_TIMEOUT`) after the stop sentinel is queued,
+        so jobs still draining finish — and their exceptions land in
+        :attr:`worker_errors` — before the runtime reports itself torn
+        down.  A loop that fails to exit in time is surfaced as a
+        ``RuntimeError`` in the error log rather than silently abandoned.
+        """
         if self._network is not None:
             if self._router is not None:
                 self._network.detach(self._router)
             for shell in self._shells:
                 self._network.detach(shell)
-        for loop in self._loops:
-            loop.stop()
-            self._worker_error_log.extend(loop.errors)
+        self._shutdown_loops(self._loops)
         self._loops = []
         self._shells = []
         self._router = None
         self._network = None
+
+    def _shutdown_loops(self, loops: Sequence[WorkerLoop]) -> None:
+        """Stop, join and harvest ``loops`` into the worker error log.
+
+        Shared by :meth:`undeploy` and :meth:`deploy`'s failure unwind, so
+        exceptions from jobs that drained during teardown — and evidence
+        of a loop thread that failed to exit — are preserved either way.
+        """
+        for loop in loops:
+            loop.stop()
+        for loop in loops:
+            if not loop.join(timeout=UNDEPLOY_JOIN_TIMEOUT):
+                self._worker_error_log.append(
+                    RuntimeError(
+                        f"worker loop '{loop.worker.name}' did not exit within "
+                        f"{UNDEPLOY_JOIN_TIMEOUT}s of teardown"
+                    )
+                )
+            self._worker_error_log.extend(loop.errors)
 
     def scale_to(self, workers: int) -> None:
         raise ConfigurationError(

@@ -245,12 +245,22 @@ class ShardRouter(NetworkNode):
         self._prune_scheduled = True
         engine.call_later(self.prune_interval, lambda: self._prune(engine))
 
+    def _has_session(self, worker, key: Hashable) -> bool:
+        """Probe one worker's session table (overridable for thread-safety).
+
+        The live router overrides this to take the worker's loop lock:
+        pruning runs on a timer thread there, and worker state must never
+        be read while a worker-loop thread mutates it.
+        """
+        return worker.has_session(key)
+
     def _prune(self, engine: NetworkEngine) -> None:
         self._prune_scheduled = False
         self._sticky = {
             key: index
             for key, index in self._sticky.items()
-            if index < len(self._workers) and self._workers[index].has_session(key)
+            if index < len(self._workers)
+            and self._has_session(self._workers[index], key)
         }
         if self._sticky:
             self._ensure_pruner(engine)

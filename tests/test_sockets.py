@@ -173,6 +173,85 @@ def test_tcp_unanswered_connection_closes_after_reply_timeout():
         assert client.received == []
 
 
+def test_reply_after_channel_close_is_dropped_not_raised():
+    """Regression: a reply losing the race against the handler's timeout.
+
+    ``send()`` can fetch the reply channel just before the handler's
+    ``finally`` pops and closes it; the write must then be counted as a
+    dropped reply, not raise on (and kill) the sending timer thread, and
+    not fall through to dialling the peer's kernel-ephemeral port.
+    """
+    from repro.network.sockets import _TcpReplyChannel
+
+    with SocketNetwork() as network:
+        a, b = socket.socketpair()
+        channel = _TcpReplyChannel(a)
+        channel.close()
+        b.close()
+        peer = ("127.0.0.1", 54321)
+        with network._lock:
+            network._tcp_replies[peer] = channel
+        network._send_tcp(
+            b"too late",
+            Endpoint("127.0.0.1", 1, Transport.UDP),
+            Endpoint(peer[0], peer[1], Transport.TCP),
+        )
+        assert network.tcp_replies_dropped == 1
+
+
+def test_delayed_reply_past_timeout_lands_in_error_log():
+    """A delayed send that misses the reply window must not vanish.
+
+    Once the handler has popped the channel, the engine falls back to
+    dialling the peer's ephemeral port and fails; on a timer thread that
+    exception used to be silently dropped — it now lands in
+    ``SocketNetwork.errors`` like ``WorkerLoop.errors``.
+    """
+    with SocketNetwork(tcp_reply_timeout=0.1) as network:
+        port = _free_port()
+        server = DelayedEchoTcp(
+            "server", [Endpoint("127.0.0.1", port, Transport.TCP)], delay=0.6
+        )
+        client_port = _free_port()
+        client = Sink("client", [Endpoint("127.0.0.1", client_port, Transport.UDP)])
+        network.attach(server)
+        network.attach(client)
+        network.send(
+            b"GET /very-slow HTTP/1.1\r\n\r\n",
+            Endpoint("127.0.0.1", client_port, Transport.UDP),
+            Endpoint("127.0.0.1", port, Transport.TCP),
+        )
+        assert _wait(
+            lambda: network.errors or network.tcp_replies_dropped, timeout=5.0
+        )
+        assert client.received == []
+
+
+def test_receiver_thread_survives_a_raising_handler():
+    """A node whose handler raises must not kill its receiver thread.
+
+    The port would stay bound but permanently deaf otherwise; the error is
+    recorded in ``SocketNetwork.errors`` and the next datagram delivered.
+    """
+
+    class Faulty(Sink):
+        def on_datagram(self, engine, data, source, destination):
+            super().on_datagram(engine, data, source, destination)
+            if data == b"bad":
+                raise RuntimeError("handler blew up")
+
+    with SocketNetwork() as network:
+        port = _free_port()
+        node = Faulty("faulty", [Endpoint("127.0.0.1", port, Transport.UDP)])
+        network.attach(node)
+        src = Endpoint("127.0.0.1", 0, Transport.UDP)
+        network.send(b"bad", src, Endpoint("127.0.0.1", port))
+        assert _wait(lambda: network.errors)
+        assert str(network.errors[0]) == "handler blew up"
+        network.send(b"good", src, Endpoint("127.0.0.1", port))
+        assert _wait(lambda: b"good" in node.received)
+
+
 def test_now_is_monotonic_and_call_later_fires():
     with SocketNetwork() as network:
         fired = []
