@@ -1,0 +1,129 @@
+"""Elastic control plane: loss-free autoscaling under a bursty load.
+
+PRs 2–3 gave the runtime parallel capacity at a fixed shard count; this
+benchmark exercises the control plane that sizes the pool from observed
+load.  A steady trickle / dense burst / post-burst trickle of legacy SLP
+lookups (case 2) drives a runtime deployed at **one** shard under an
+autoscaler bounded at four:
+
+* the burst's in-flight session count crosses the policy's high watermark
+  and the pool grows 1 → 4 shards;
+* once the load subsides the pool **drains** back to 1 — the ring stops
+  routing new keys to the tail workers, which serve their pinned sessions
+  to completion before detaching;
+* **zero sessions are dropped or abandoned across both resizes** — every
+  client is answered, nothing is unrouted, nothing is evicted — which is
+  the property that distinguishes a drain from the old destructive
+  ``scale_to``;
+* throughput is reported before / during / after the burst: the burst
+  phase must out-run the steady baseline by the added parallelism.
+
+The pytest-benchmark measurement times the whole run (the full
+grow-and-drain cycle on the virtual clock, executed in real time on this
+machine).  Results are written to ``BENCH_elastic.json`` so CI archives
+the trajectory alongside the concurrency/sharding/live artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import run_elastic
+from repro.evaluation.tables import format_elastic
+
+#: The benchmarked case: SLP clients, Bonjour service — cheap legacy legs,
+#: so worker compute (what the autoscaler provisions) dominates the burst.
+CASE = 2
+
+#: Autoscaler bounds of the run (the acceptance criterion's 1 -> 4).
+MIN_WORKERS = 1
+MAX_WORKERS = 4
+
+
+def test_elastic_scaling_loss_free(capsys, benchmark, bench_results):
+    result = benchmark.pedantic(
+        run_elastic,
+        kwargs={"case": CASE, "min_workers": MIN_WORKERS, "max_workers": MAX_WORKERS},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_elastic(result))
+    bench_results(
+        "elastic",
+        [phase.as_row() for phase in result.phases],
+        case=CASE,
+        clients=result.clients,
+        min_workers=MIN_WORKERS,
+        max_workers=MAX_WORKERS,
+        peak_workers=result.peak_workers,
+        final_workers=result.final_workers,
+        abandoned_sessions=result.abandoned_sessions,
+        unrouted=result.unrouted,
+        events=[
+            {
+                "at": round(event.at, 4),
+                "kind": event.kind,
+                "workers_before": event.workers_before,
+                "workers_after": event.workers_after,
+            }
+            for event in result.events
+        ],
+    )
+
+    # The acceptance criterion: zero dropped or abandoned sessions across
+    # the full grow-and-drain cycle.
+    assert result.completed == result.clients
+    assert result.abandoned_sessions == 0
+    assert result.unrouted == 0
+
+    # The autoscaler grew to the cap under the burst and drained back.
+    assert result.peak_workers == MAX_WORKERS
+    assert result.final_workers == MIN_WORKERS
+    kinds = [event.kind for event in result.events]
+    assert "grow" in kinds and "drain-complete" in kinds
+    assert "drain-cancelled" not in kinds
+
+    # Throughput before / during / after: the burst out-runs the steady
+    # baseline by real parallelism, and the post-drain tail still serves.
+    by_phase = {phase.name: phase for phase in result.phases}
+    assert by_phase["burst"].throughput > 2.0 * by_phase["steady"].throughput
+    assert by_phase["tail"].completed == by_phase["tail"].clients
+
+
+def test_elastic_outputs_match_fixed_shard_run():
+    """Autoscaling must not change a single translated byte.
+
+    The same seeded workload runs once under the autoscaler (resizing
+    1 -> 4 -> 1 mid-run) and once at a fixed shard count; each client's
+    raw reply bytes must match exactly.
+    """
+    from repro.evaluation.workloads import elastic_scenario
+    from repro.runtime import AutoscalerPolicy
+
+    elastic = elastic_scenario(case=CASE, seed=7)
+    elastic_result = elastic.run()
+    assert elastic_result.all_found
+    elastic_bytes = {
+        client.name: tuple(client.raw_responses)
+        for phase in elastic.phases
+        for client in phase.clients
+    }
+
+    # The identical workload pinned at the minimum: a policy whose
+    # watermarks are unreachable never scales.
+    fixed = elastic_scenario(
+        case=CASE,
+        seed=7,
+        policy=AutoscalerPolicy(
+            scale_up_at=1e9, scale_down_at=0.0, min_workers=1, max_workers=4
+        ),
+    )
+    fixed_result = fixed.run()
+    assert fixed_result.all_found
+    assert fixed_result.peak_workers == 1
+    fixed_bytes = {
+        client.name: tuple(client.raw_responses)
+        for phase in fixed.phases
+        for client in phase.clients
+    }
+    assert elastic_bytes == fixed_bytes

@@ -74,9 +74,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
-from ...network.addressing import Endpoint
+from ...network.addressing import Endpoint, Transport
 from ...network.engine import NetworkEngine, NetworkNode
 from ..automata.colored import Action, ColoredAutomaton
 from ..automata.merge import DeltaTransition, MergedAutomaton
@@ -282,6 +292,13 @@ class AutomataEngine(NetworkNode, EngineCore):
         self.ignored_datagrams: int = 0
         #: Upstream replies attributed exactly via an ephemeral source port.
         self.ephemeral_hits: int = 0
+        #: Called with the session key whenever a session leaves the table
+        #: (normal completion, eviction or reset).  The shard router wires
+        #: this to unpin its sticky entry promptly — drain latency then
+        #: tracks session lifetime, not the prune interval.  May be invoked
+        #: from a worker thread on the live runtime; listeners must be
+        #: thread-safe.
+        self.session_close_listener: Optional[Callable[[Hashable], None]] = None
         self._engine: Optional[NetworkEngine] = None
 
     # ------------------------------------------------------------------
@@ -330,6 +347,18 @@ class AutomataEngine(NetworkNode, EngineCore):
 
     def has_session(self, key: Any) -> bool:
         return key in self._sessions
+
+    def busy_backlog(self, now: float) -> float:
+        """Seconds of serialised translation compute committed beyond ``now``.
+
+        How far this worker's busy-until clock is ahead of the clock — the
+        queueing delay the *next* translated send would suffer.  Zero when
+        processing is not serialised (the engine is then infinitely
+        parallel by construction).  A control-plane load signal.
+        """
+        if not self.serialize_processing:
+            return 0.0
+        return max(0.0, self._busy_until - now)
 
     def owns_endpoint(self, endpoint: Endpoint) -> bool:
         """Whether ``endpoint`` is one of this engine's source addresses.
@@ -690,17 +719,31 @@ class AutomataEngine(NetworkNode, EngineCore):
         existing = session.ephemeral_sources.get(automaton_name)
         if existing is not None:
             return existing
-        now = self._engine.now()
-        if (
-            self._ephemeral_free_ports
-            and now - self._ephemeral_free_ports[0][0] >= self._ephemeral_quarantine
-        ):
-            _, port = self._ephemeral_free_ports.popleft()
+        transport = binding.local_endpoint.transport
+        if getattr(self._engine, "kernel_ephemeral_ports", False):
+            # Live sockets: the kernel assigns the port (bind to 0) and
+            # manages reuse, so the engine's deterministic range and
+            # TIME_WAIT quarantine below do not apply.  TCP legs skip the
+            # feature entirely — their replies return on the accepted
+            # connection, which is exact attribution already.
+            if transport != Transport.UDP:
+                return None
+            endpoint = bind(self, Endpoint(self.host, 0, transport))
+            if endpoint is None:
+                return None
         else:
-            port = self._ephemeral_next_port
-            self._ephemeral_next_port += 1
-        endpoint = Endpoint(self.host, port, binding.local_endpoint.transport)
-        bind(self, endpoint)
+            now = self._engine.now()
+            if (
+                self._ephemeral_free_ports
+                and now - self._ephemeral_free_ports[0][0]
+                >= self._ephemeral_quarantine
+            ):
+                _, port = self._ephemeral_free_ports.popleft()
+            else:
+                port = self._ephemeral_next_port
+                self._ephemeral_next_port += 1
+            endpoint = Endpoint(self.host, port, transport)
+            bind(self, endpoint)
         session.ephemeral_sources[automaton_name] = endpoint
         self._ephemeral_routes[
             (endpoint.host, endpoint.port, endpoint.transport)
@@ -712,13 +755,17 @@ class AutomataEngine(NetworkNode, EngineCore):
         if not session.ephemeral_sources:
             return
         unbind = getattr(self._engine, "unbind_endpoint", None)
+        kernel = getattr(self._engine, "kernel_ephemeral_ports", False)
         now = self._engine.now() if self._engine is not None else 0.0
         for endpoint in session.ephemeral_sources.values():
             self._ephemeral_routes.pop(
                 (endpoint.host, endpoint.port, endpoint.transport), None
             )
             self._source_addresses.discard((endpoint.host, endpoint.port))
-            self._ephemeral_free_ports.append((now, endpoint.port))
+            if not kernel:
+                # Kernel-assigned ports are not drawn from the engine's
+                # range; closing the socket returns them to the OS.
+                self._ephemeral_free_ports.append((now, endpoint.port))
             if unbind is not None:
                 unbind(self, endpoint)
         session.ephemeral_sources.clear()
@@ -892,6 +939,8 @@ class AutomataEngine(NetworkNode, EngineCore):
         registered = self._sessions.get(session.key)
         if registered is session:
             del self._sessions[session.key]
+            if self.session_close_listener is not None:
+                self.session_close_listener(session.key)
         for token in session.reply_tokens:
             waiting = self._pending_replies.get(token)
             if waiting and session in waiting:

@@ -1,12 +1,13 @@
 """Command-line entry point for the evaluation harness.
 
 ``python -m repro.evaluation [--repetitions N]
-[--table fig12a|fig12b|overhead|concurrency|sharding|live-sharding|all]``
+[--table fig12a|fig12b|overhead|concurrency|sharding|elastic|live-sharding|all]``
 regenerates the paper's Fig. 12 tables (and the Section VI overhead
-analysis) plus the concurrent-sessions and sharded-runtime scaling sweeps,
-and prints them next to the published numbers.  This is the same code path
-the benchmarks use; the CLI exists so the headline result can be
-reproduced without pytest.
+analysis) plus the concurrent-sessions and sharded-runtime scaling sweeps
+and the elastic control-plane run (an autoscaled bursty workload growing
+1→4 shards and draining back loss-free), and prints them next to the
+published numbers.  This is the same code path the benchmarks use; the
+CLI exists so the headline result can be reproduced without pytest.
 
 ``--table live-sharding`` runs the sweep over **real loopback sockets**
 (thread-per-worker engines, wall-clock timings) and writes the rows to
@@ -31,6 +32,7 @@ from .harness import (
     DEFAULT_REPETITIONS,
     DEFAULT_SHARDING_CLIENTS,
     run_concurrency,
+    run_elastic,
     run_fig12a,
     run_fig12b,
     run_live_sharding,
@@ -38,6 +40,7 @@ from .harness import (
 )
 from .tables import (
     format_concurrency,
+    format_elastic,
     format_fig12a,
     format_fig12b,
     format_live_sharding,
@@ -89,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
             "overhead",
             "concurrency",
             "sharding",
+            "elastic",
             "live-sharding",
             "all",
         ],
@@ -161,6 +165,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         lines.append(format_sharding(sharding_rows))
+        lines.append("")
+    if args.table in ("elastic", "all"):
+        try:
+            elastic_result = run_elastic(case=args.concurrency_case, seed=args.seed)
+        except (ValueError, RuntimeError) as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_elastic(elastic_result))
         lines.append("")
     if args.table == "live-sharding":
         try:

@@ -22,8 +22,10 @@ from ..network.latency import CalibratedLatencies
 from .workloads import (
     LEGACY_PROTOCOLS,
     LIVE_PROCESSING_DELAY,
+    ElasticResult,
     bridged_scenario,
     concurrent_scenario,
+    elastic_scenario,
     legacy_scenario,
     live_sharded_scenario,
     live_twin_scenario,
@@ -46,6 +48,7 @@ __all__ = [
     "run_concurrency",
     "run_sharding",
     "run_live_sharding",
+    "run_elastic",
     "DEFAULT_CLIENT_COUNTS",
     "DEFAULT_WORKER_COUNTS",
     "DEFAULT_SHARDING_CLIENTS",
@@ -456,6 +459,33 @@ def measure_live_sharded_sessions(
         worker_sessions=tuple(live.runtime.worker_session_counts()),
         outputs_match_simulated=outputs_match,
     )
+
+
+# ----------------------------------------------------------------------
+# elastic control plane: autoscaled bursty load
+# ----------------------------------------------------------------------
+def run_elastic(case: int = 2, seed: int = 7, **kwargs) -> ElasticResult:
+    """Run the bursty elastic workload and return its full result.
+
+    The workload drives an autoscaled runtime through a steady / burst /
+    tail profile; the run completes only once the pool has grown under the
+    burst and drained back to its minimum.  Raises when any lookup went
+    unanswered or a session was abandoned — the drain protocol's loss-free
+    guarantee is part of the harness contract, not just the benchmark's.
+    """
+    scenario = elastic_scenario(case=case, seed=seed, **kwargs)
+    result = scenario.run()
+    if not result.all_found:
+        raise RuntimeError(
+            f"{result.clients - result.completed} of {result.clients} elastic "
+            f"lookups failed for case {case}"
+        )
+    if result.abandoned_sessions:
+        raise RuntimeError(
+            f"elastic run abandoned {result.abandoned_sessions} sessions; "
+            "the drain protocol must be loss-free"
+        )
+    return result
 
 
 def run_live_sharding(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .harness import ConcurrencySummary, LiveShardingSummary, ShardingSummary, Summary
+from .workloads import ElasticResult
 
 __all__ = [
     "PAPER_FIG12A",
@@ -21,6 +22,7 @@ __all__ = [
     "format_concurrency",
     "format_sharding",
     "format_live_sharding",
+    "format_elastic",
     "overhead_ratios",
 ]
 
@@ -164,6 +166,50 @@ def format_live_sharding(rows: Sequence[LiveShardingSummary]) -> str:
             f"{row.speedup:>7.2f}x {identical:>10}  {balance}"
         )
     lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_elastic(result: ElasticResult) -> str:
+    """Render the elastic control-plane run as a text table.
+
+    One row per traffic phase, followed by the scaling timeline (the
+    autoscaler growing the pool under the burst and draining it back) and
+    the loss-free tally — abandoned sessions must read zero.
+    """
+    header = (
+        f"{'Phase':<10} {'Clients':>8} {'Completed':>10} "
+        f"{'Makespan (s)':>13} {'Sessions/s':>11}"
+    )
+    lines = [
+        "Elastic control plane - bursty load through an autoscaled runtime",
+        f"({result.name})",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for phase in result.phases:
+        lines.append(
+            f"{phase.name:<10} {phase.clients:>8} {phase.completed:>10} "
+            f"{phase.makespan_s:>13.3f} {phase.throughput:>11.1f}"
+        )
+    lines.append("-" * len(header))
+    timeline = " | ".join(
+        f"t={event.at:.2f}s {event.kind} {event.workers_before}->"
+        f"{event.workers_after}"
+        for event in result.events
+    )
+    lines.append(f"Scaling timeline: {timeline or '(no scaling occurred)'}")
+    lines.append(
+        f"Workers: peak {result.peak_workers}, final {result.final_workers}   "
+        f"Abandoned sessions: {result.abandoned_sessions}   "
+        f"Unrouted: {result.unrouted}"
+    )
+    if result.final_metrics is not None:
+        router = result.final_metrics.router
+        lines.append(
+            f"Router: {router.classify_count} datagrams classified, "
+            f"{router.classify_cost_avg_us:.1f} us/classify"
+        )
     return "\n".join(lines)
 
 

@@ -28,7 +28,16 @@ from ..protocols.common import LookupResult
 from ..protocols.mdns import BonjourBrowser, BonjourResponder
 from ..protocols.slp import SLPServiceAgent, SLPUserAgent
 from ..protocols.upnp import UPnPControlPoint, UPnPDevice
-from ..runtime import LiveShardedRuntime, ShardedRuntime
+from ..runtime import (
+    Autoscaler,
+    AutoscaleDecision,
+    AutoscalerPolicy,
+    ElasticController,
+    LiveShardedRuntime,
+    ScaleEvent,
+    ShardedRuntime,
+    ShardMetrics,
+)
 
 __all__ = [
     "SLP_SERVICE_TYPE",
@@ -38,12 +47,17 @@ __all__ = [
     "ConcurrentScenario",
     "ConcurrentResult",
     "LiveScenario",
+    "ElasticPhase",
+    "ElasticPhaseStats",
+    "ElasticResult",
+    "ElasticScenario",
     "legacy_scenario",
     "bridged_scenario",
     "concurrent_scenario",
     "sharded_scenario",
     "live_sharded_scenario",
     "live_twin_scenario",
+    "elastic_scenario",
     "LEGACY_PROTOCOLS",
     "LIVE_BRIDGE_PORT",
     "LIVE_SERVICE_PORT",
@@ -677,5 +691,273 @@ def live_twin_scenario(
         description=(
             f"Simulated twin of the live {workers}-shard case-{case} workload "
             f"(same loopback topology, virtual clock)"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# elastic control plane: bursty load through an autoscaled runtime
+# ----------------------------------------------------------------------
+@dataclass
+class ElasticPhase:
+    """One traffic phase of the bursty workload."""
+
+    name: str
+    clients: List
+    #: Virtual second the phase's first request fires.
+    start: float
+    #: Seconds between consecutive requests within the phase.
+    spacing: float
+
+
+@dataclass(frozen=True)
+class ElasticPhaseStats:
+    """Measured outcome of one phase."""
+
+    name: str
+    clients: int
+    completed: int
+    #: Virtual seconds from the phase's first request to its last reply.
+    makespan_s: float
+    #: Completed sessions per virtual second of phase makespan.
+    throughput: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "phase": self.name,
+            "clients": self.clients,
+            "completed": self.completed,
+            "makespan_s": round(self.makespan_s, 4),
+            "throughput": round(self.throughput, 2),
+        }
+
+
+@dataclass
+class ElasticResult:
+    """Outcome of one elastic (autoscaled bursty-load) run."""
+
+    name: str
+    phases: List[ElasticPhaseStats]
+    #: The runtime's scaling timeline (grow / drain-start / drain-complete).
+    events: List[ScaleEvent]
+    #: The autoscaler's decision log.
+    decisions: List[AutoscaleDecision]
+    peak_workers: int
+    final_workers: int
+    #: Sessions abandoned by the idle-timeout sweeper — must be zero: the
+    #: drain protocol never abandons a session on a removed worker.
+    abandoned_sessions: int
+    unrouted: int
+    clients: int
+    completed: int
+    #: The deployment's metrics snapshot after the run (router dispatch
+    #: cost, per-worker completion counts).
+    final_metrics: Optional[ShardMetrics] = None
+
+    @property
+    def all_found(self) -> bool:
+        return self.completed == self.clients
+
+
+@dataclass
+class ElasticScenario:
+    """Bursty load through an autoscaled sharded runtime.
+
+    Three phases — a steady trickle, a burst an order of magnitude denser,
+    a post-burst trickle — drive a runtime deployed at ``min_workers``
+    shards under an :class:`~repro.runtime.elastic.ElasticController`.
+    The controller grows the pool from observed load during the burst and
+    drains it back once the load subsides; :meth:`run` completes only when
+    every client is answered *and* the pool is back at ``min_workers``,
+    so the result witnesses the full grow-and-drain cycle.
+    """
+
+    name: str
+    network: SimulatedNetwork
+    runtime: ShardedRuntime
+    controller: ElasticController
+    phases: List[ElasticPhase]
+    target: str
+    min_workers: int
+    description: str = ""
+
+    def run(self, timeout: float = 60.0) -> ElasticResult:
+        network = self.network
+        runtime = self.runtime
+        started: Dict[int, List] = {index: [] for index in range(len(self.phases))}
+        for phase_index, phase in enumerate(self.phases):
+            for offset, client in enumerate(phase.clients):
+
+                def start(client=client, phase_index=phase_index) -> None:
+                    started[phase_index].append(
+                        (client, client.start_lookup(network, self.target))
+                    )
+
+                network.call_later(phase.start + offset * phase.spacing, start)
+        total = sum(len(phase.clients) for phase in self.phases)
+
+        def finished() -> bool:
+            if sum(len(entries) for entries in started.values()) < total:
+                return False
+            if not all(
+                client.lookup_result(key) is not None
+                for entries in started.values()
+                for client, key in entries
+            ):
+                return False
+            # The run is over only once the pool has drained back: this is
+            # the loss-free scale-down the control plane exists for.
+            return (
+                runtime.worker_count == self.min_workers
+                and not runtime.scaling_in_progress
+            )
+
+        network.run_until(finished, timeout=timeout)
+        final_metrics = runtime.metrics() if runtime.router is not None else None
+        self.controller.stop()
+
+        phase_stats: List[ElasticPhaseStats] = []
+        completed_total = 0
+        for phase_index, phase in enumerate(self.phases):
+            entries = started[phase_index]
+            reply_times: List[float] = []
+            completed = 0
+            first_send: Optional[float] = None
+            for client, key in entries:
+                sent_at = client.lookup_started_at(key)
+                if sent_at is not None and (first_send is None or sent_at < first_send):
+                    first_send = sent_at
+                result = client.lookup_result(key)
+                if result is not None and result.found:
+                    completed += 1
+                    reply_times.append((sent_at or 0.0) + result.response_time)
+            completed_total += completed
+            makespan = (
+                max(reply_times) - (first_send or 0.0) if reply_times else 0.0
+            )
+            phase_stats.append(
+                ElasticPhaseStats(
+                    name=phase.name,
+                    clients=len(phase.clients),
+                    completed=completed,
+                    makespan_s=makespan,
+                    throughput=(completed / makespan) if makespan > 0 else 0.0,
+                )
+            )
+
+        events = list(runtime.scale_events)
+        peak = max(
+            [self.min_workers]
+            + [event.workers_after for event in events if event.kind == "grow"]
+        )
+        return ElasticResult(
+            name=self.name,
+            phases=phase_stats,
+            events=events,
+            decisions=self.controller.decisions,
+            peak_workers=peak,
+            final_workers=runtime.worker_count,
+            abandoned_sessions=len(runtime.evicted_sessions),
+            unrouted=runtime.unrouted_datagrams,
+            clients=total,
+            completed=completed_total,
+            final_metrics=final_metrics,
+        )
+
+
+def _elastic_calibration() -> CalibratedLatencies:
+    """Fast services with a real per-message translation cost, so worker
+    compute — the resource the autoscaler manages — dominates the burst."""
+    return CalibratedLatencies(
+        link=LatencyModel(0.0001, 0.0002),
+        slp_service=LatencyModel(0.001, 0.002),
+        mdns_service=LatencyModel(0.01, 0.012),
+        ssdp_service=LatencyModel(0.001, 0.002),
+        http_service=LatencyModel(0.001, 0.002),
+        slp_client_overhead=_NO_LATENCY,
+        mdns_client_overhead=_NO_LATENCY,
+        upnp_client_overhead=_NO_LATENCY,
+        bridge_processing=LatencyModel(0.004, 0.004),
+    )
+
+
+def elastic_scenario(
+    case: int = 2,
+    steady_clients: int = 6,
+    burst_clients: int = 64,
+    tail_clients: int = 6,
+    burst_start: float = 0.5,
+    tail_start: float = 2.5,
+    min_workers: int = 1,
+    max_workers: int = 4,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+    processing_delay: float = 0.004,
+    policy: Optional[AutoscalerPolicy] = None,
+    tick_interval: float = 0.05,
+) -> ElasticScenario:
+    """The bursty elastic workload: trickle, burst, trickle.
+
+    The runtime deploys at ``min_workers`` shards with an autoscaler
+    bounded at ``max_workers``; the burst's in-flight session count
+    crosses the policy's high watermark (so the pool grows), and the tail
+    trickle falls below the low watermark (so the pool drains back) —
+    with every session completing and none abandoned, which the elastic
+    benchmark asserts.
+    """
+    if case not in BRIDGE_BUILDERS:
+        raise ValueError(f"unknown case {case}; valid cases are 1..6")
+    latencies = latencies if latencies is not None else _elastic_calibration()
+    network = SimulatedNetwork(latencies=latencies, seed=seed)
+
+    client_protocol, _, service_protocol = CASE_NAMES[case].partition(" to ")
+    _, service, target = _make_client_and_service(
+        client_protocol, service_protocol, latencies
+    )
+    total = steady_clients + burst_clients + tail_clients
+    clients = _make_concurrent_clients(client_protocol, total)
+    phases = [
+        ElasticPhase("steady", clients[:steady_clients], 0.0, 0.05),
+        ElasticPhase(
+            "burst",
+            clients[steady_clients : steady_clients + burst_clients],
+            burst_start,
+            0.0015,
+        ),
+        ElasticPhase(
+            "tail", clients[steady_clients + burst_clients :], tail_start, 0.05
+        ),
+    ]
+
+    bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
+    bridge.validate()
+    runtime = ShardedRuntime.from_bridge(
+        bridge, workers=min_workers, serialize_processing=True
+    )
+    runtime.deploy(network)
+    if policy is None:
+        policy = AutoscalerPolicy(min_workers=min_workers, max_workers=max_workers)
+    controller = ElasticController(
+        runtime, Autoscaler(policy), interval=tick_interval
+    )
+    controller.start(network)
+
+    network.attach(service)
+    for client in clients:
+        network.attach(client)
+
+    return ElasticScenario(
+        name=f"elastic-case-{case}-x{total}-w{min_workers}..{max_workers}",
+        network=network,
+        runtime=runtime,
+        controller=controller,
+        phases=phases,
+        target=target,
+        min_workers=min_workers,
+        description=(
+            f"{total} legacy {client_protocol} lookups in a "
+            f"steady/burst/tail profile through an autoscaled "
+            f"{min_workers}..{max_workers}-shard Starlink runtime answering "
+            f"from a legacy {service_protocol} service"
         ),
     )

@@ -100,11 +100,14 @@ class SimulatedNetwork(NetworkEngine):
             self.detach(node)
         self.attach(node)
 
-    def bind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> None:
+    def bind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> Endpoint:
         """Bind one extra unicast endpoint to an already-attached node.
 
         The automata engine allocates per-session ephemeral source ports
-        this way (exact upstream attribution); ``detach`` releases them all.
+        this way (exact upstream attribution); ``detach`` releases them
+        all.  Returns the bound endpoint — unchanged here, but the socket
+        engine's implementation may substitute a kernel-assigned port, so
+        callers must use the return value.
         """
         key = (endpoint.host, endpoint.port, endpoint.transport)
         owner = self._unicast.get(key)
@@ -113,6 +116,7 @@ class SimulatedNetwork(NetworkEngine):
                 f"endpoint {endpoint} already bound by node '{owner.name}'"
             )
         self._unicast[key] = node
+        return endpoint
 
     def unbind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> None:
         """Release an endpoint bound with :meth:`bind_endpoint`."""

@@ -121,6 +121,12 @@ class _TcpReplyChannel:
 class SocketNetwork(NetworkEngine):
     """Network engine backed by real loopback sockets."""
 
+    #: Late binds go through the kernel: request port 0 and the OS assigns
+    #: a free ephemeral port.  The automata engine (and the UPnP control
+    #: point) feature-detect this to skip their deterministic port ranges
+    #: and TIME_WAIT quarantine — the kernel manages reuse.
+    kernel_ephemeral_ports = True
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -134,6 +140,10 @@ class SocketNetwork(NetworkEngine):
         self._endpoint_owner: Dict[Tuple[str, int, str], NetworkNode] = {}
         self._groups: Dict[Tuple[str, int], Set[NetworkNode]] = {}
         self._threads: List[threading.Thread] = []
+        #: UDP receiver thread per bound (host, port), so unbind_endpoint
+        #: can drop the reference — per-session ephemeral binds would
+        #: otherwise grow the thread list without bound on a long run.
+        self._udp_threads: Dict[Tuple[str, int], threading.Thread] = {}
         self._timers: List[threading.Timer] = []
         #: Sockets bound on behalf of each attached node (``id(node)`` →
         #: registry kind + key), so :meth:`detach` can close exactly them.
@@ -201,6 +211,67 @@ class SocketNetwork(NetworkEngine):
             sock = registry.pop(key, None)
             if sock is not None:
                 self._close_socket(sock, wake=kind == "tcp")
+            if kind == "udp":
+                self._udp_threads.pop(key, None)
+
+    def bind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> Endpoint:
+        """Bind one extra UDP endpoint to ``node`` after attach.
+
+        Port ``0`` asks the kernel for a free ephemeral port; the
+        actually-bound :class:`Endpoint` is returned either way, and a
+        receiver thread delivers its datagrams to ``node`` like any
+        attached endpoint.  This is what gives live engines per-session
+        ephemeral source ports (exact reply attribution for token-less
+        legs, matching the simulation).  TCP is rejected: an accepted
+        connection already *is* an exact reply channel, so late TCP binds
+        have nothing to attribute.
+        """
+        if endpoint.transport == Transport.TCP:
+            raise NetworkError(
+                "late TCP binds are not supported; TCP replies return on "
+                "the accepted connection"
+            )
+        with self._lock:
+            key = (endpoint.host, endpoint.port, endpoint.transport)
+            if endpoint.port != 0:
+                owner = self._endpoint_owner.get(key)
+                if owner is not None and owner is not node:
+                    raise NetworkError(
+                        f"endpoint {endpoint} already bound by node '{owner.name}'"
+                    )
+        actual_port = self._bind_udp(node, endpoint)
+        bound = Endpoint(endpoint.host, actual_port, Transport.UDP)
+        with self._lock:
+            self._endpoint_owner[(bound.host, bound.port, bound.transport)] = node
+        return bound
+
+    def unbind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        """Release an endpoint bound with :meth:`bind_endpoint`.
+
+        Closes the socket (its receiver thread notices on the next poll
+        and exits) and forgets the registrations, so the port returns to
+        the kernel.
+        """
+        key = (endpoint.host, endpoint.port)
+        with self._lock:
+            if self._endpoint_owner.get(key + (endpoint.transport,)) is not node:
+                return
+            del self._endpoint_owner[key + (endpoint.transport,)]
+            sock = self._udp_sockets.pop(key, None)
+            owned = self._owned_sockets.get(id(node))
+            if owned is not None and ("udp", key) in owned:
+                owned.remove(("udp", key))
+            # Drop the receiver thread's reference too (it exits on its
+            # next poll once the socket closes); per-session binds must
+            # not accumulate dead Thread objects over a long run.
+            thread = self._udp_threads.pop(key, None)
+            if thread is not None:
+                try:
+                    self._threads.remove(thread)
+                except ValueError:
+                    pass
+        if sock is not None:
+            self._close_socket(sock, wake=False)
 
     @staticmethod
     def _close_socket(sock: socket.socket, wake: bool) -> None:
@@ -231,6 +302,7 @@ class SocketNetwork(NetworkEngine):
         self._tcp_servers.clear()
         self._tcp_replies.clear()
         self._owned_sockets.clear()
+        self._udp_threads.clear()
 
     def __enter__(self) -> "SocketNetwork":
         return self
@@ -249,7 +321,9 @@ class SocketNetwork(NetworkEngine):
         else:
             self._bind_udp(node, endpoint)
 
-    def _bind_udp(self, node: NetworkNode, endpoint: Endpoint) -> None:
+    def _bind_udp(self, node: NetworkNode, endpoint: Endpoint) -> int:
+        """Bind a UDP socket, start its receiver, return the actual port
+        (which differs from the requested one only for port 0)."""
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((endpoint.host, endpoint.port))
@@ -282,6 +356,8 @@ class SocketNetwork(NetworkEngine):
         thread = threading.Thread(target=receiver, daemon=True, name=f"udp-{actual_port}")
         thread.start()
         self._threads.append(thread)
+        self._udp_threads[(endpoint.host, actual_port)] = thread
+        return actual_port
 
     def _bind_tcp(self, node: NetworkNode, endpoint: Endpoint) -> None:
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlparse
 
-from ...core.errors import ParseError
+from ...core.errors import NetworkError, ParseError
 from ...core.mdl.base import create_composer, create_parser
 from ...core.message import AbstractMessage
 from ...network.addressing import Endpoint, Transport
@@ -171,6 +171,14 @@ class _PendingControl:
     #: "ssdp" while the M-SEARCH response is outstanding, "http" while the
     #: description GET is; finished controls leave the pending table.
     leg: str = "ssdp"
+    #: Per-lookup source endpoint both legs are sent from, when the
+    #: network supports late binds (``None``: the shared endpoint).
+    source: Optional[Endpoint] = None
+
+
+#: Offset above a control point's own port where its per-lookup source
+#: ports start on networks with deterministic late binds (the simulation).
+_LOOKUP_PORT_OFFSET = 20000
 
 
 class UPnPControlPoint(LegacyClient):
@@ -183,10 +191,18 @@ class UPnPControlPoint(LegacyClient):
     the moment the SSDP response lands — so many control points (or many
     lookups) can be in flight at once without blocking the simulation,
     which is what admits UPnP-client bridge cases into the concurrency and
-    sharding sweeps.  Neither SSDP nor HTTP carries a transaction
-    identifier, so overlapping lookups *within one control point* complete
-    oldest-first; distinct control points are distinguished by their
-    endpoints, as the real Cyberlink stack distinguishes sockets.
+    sharding sweeps.
+
+    Neither SSDP nor HTTP carries a transaction identifier, so each lookup
+    sends both its legs from a **per-lookup ephemeral source port** when
+    the network can bind endpoints at runtime (the simulation's
+    deterministic range, the socket engine's kernel-assigned ports):
+    responses are then attributed to the exact lookup by their return
+    address, and concurrent lookups within one control point resolve
+    correctly even when they complete out of order.  On networks without
+    late binds the legs share the control point's endpoint and overlapping
+    lookups complete oldest-first, as the real Cyberlink stack's shared
+    socket would.
     """
 
     def __init__(
@@ -216,6 +232,11 @@ class UPnPControlPoint(LegacyClient):
         self._completed_controls: Dict[int, LookupResult] = {}
         #: Token -> virtual start time, surviving completion.
         self._control_started: Dict[int, float] = {}
+        #: ``(host, port)`` of a lookup's source endpoint -> its token:
+        #: exact response attribution by return address.
+        self._lookup_ports: Dict[Tuple[str, int], int] = {}
+        #: Next per-lookup port on deterministic (simulated) networks.
+        self._next_lookup_port = port + _LOOKUP_PORT_OFFSET
 
     # The control point receives both SSDP and HTTP responses on its endpoint.
     # The two share the "HTTP/1.1 200 OK" start line, so the parser is chosen
@@ -236,10 +257,54 @@ class UPnPControlPoint(LegacyClient):
         if message.name not in (SSDP_RESP, HTTP_OK):
             return
         self._record_response(engine.now(), message, source, data)
+        # A response delivered to a per-lookup source port belongs to that
+        # lookup exactly; only shared-endpoint traffic falls back to the
+        # oldest-pending scan.
+        token = self._lookup_ports.get((destination.host, destination.port))
         if message.name == SSDP_RESP:
-            self._advance_ssdp_leg(engine, message)
+            self._advance_ssdp_leg(engine, message, token)
         else:
-            self._complete_http_leg(engine, message)
+            self._complete_http_leg(engine, message, token)
+
+    # -- per-lookup ephemeral source ports --------------------------------
+    def _allocate_lookup_source(
+        self, network: NetworkEngine, token: int
+    ) -> Optional[Endpoint]:
+        """A fresh source endpoint for one lookup, or ``None`` without
+        late-bind support (both legs then share the main endpoint)."""
+        bind = getattr(network, "bind_endpoint", None)
+        if bind is None:
+            return None
+        if getattr(network, "kernel_ephemeral_ports", False):
+            bound = bind(self, Endpoint(self.endpoint.host, 0, Transport.UDP))
+        else:
+            port = self._next_lookup_port
+            while True:
+                try:
+                    bound = bind(
+                        self, Endpoint(self.endpoint.host, port, Transport.UDP)
+                    )
+                    break
+                except NetworkError:
+                    # Another node (e.g. a sibling control point) owns the
+                    # port; probe upward — deterministic either way.
+                    port += 1
+            self._next_lookup_port = port + 1
+        if bound is None:
+            return None
+        self._lookup_ports[(bound.host, bound.port)] = token
+        return bound
+
+    def _release_lookup_source(
+        self, network: Optional[NetworkEngine], control: _PendingControl
+    ) -> None:
+        if control.source is None:
+            return
+        self._lookup_ports.pop((control.source.host, control.source.port), None)
+        unbind = getattr(network, "unbind_endpoint", None) if network else None
+        if unbind is not None:
+            unbind(self, control.source)
+        control.source = None
 
     # -- the non-blocking two-leg driver ---------------------------------
     def start_control(
@@ -254,7 +319,9 @@ class UPnPControlPoint(LegacyClient):
         :meth:`control_result`.
         """
         token = next(self._token_counter)
-        self._controls[token] = _PendingControl(token=token, started_at=network.now())
+        control = _PendingControl(token=token, started_at=network.now())
+        control.source = self._allocate_lookup_source(network, token)
+        self._controls[token] = control
         self._control_started[token] = network.now()
         search = AbstractMessage(SSDP_MSEARCH, protocol="SSDP")
         search.set("Method", "M-SEARCH")
@@ -264,16 +331,29 @@ class UPnPControlPoint(LegacyClient):
         search.set("MAN", '"ssdp:discover"')
         search.set("MX", 3, type_name="Integer")
         search.set("ST", service_type)
-        self._send(network, search, ssdp_group_endpoint())
+        network.send(
+            self.composer.compose(search),
+            source=control.source or self.endpoint,
+            destination=ssdp_group_endpoint(),
+        )
         return token
 
     def control_result(self, token: int) -> Optional[LookupResult]:
         """The completed lookup for a :meth:`start_control` token, or None."""
         return self._completed_controls.get(token)
 
-    def discard_control(self, token: int) -> None:
-        """Abandon an outstanding lookup (its legs will serve nobody)."""
-        self._controls.pop(token, None)
+    def discard_control(
+        self, token: int, network: Optional[NetworkEngine] = None
+    ) -> None:
+        """Abandon an outstanding lookup (its legs will serve nobody).
+
+        Pass ``network`` to release the lookup's ephemeral source port
+        too; without it the port is forgotten for attribution but stays
+        bound until the node detaches.
+        """
+        control = self._controls.pop(token, None)
+        if control is not None:
+            self._release_lookup_source(network, control)
         self._control_started.pop(token, None)
 
     def lookup_started_at(self, token: int) -> Optional[float]:
@@ -291,10 +371,23 @@ class UPnPControlPoint(LegacyClient):
                 return control
         return None
 
-    def _advance_ssdp_leg(self, engine: NetworkEngine, response: AbstractMessage) -> None:
-        control = self._oldest_control("ssdp")
-        if control is None:
-            return
+    def _advance_ssdp_leg(
+        self,
+        engine: NetworkEngine,
+        response: AbstractMessage,
+        token: Optional[int] = None,
+    ) -> None:
+        if token is not None:
+            # Exact attribution by return address: a duplicate response for
+            # a lookup already past its SSDP leg is dropped, never allowed
+            # to steal another lookup's slot.
+            control = self._controls.get(token)
+            if control is None or control.leg != "ssdp":
+                return
+        else:
+            control = self._oldest_control("ssdp")
+            if control is None:
+                return
         control.leg = "http"
         location = str(response.get("LOCATION", ""))
         parsed = urlparse(location)
@@ -306,17 +399,30 @@ class UPnPControlPoint(LegacyClient):
         get.set("Connection", "close")
         destination = Endpoint(parsed.hostname or "", parsed.port or 80, Transport.TCP)
         engine.send(
-            self._http_composer.compose(get), source=self.endpoint, destination=destination
+            self._http_composer.compose(get),
+            source=control.source or self.endpoint,
+            destination=destination,
         )
 
-    def _complete_http_leg(self, engine: NetworkEngine, ok: AbstractMessage) -> None:
-        control = self._oldest_control("http")
-        if control is None:
-            return
+    def _complete_http_leg(
+        self,
+        engine: NetworkEngine,
+        ok: AbstractMessage,
+        token: Optional[int] = None,
+    ) -> None:
+        if token is not None:
+            control = self._controls.get(token)
+            if control is None or control.leg != "http":
+                return
+        else:
+            control = self._oldest_control("http")
+            if control is None:
+                return
         body = str(ok.get("Body", ""))
         # Finished: move out of the pending table so later responses never
         # scan it again, keeping the result retrievable by token.
         del self._controls[control.token]
+        self._release_lookup_source(engine, control)
         self._completed_controls[control.token] = LookupResult(
             found=True,
             url=_extract_url_base(body),
@@ -351,8 +457,7 @@ class UPnPControlPoint(LegacyClient):
         # one is harvested into the returned result (repeated lookups on
         # one control point accumulate nothing).
         result = self._completed_controls.pop(token, None)
-        self._controls.pop(token, None)
-        self._control_started.pop(token, None)
+        self.discard_control(token, network)
         if result is None:
             return LookupResult(
                 found=False, response_time=network.now() - started + overhead

@@ -2,7 +2,8 @@
 
 The paper's Automata Engine executes one merged automaton reactively; the
 session multiplexing of PR 1 let many legacy interactions *interleave* in
-one event loop.  This package adds the next scaling axis — *parallelism*:
+one event loop.  This package adds the next scaling axes — *parallelism*
+and *elasticity*:
 
 * :class:`~repro.runtime.sharding.HashRing` — deterministic consistent
   hashing of session correlation keys onto shard indices;
@@ -10,19 +11,34 @@ one event loop.  This package adds the next scaling axis — *parallelism*:
   bridge's public endpoints and multicast groups, routing each datagram to
   the worker that owns its session (sticky, rebalance-safe);
 * :class:`~repro.runtime.runtime.ShardedRuntime` — builds and deploys the
-  N worker engines around one read-only behaviour model and aggregates
-  their sessions and statistics;
+  N worker engines around one read-only behaviour model, aggregates their
+  sessions and statistics, and resizes the pool loss-free (shrinking
+  *drains*: no new keys, wait for the session table to empty, detach);
 * :class:`~repro.runtime.live.LiveShardedRuntime` — the same deployment on
   real loopback sockets, one thread-per-worker event loop each, behind a
-  :class:`~repro.runtime.live.LiveShardRouter`.
+  :class:`~repro.runtime.live.LiveShardRouter`; rebalances in place too;
+* :mod:`~repro.runtime.metrics` — :class:`ShardMetrics` load snapshots
+  (session tables, compute backlogs, queue depths, router dispatch cost);
+* :mod:`~repro.runtime.elastic` — the control plane: an
+  :class:`Autoscaler` policy consuming metrics snapshots, driven by engine
+  timers (:class:`ElasticController`) or a control thread
+  (:class:`LiveElasticController`).
 
 See docs/architecture.md and ROADMAP.md ("Concurrency model") for the
 invariants.
 """
 
+from .elastic import (
+    Autoscaler,
+    AutoscaleDecision,
+    AutoscalerPolicy,
+    ElasticController,
+    LiveElasticController,
+)
 from .live import LiveShardedRuntime, LiveShardRouter, WorkerLoop
+from .metrics import RouterMetrics, ShardMetrics, WorkerMetrics
 from .router import ShardRouter
-from .runtime import DEFAULT_WORKERS, ShardedRuntime
+from .runtime import DEFAULT_WORKERS, ScaleEvent, ShardedRuntime
 from .sharding import HashRing, stable_hash
 
 __all__ = [
@@ -30,8 +46,17 @@ __all__ = [
     "stable_hash",
     "ShardRouter",
     "ShardedRuntime",
+    "ScaleEvent",
     "LiveShardRouter",
     "LiveShardedRuntime",
     "WorkerLoop",
     "DEFAULT_WORKERS",
+    "ShardMetrics",
+    "WorkerMetrics",
+    "RouterMetrics",
+    "Autoscaler",
+    "AutoscaleDecision",
+    "AutoscalerPolicy",
+    "ElasticController",
+    "LiveElasticController",
 ]

@@ -46,12 +46,15 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.engine.automata_engine import AutomataEngine
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, EngineError
 from ..network.addressing import Endpoint
 from ..network.engine import NetworkEngine, NetworkNode
+from .metrics import WorkerMetrics
 from .router import ShardRouter
 from .runtime import DEFAULT_WORKERS, ShardedRuntime
 
@@ -68,6 +71,15 @@ DEFAULT_WORKER_PORT_STRIDE = 16
 #: Seconds :meth:`LiveShardedRuntime.undeploy` waits for each worker-loop
 #: thread to drain and exit before recording the straggler as an error.
 UNDEPLOY_JOIN_TIMEOUT = 5.0
+
+#: Wall seconds a live drain waits between completion checks (the worker
+#: loops also notify after every job, so this is only the fallback).
+LIVE_DRAIN_POLL_INTERVAL = 0.02
+
+#: Default wall-clock bound on a live drain before :meth:`scale_to` gives
+#: up and restores full ring membership.  Generous: idle-session eviction
+#: (default 30 s) guarantees progress well inside it.
+DEFAULT_LIVE_DRAIN_TIMEOUT = 60.0
 
 
 class _WorkerEngineView(NetworkEngine):
@@ -98,11 +110,56 @@ class _WorkerEngineView(NetworkEngine):
     def call_later(self, delay: float, callback: Callable[[], None]) -> None:
         self._network.call_later(delay, lambda: self._loop.post(callback))
 
+    @property
+    def kernel_ephemeral_ports(self) -> bool:
+        """Whether the substrate assigns ephemeral ports itself (bind to 0)."""
+        return bool(getattr(self._network, "kernel_ephemeral_ports", False))
+
+    def bind_endpoint(self, node: NetworkNode, endpoint: Endpoint):
+        """Bind a per-session ephemeral endpoint, datagrams coming home.
+
+        The socket is registered to the loop's forwarder node, so replies
+        received on it are posted onto the worker's queue instead of
+        running the engine on a socket receiver thread.  Returns the
+        actually-bound :class:`Endpoint`, or ``None`` when the substrate
+        cannot bind late.
+        """
+        bind = getattr(self._network, "bind_endpoint", None)
+        if bind is None:
+            return None
+        return bind(self._loop.forwarder, endpoint)
+
+    def unbind_endpoint(self, node: NetworkNode, endpoint: Endpoint) -> None:
+        unbind = getattr(self._network, "unbind_endpoint", None)
+        if unbind is not None:
+            unbind(self._loop.forwarder, endpoint)
+
     def attach(self, node: NetworkNode) -> None:  # pragma: no cover - delegation
         self._network.attach(node)
 
     def detach(self, node: NetworkNode) -> None:  # pragma: no cover - delegation
         self._network.detach(node)
+
+
+class _LoopForwarder(NetworkNode):
+    """Owner of a worker's late-bound (ephemeral) sockets: every datagram
+    received on them is posted onto the worker's queue."""
+
+    def __init__(self, loop: "WorkerLoop") -> None:
+        self._loop = loop
+        self.name = f"{loop.worker.name}.ephemeral"
+
+    def on_datagram(
+        self,
+        engine: NetworkEngine,
+        data: bytes,
+        source: Endpoint,
+        destination: Endpoint,
+    ) -> None:
+        loop = self._loop
+        loop.post(
+            lambda: loop.worker.on_datagram(loop.view, data, source, destination)
+        )
 
 
 class WorkerLoop:
@@ -120,8 +177,18 @@ class WorkerLoop:
         self.lock = threading.RLock()
         self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
         self.view = _WorkerEngineView(network, self)
+        #: Node owning this worker's late-bound ephemeral sockets.
+        self.forwarder = _LoopForwarder(self)
         #: Exceptions raised by jobs (fail loudly in tests, keep serving).
         self.errors: List[BaseException] = []
+        #: Seconds threads spent waiting for :attr:`lock` (contention
+        #: between the loop thread and router fan-out), and jobs run.
+        #: Mutated only while holding the lock, read for metrics.
+        self.lock_wait_seconds = 0.0
+        self.jobs_executed = 0
+        #: Notified after every job, so a drain waiter observes session
+        #: completions promptly instead of polling blind.
+        self._progress = threading.Condition()
         self._thread = threading.Thread(
             target=self._run, daemon=True, name=f"worker-loop:{worker.name}"
         )
@@ -153,16 +220,37 @@ class WorkerLoop:
         """Enqueue ``job`` to run on the worker's thread."""
         self._jobs.put(job)
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting in the queue (approximate; a metrics signal)."""
+        return self._jobs.qsize()
+
+    def wait_progress(self, timeout: float) -> None:
+        """Block up to ``timeout`` seconds for the loop to finish a job.
+
+        Drain waiters use this instead of sleeping: a completing session
+        wakes them immediately, the timeout is only the fallback for
+        progress made outside the loop (router-thread fan-out dispatch).
+        """
+        with self._progress:
+            self._progress.wait(timeout)
+
     def _run(self) -> None:
         while True:
             job = self._jobs.get()
             if job is _STOP:
                 return
+            waited = perf_counter()
             with self.lock:
+                self.lock_wait_seconds += perf_counter() - waited
                 try:
                     job()
                 except Exception as exc:  # noqa: BLE001 - keep the loop alive
                     self.errors.append(exc)
+                finally:
+                    self.jobs_executed += 1
+            with self._progress:
+                self._progress.notify_all()
 
 
 class _WorkerShell(NetworkNode):
@@ -260,12 +348,47 @@ class LiveShardRouter(ShardRouter):
             ) from None
 
     def set_workers(self, workers: Sequence[AutomataEngine]) -> None:
-        for worker in workers:
-            if id(worker) not in self._loops:
-                raise ConfigurationError(
-                    f"worker '{worker.name}' has no live worker loop"
-                )
-        super().set_workers(workers)
+        # The live scale_to calls this from the control thread while
+        # receiver threads route under _route_lock; the sticky-table
+        # rebuild and ring swap must not race their `_sticky[key] = index`
+        # writes (the RLock makes the construction-time call safe too).
+        with self._route_lock:
+            for worker in workers:
+                if id(worker) not in self._loops:
+                    raise ConfigurationError(
+                        f"worker '{worker.name}' has no live worker loop"
+                    )
+            super().set_workers(workers)
+
+    # -- live rebalancing: loop registry maintenance ----------------------
+    def add_loop(self, loop: WorkerLoop) -> None:
+        """Register a freshly-started worker loop (live scale-up)."""
+        with self._route_lock:
+            self._loops[id(loop.worker)] = loop
+
+    def remove_loop(self, loop: WorkerLoop) -> None:
+        """Forget a drained worker's loop (live scale-down)."""
+        with self._route_lock:
+            self._loops.pop(id(loop.worker), None)
+
+    def begin_drain(self, active: int) -> None:
+        with self._route_lock:
+            super().begin_drain(active)
+
+    def cancel_drain(self) -> None:
+        with self._route_lock:
+            super().cancel_drain()
+
+    def drain_pending(self, index: int) -> bool:
+        # Runs on the draining (control) thread; flushing closed keys
+        # probes worker session tables, so the lock order is the documented
+        # route_lock → loop.lock.
+        with self._route_lock:
+            return super().drain_pending(index)
+
+    def metrics(self):
+        with self._route_lock:
+            return super().metrics()
 
     # -- thread-safe edges over the inherited routing ---------------------
     def on_datagram(
@@ -275,7 +398,12 @@ class LiveShardRouter(ShardRouter):
         source: Endpoint,
         destination: Endpoint,
     ) -> None:
+        waited = perf_counter()
         with self._route_lock:
+            # Accumulated under the lock itself, so writers never race:
+            # the route lock's contention under many receiver threads is
+            # the live analogue of the router's serial dispatch cost.
+            self.route_lock_wait_seconds += perf_counter() - waited
             super().on_datagram(engine, data, source, destination)
 
     def _hand_off(self, engine: NetworkEngine, worker, deliver) -> None:
@@ -297,7 +425,9 @@ class LiveShardRouter(ShardRouter):
         strict: bool = False,
     ) -> bool:
         loop = self._loop_for(worker)
+        waited = perf_counter()
         with loop.lock:
+            loop.lock_wait_seconds += perf_counter() - waited
             return worker.dispatch(
                 loop.view,
                 automaton_name,
@@ -337,9 +467,10 @@ class LiveShardedRuntime(ShardedRuntime):
       are distinguished by **port ranges**: the router's public endpoints
       sit at ``base_port``, worker *i* claims ``base_port + (i+1) *
       worker_port_stride``;
-    * ``ephemeral_ports`` defaults off (the socket engine cannot bind new
-      endpoints after attach); upstream replies are attributed by reply
-      token or waiting-session matching, as before PR 2;
+    * ``ephemeral_ports`` defaults **on**: ``SocketNetwork.bind_endpoint``
+      binds kernel-assigned UDP ports after attach, so token-less upstream
+      legs send from per-session source ports and their replies are
+      attributed exactly (TCP legs keep the reply-channel attribution);
     * ``serialize_processing`` defaults on, so ``processing_delay`` models
       each worker's translation compute as a serial resource in *wall
       time* — throughput then scales with the worker count for real, which
@@ -359,7 +490,7 @@ class LiveShardedRuntime(ShardedRuntime):
     def __init__(self, *args, **kwargs) -> None:
         kwargs.setdefault("host", "127.0.0.1")
         kwargs.setdefault("worker_port_stride", DEFAULT_WORKER_PORT_STRIDE)
-        kwargs.setdefault("ephemeral_ports", False)
+        kwargs.setdefault("ephemeral_ports", True)
         kwargs.setdefault("serialize_processing", True)
         super().__init__(*args, **kwargs)
         if self.worker_port_stride < len(self.merged.automata):
@@ -372,6 +503,10 @@ class LiveShardedRuntime(ShardedRuntime):
         #: Worker-loop exceptions from undeployed generations, preserved so
         #: post-run inspection survives the teardown in scenario drivers.
         self._worker_error_log: List[BaseException] = []
+        #: Serialises rescale attempts: a second ``scale_to`` while one is
+        #: in flight is rejected, never queued.
+        self._scale_lock = threading.Lock()
+        self._scaling = False
 
     @classmethod
     def from_bridge(cls, bridge, workers: int = DEFAULT_WORKERS, **overrides):
@@ -381,11 +516,12 @@ class LiveShardedRuntime(ShardedRuntime):
         ``host``: model-level bridge hosts (``starlink.bridge``) are not
         bindable addresses, so the live runtime rebinds the public
         endpoints at ``127.0.0.1`` (same ``base_port``) unless ``host`` is
-        overridden explicitly.  ``ephemeral_ports`` likewise defaults off —
-        the socket engine cannot bind endpoints after attach.
+        overridden explicitly.  Per-session ephemeral source ports are on
+        by default — ``SocketNetwork.bind_endpoint`` binds kernel-assigned
+        UDP ports after attach, so token-less legs get exact reply
+        attribution live, as on the simulation.
         """
         overrides.setdefault("host", "127.0.0.1")
-        overrides.setdefault("ephemeral_ports", False)
         return super().from_bridge(bridge, workers=workers, **overrides)
 
     # ------------------------------------------------------------------
@@ -415,6 +551,8 @@ class LiveShardedRuntime(ShardedRuntime):
                 name=f"live-router:{self.merged.name}",
             )
             network.attach(router)
+            for worker in self._workers:
+                worker.session_close_listener = router.note_session_closed
         except BaseException:
             # Detach the router and every shell, not only fully-attached
             # nodes: an attach that raised mid-bind left its node
@@ -447,6 +585,8 @@ class LiveShardedRuntime(ShardedRuntime):
                 self._network.detach(self._router)
             for shell in self._shells:
                 self._network.detach(shell)
+        for worker in self._workers:
+            worker.session_close_listener = None
         self._shutdown_loops(self._loops)
         self._loops = []
         self._shells = []
@@ -472,13 +612,157 @@ class LiveShardedRuntime(ShardedRuntime):
                 )
             self._worker_error_log.extend(loop.errors)
 
-    def scale_to(self, workers: int) -> None:
-        raise ConfigurationError(
-            "live runtimes do not rebalance in place; undeploy and redeploy "
-            "with the new worker count"
-        )
+    def scale_to(
+        self, workers: int, drain_timeout: float = DEFAULT_LIVE_DRAIN_TIMEOUT
+    ) -> None:
+        """Resize a deployed live runtime in place, loss-free.
+
+        Growing starts fresh worker loops, attaches their shells, registers
+        the loops with the router and extends the ring — all before any new
+        key routes to them.  Shrinking **drains**: the ring stops handing
+        new correlation keys to the tail workers immediately, then this
+        call *blocks* until their session tables and sticky pins empty
+        (worker loops signal progress after every job; idle-session
+        eviction bounds the wait), detaches them and compacts the pool.
+
+        Unlike the simulated runtime this is synchronous: when it returns,
+        the resize is complete.  A concurrent ``scale_to`` is rejected with
+        :class:`~repro.core.errors.ConfigurationError`; a drain that
+        exceeds ``drain_timeout`` restores full ring membership (no
+        session is ever abandoned) and raises
+        :class:`~repro.core.errors.EngineError`.
+        """
+        if workers <= 0:
+            raise ConfigurationError(
+                f"a sharded runtime needs at least one worker, got {workers}"
+            )
+        with self._scale_lock:
+            if self._scaling:
+                raise ConfigurationError(
+                    "a live rescale is already in progress; wait for it to "
+                    "complete before rescaling again"
+                )
+            if self._router is None or self._network is None:
+                raise ConfigurationError("scale_to requires a deployed runtime")
+            self._scaling = True
+        try:
+            current = len(self._workers)
+            if workers == current:
+                return
+            if workers > current:
+                self._grow_live(workers)
+            else:
+                self._shrink_live(workers, drain_timeout)
+        finally:
+            self._scaling = False
+
+    @property
+    def scaling_in_progress(self) -> bool:
+        return self._scaling
+
+    def _grow_live(self, target: int) -> None:
+        assert self._router is not None and self._network is not None
+        router: LiveShardRouter = self._router  # type: ignore[assignment]
+        before = len(self._workers)
+        added_loops: List[WorkerLoop] = []
+        added_shells: List[_WorkerShell] = []
+        try:
+            while len(self._workers) < target:
+                worker = self._build_worker(len(self._workers))
+                loop = WorkerLoop(worker, self._network)
+                shell = _WorkerShell(loop)
+                loop.start()
+                self._network.attach(shell)
+                router.add_loop(loop)
+                worker.session_close_listener = router.note_session_closed
+                self._workers.append(worker)
+                self._loops.append(loop)
+                self._shells.append(shell)
+                added_loops.append(loop)
+                added_shells.append(shell)
+            router.set_workers(self._workers)
+        except BaseException:
+            # Unwind the partial additions so the runtime stays consistent
+            # at its previous size and a retry starts clean.
+            for shell in added_shells:
+                self._network.detach(shell)
+            for loop in added_loops:
+                router.remove_loop(loop)
+                loop.worker.session_close_listener = None
+                if loop.worker in self._workers:
+                    index = self._workers.index(loop.worker)
+                    del self._workers[index]
+                    del self._loops[index]
+                    del self._shells[index]
+            self._shutdown_loops(added_loops)
+            router.set_workers(self._workers)
+            raise
+        self._record_scale("grow", before, target)
+
+    def _shrink_live(self, target: int, drain_timeout: float) -> None:
+        assert self._router is not None and self._network is not None
+        router: LiveShardRouter = self._router  # type: ignore[assignment]
+        before = len(self._workers)
+        router.begin_drain(target)
+        self._record_scale("drain-start", before, target)
+        deadline = time.monotonic() + drain_timeout
+        for index in range(before - 1, target - 1, -1):
+            worker = self._workers[index]
+            loop = self._loops[index]
+            while True:
+                # Order matters: once no sticky entry pins a key to this
+                # worker, no *new* keyed delivery can be routed to it, so a
+                # subsequent observation of "no sessions, no queued jobs"
+                # is stable — a delivery posted before the unpin would
+                # still be visible in the queue depth.
+                if not router.drain_pending(index):
+                    with loop.lock:
+                        empty = (
+                            not worker.active_sessions and loop.queue_depth == 0
+                        )
+                    if empty:
+                        break
+                if time.monotonic() >= deadline:
+                    router.cancel_drain()
+                    self._record_scale("drain-cancelled", before, before)
+                    raise EngineError(
+                        f"drain of worker '{worker.name}' did not complete "
+                        f"within {drain_timeout}s; ring membership restored, "
+                        "no session was abandoned"
+                    )
+                loop.wait_progress(LIVE_DRAIN_POLL_INTERVAL)
+        # Every tail worker is empty: tear them down highest-index first.
+        while len(self._workers) > target:
+            shell = self._shells.pop()
+            self._network.detach(shell)
+            loop = self._loops.pop()
+            worker = self._workers.pop()
+            self._shutdown_loops([loop])
+            self._retire_worker(worker)
+            router.remove_loop(loop)
+        router.set_workers(self._workers)
+        self._record_scale("drain-complete", before, target)
 
     # ------------------------------------------------------------------
+    def _worker_metrics(self, index, worker, now, draining):
+        """The live worker row: engine state read under the loop lock,
+        plus the loop's queue depth and accumulated lock-wait time."""
+        loop = self._loops[index] if index < len(self._loops) else None
+        if loop is None:
+            return super()._worker_metrics(index, worker, now, draining)
+        with loop.lock:
+            return WorkerMetrics(
+                index=index,
+                name=worker.name,
+                active_sessions=len(worker.active_sessions),
+                completed_sessions=len(worker.sessions),
+                evicted_sessions=len(worker.evicted_sessions),
+                busy_backlog=worker.busy_backlog(now),
+                draining=draining,
+                queue_depth=loop.queue_depth,
+                lock_wait_seconds=loop.lock_wait_seconds,
+            )
+
     @property
     def worker_errors(self) -> List[BaseException]:
         """Exceptions raised on any worker loop (empty on a clean run).

@@ -1,0 +1,153 @@
+"""Shard metrics: the observation side of the elastic control plane.
+
+Scaling decisions need numbers.  This module defines the immutable
+snapshot types the control plane consumes:
+
+* :class:`WorkerMetrics` — one worker engine's load at a point in time:
+  session-table size, completed/evicted counts, the serialised-compute
+  backlog (how far the busy-until clock is ahead of *now*), and — on the
+  live runtime — the worker loop's queue depth and accumulated lock-wait
+  time;
+* :class:`RouterMetrics` — the shard router's own counters: routed /
+  unrouted / echo totals, sticky-table size, and the measured wall-clock
+  cost of its classify-and-place step, which is what makes the "router is
+  the bottleneck" question answerable with data instead of intuition;
+* :class:`ShardMetrics` — one coherent snapshot of the whole deployment
+  (``runtime.metrics()``), carrying the worker rows, the router row and
+  the active-vs-total worker split (draining workers still hold sessions
+  but receive no new keys).
+
+Snapshots are plain frozen dataclasses: producing one never blocks the
+data path beyond the locks the live runtime already holds to read worker
+state, and consuming one (the :class:`~repro.runtime.elastic.Autoscaler`)
+is pure computation that can be unit-tested without a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["WorkerMetrics", "RouterMetrics", "ShardMetrics"]
+
+
+@dataclass(frozen=True)
+class WorkerMetrics:
+    """One worker engine's load at snapshot time."""
+
+    index: int
+    name: str
+    #: In-flight sessions in the worker's session table.
+    active_sessions: int
+    #: Sessions completed (respectively evicted) since deployment.
+    completed_sessions: int
+    evicted_sessions: int
+    #: Seconds of serialised translation compute already committed beyond
+    #: *now* (the busy-until clock's backlog); 0.0 when the worker does not
+    #: serialise processing.
+    busy_backlog: float = 0.0
+    #: Whether the worker is draining (pinned sessions only, no new keys).
+    draining: bool = False
+    #: Live runtime only: jobs waiting in the worker loop's queue.
+    queue_depth: int = 0
+    #: Live runtime only: cumulative seconds threads spent waiting to
+    #: acquire this worker's loop lock (router fan-out contention).
+    lock_wait_seconds: float = 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "active_sessions": self.active_sessions,
+            "completed_sessions": self.completed_sessions,
+            "evicted_sessions": self.evicted_sessions,
+            "busy_backlog_s": round(self.busy_backlog, 6),
+            "draining": self.draining,
+            "queue_depth": self.queue_depth,
+            "lock_wait_s": round(self.lock_wait_seconds, 6),
+        }
+
+
+@dataclass(frozen=True)
+class RouterMetrics:
+    """The shard router's own counters and measured dispatch cost."""
+
+    routed_datagrams: int
+    unrouted_datagrams: int
+    echoes_dropped: int
+    #: Live sticky key → shard entries (in-flight session pins).
+    sticky_entries: int
+    #: Datagrams the router classified (parse + placement decisions).
+    classify_count: int
+    #: Cumulative wall-clock seconds spent in classify-and-place.  Real
+    #: seconds even on the simulation: the router's compute is what this
+    #: measures, not the virtual clock.
+    classify_seconds: float
+    #: Live router only: cumulative seconds receiver threads waited for
+    #: the route lock before classifying (router-lock contention).
+    route_lock_wait_seconds: float = 0.0
+
+    @property
+    def classify_cost_avg_us(self) -> float:
+        """Mean classify-and-place cost per datagram, microseconds."""
+        if self.classify_count == 0:
+            return 0.0
+        return 1e6 * self.classify_seconds / self.classify_count
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "routed": self.routed_datagrams,
+            "unrouted": self.unrouted_datagrams,
+            "echoes_dropped": self.echoes_dropped,
+            "sticky_entries": self.sticky_entries,
+            "classify_count": self.classify_count,
+            "classify_cost_avg_us": round(self.classify_cost_avg_us, 2),
+            "route_lock_wait_s": round(self.route_lock_wait_seconds, 6),
+        }
+
+
+@dataclass(frozen=True)
+class ShardMetrics:
+    """One coherent load snapshot of a sharded deployment."""
+
+    #: Snapshot time: virtual seconds on the simulation, monotonic wall
+    #: seconds on the live runtime.  Only differences matter to consumers.
+    at: float
+    workers: Tuple[WorkerMetrics, ...] = field(default_factory=tuple)
+    router: RouterMetrics = field(
+        default_factory=lambda: RouterMetrics(0, 0, 0, 0, 0, 0.0)
+    )
+    #: Workers the hash ring currently routes *new* keys to.  Less than
+    #: ``worker_count`` while a drain is in progress (the tail workers
+    #: serve only their pinned sessions).
+    active_workers: int = 0
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_active_sessions(self) -> int:
+        return sum(worker.active_sessions for worker in self.workers)
+
+    @property
+    def sessions_per_worker(self) -> float:
+        """Mean in-flight sessions per ring-active worker (the autoscaler's
+        primary load signal)."""
+        active = max(1, self.active_workers or self.worker_count)
+        return self.total_active_sessions / active
+
+    @property
+    def total_busy_backlog(self) -> float:
+        return sum(worker.busy_backlog for worker in self.workers)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "at": round(self.at, 6),
+            "active_workers": self.active_workers,
+            "worker_count": self.worker_count,
+            "total_active_sessions": self.total_active_sessions,
+            "sessions_per_worker": round(self.sessions_per_worker, 2),
+            "workers": [worker.as_row() for worker in self.workers],
+            "router": self.router.as_row(),
+        }

@@ -28,18 +28,31 @@ the parsed message to the worker engine that owns the session:
 Hand-off to a worker is scheduled as a fresh network event
 (``call_later``), so each worker drains its own queue of deliveries on the
 shared virtual clock — the simulated analogue of one event loop per worker
-process.  Completed sessions are pruned from the sticky table by the same
-periodic-sweep discipline the engines use for eviction.
+process.  Completed sessions are unpinned from the sticky table
+*promptly*: workers report every close through
+:meth:`ShardRouter.note_session_closed` and the entries are dropped at the
+next routing operation, prune sweep or drain check (the periodic sweep
+remains as the backstop for entries whose close was never reported).
+
+The router also serves the control plane: it can *drain* — stop routing
+new keys to a suffix of the worker list (:meth:`ShardRouter.begin_drain`)
+while fan-out and sticky routing keep feeding their in-flight sessions —
+and it measures its own classify-and-place cost per datagram
+(:meth:`ShardRouter.metrics`), making "the router is the bottleneck"
+observable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from collections import deque
+from time import perf_counter
+from typing import Deque, Dict, Hashable, List, Optional, Sequence
 
 from ..core.engine.automata_engine import AutomataEngine
 from ..core.errors import ConfigurationError
 from ..network.addressing import Endpoint
 from ..network.engine import NetworkEngine, NetworkNode
+from .metrics import RouterMetrics
 from .sharding import HashRing
 
 __all__ = ["ShardRouter"]
@@ -67,14 +80,32 @@ class ShardRouter(NetworkNode):
         self._public_endpoints = dict(public_endpoints)
         self._workers: List[AutomataEngine] = []
         self._ring: Optional[HashRing] = None
+        #: Workers the ring routes *new* keys to: ``workers[:active]``.
+        #: Less than the worker count while a drain is in progress.
+        self._active = 0
         #: Session key -> worker index, pinned for the session's lifetime.
         self._sticky: Dict[Hashable, int] = {}
+        #: Keys whose session a worker reported closed, awaiting removal
+        #: from the sticky table.  Appended from worker engines (worker
+        #: threads on the live runtime; ``deque.append`` is atomic) and
+        #: consumed under the routing discipline at the next routing
+        #: operation, prune sweep or drain check — so completed sessions
+        #: unpin promptly instead of waiting for the periodic sweep.
+        self._closed_keys: Deque[Hashable] = deque()
         #: Datagrams no shard claimed (aggregate of the fan-out passes).
         self.unrouted_datagrams = 0
         #: Datagrams routed (client-keyed plus fan-out claims).
         self.routed_datagrams = 0
         #: Worker upstream multicast echoes dropped at the edge.
         self.echoes_dropped = 0
+        #: Datagrams classified, and the cumulative wall-clock seconds the
+        #: classify-and-place step cost — the router's *own* compute, the
+        #: signal for "the router is the bottleneck".
+        self.classify_count = 0
+        self.classify_seconds = 0.0
+        #: Live router only (accumulated by the subclass): seconds receiver
+        #: threads spent waiting for the route lock.
+        self.route_lock_wait_seconds = 0.0
         self._prune_scheduled = False
         self._engine: Optional[NetworkEngine] = None
         self.set_workers(workers)
@@ -93,11 +124,44 @@ class ShardRouter(NetworkNode):
         if not workers:
             raise ConfigurationError("a shard router needs at least one worker")
         self._workers = workers
+        self._active = len(workers)
         self._ring = HashRing(len(workers))
         limit = len(workers)
         self._sticky = {
             key: index for key, index in self._sticky.items() if index < limit
         }
+
+    def begin_drain(self, active: int) -> None:
+        """Route *new* keys only to the first ``active`` workers.
+
+        The ring is rebuilt over the head of the worker list; sessions
+        already sticky to a tail (draining) worker stay pinned there until
+        they complete, and fan-out deliveries still offer keyless traffic
+        to every worker — a draining shard keeps receiving everything its
+        in-flight sessions need.  :meth:`set_workers` (called once the tail
+        is empty and detached) restores full membership.
+        """
+        if not 0 < active < len(self._workers):
+            raise ConfigurationError(
+                f"cannot drain to {active} active workers out of "
+                f"{len(self._workers)}"
+            )
+        self._active = active
+        self._ring = HashRing(active)
+
+    def cancel_drain(self) -> None:
+        """Restore full ring membership (an aborted drain)."""
+        self._active = len(self._workers)
+        self._ring = HashRing(self._active)
+
+    def drain_pending(self, index: int) -> bool:
+        """Whether sticky entries still pin sessions to worker ``index``.
+
+        Flushes the closed-key queue first, so a drain check observes
+        completions immediately instead of after the prune interval.
+        """
+        self._flush_closed_keys()
+        return any(owner == index for owner in self._sticky.values())
 
     @property
     def workers(self) -> List[AutomataEngine]:
@@ -106,6 +170,11 @@ class ShardRouter(NetworkNode):
     @property
     def worker_count(self) -> int:
         return len(self._workers)
+
+    @property
+    def active_worker_count(self) -> int:
+        """Workers the ring currently routes new keys to."""
+        return self._active
 
     def shard_for_key(self, key: Hashable) -> int:
         """The worker index ``key`` routes to right now (sticky-aware)."""
@@ -135,21 +204,31 @@ class ShardRouter(NetworkNode):
         destination: Endpoint,
     ) -> None:
         self._engine = engine
-        if any(worker.owns_endpoint(source) for worker in self._workers):
-            # A worker's own translated multicast looping back through the
-            # group membership; the bridge must not consume its own output.
-            self.echoes_dropped += 1
-            return
-        core = self._workers[0]
-        classified = core.classify(data, destination, now=engine.now())
-        if classified is None:
-            return
-        automaton_name, message = classified
-        key = core.routing_key(automaton_name, message, source)
-        if key is not None:
-            self._route_keyed(engine, key, automaton_name, message, source)
-        else:
-            self._fan_out(engine, automaton_name, message, source)
+        started = perf_counter()
+        try:
+            self._flush_closed_keys()
+            if any(worker.owns_endpoint(source) for worker in self._workers):
+                # A worker's own translated multicast looping back through
+                # the group membership; the bridge must not consume its own
+                # output.
+                self.echoes_dropped += 1
+                return
+            core = self._workers[0]
+            classified = core.classify(data, destination, now=engine.now())
+            if classified is None:
+                return
+            automaton_name, message = classified
+            key = core.routing_key(automaton_name, message, source)
+            if key is not None:
+                self._route_keyed(engine, key, automaton_name, message, source)
+            else:
+                self._fan_out(engine, automaton_name, message, source)
+        finally:
+            # The classify-and-place cost in real seconds (hand-off
+            # execution is deferred, so it is not included): the router's
+            # own serial compute per datagram.
+            self.classify_seconds += perf_counter() - started
+            self.classify_count += 1
 
     # ------------------------------------------------------------------
     # routing
@@ -239,6 +318,37 @@ class ShardRouter(NetworkNode):
     # ------------------------------------------------------------------
     # sticky-table pruning
     # ------------------------------------------------------------------
+    def note_session_closed(self, key: Hashable) -> None:
+        """A worker engine reports that the session under ``key`` ended.
+
+        Wired as the workers' ``session_close_listener``; may run on any
+        thread (the ``deque`` append is atomic), so the sticky entry is
+        only *queued* for removal here and actually dropped under the
+        routing discipline by :meth:`_flush_closed_keys` — at the next
+        datagram, prune sweep or drain check.  This is what keeps drain
+        latency bounded by session lifetime instead of the prune interval.
+        """
+        self._closed_keys.append(key)
+
+    def _flush_closed_keys(self) -> None:
+        """Drop sticky entries whose session a worker reported closed.
+
+        An entry survives the flush when the worker *still* has a session
+        under the key — a retransmission may have reopened it on the same
+        shard between the close and the flush — mirroring the liveness
+        probe the periodic prune performs.
+        """
+        while self._closed_keys:
+            key = self._closed_keys.popleft()
+            index = self._sticky.get(key)
+            if index is None:
+                continue
+            if index < len(self._workers) and self._has_session(
+                self._workers[index], key
+            ):
+                continue
+            del self._sticky[key]
+
     def _ensure_pruner(self, engine: NetworkEngine) -> None:
         if self._prune_scheduled or self.prune_interval <= 0:
             return
@@ -256,6 +366,7 @@ class ShardRouter(NetworkNode):
 
     def _prune(self, engine: NetworkEngine) -> None:
         self._prune_scheduled = False
+        self._flush_closed_keys()
         self._sticky = {
             key: index
             for key, index in self._sticky.items()
@@ -269,6 +380,25 @@ class ShardRouter(NetworkNode):
     def sticky_sessions(self) -> Dict[Hashable, int]:
         """A snapshot of the sticky key→shard table (tests, introspection)."""
         return dict(self._sticky)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> RouterMetrics:
+        """The router's counters as an immutable snapshot.
+
+        The live subclass wraps this in its route lock; here the event
+        loop serialises access already.
+        """
+        return RouterMetrics(
+            routed_datagrams=self.routed_datagrams,
+            unrouted_datagrams=self.unrouted_datagrams,
+            echoes_dropped=self.echoes_dropped,
+            sticky_entries=len(self._sticky),
+            classify_count=self.classify_count,
+            classify_seconds=self.classify_seconds,
+            route_lock_wait_seconds=self.route_lock_wait_seconds,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -34,7 +34,7 @@ receiver threads provide the parallelism.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, NamedTuple, Optional, Sequence
 
 from ..core.automata.merge import MergedAutomaton
 from ..core.engine.actions import ActionRegistry
@@ -48,13 +48,27 @@ from ..core.engine.session import SessionCorrelator, SessionRecord
 from ..core.errors import ConfigurationError
 from ..core.mdl.spec import MDLSpec
 from ..network.engine import NetworkEngine
+from .metrics import ShardMetrics, WorkerMetrics
 from .router import ShardRouter
 
-__all__ = ["ShardedRuntime"]
+__all__ = ["ShardedRuntime", "ScaleEvent"]
 
 #: Default shard count; matches the evaluation's sweet spot on the
 #: calibrated workload (beyond it the legacy service latency dominates).
 DEFAULT_WORKERS = 4
+
+#: Seconds between drain-completion checks on the simulated clock.
+DEFAULT_DRAIN_POLL_INTERVAL = 0.05
+
+
+class ScaleEvent(NamedTuple):
+    """One entry of a runtime's scaling timeline."""
+
+    at: float
+    #: ``grow`` | ``drain-start`` | ``drain-complete`` | ``drain-cancelled``
+    kind: str
+    workers_before: int
+    workers_after: int
 
 
 class ShardedRuntime:
@@ -116,6 +130,20 @@ class ShardedRuntime:
         ]
         self._router: Optional[ShardRouter] = None
         self._network: Optional[NetworkEngine] = None
+        #: Target worker count of the drain in progress, ``None`` when idle.
+        self._drain_target: Optional[int] = None
+        #: Seconds between drain-completion checks (virtual clock).
+        self.drain_poll_interval = DEFAULT_DRAIN_POLL_INTERVAL
+        #: The scaling timeline (grow / drain-start / drain-complete).
+        self.scale_events: List[ScaleEvent] = []
+        #: Measurements inherited from workers retired by a drain: their
+        #: completed/evicted records and drop counters keep contributing to
+        #: the aggregate views below after the worker itself is detached.
+        self._retired_sessions: List[SessionRecord] = []
+        self._retired_evicted: List[SessionRecord] = []
+        self._retired_parse_failures: List = []
+        self._retired_unrouted = 0
+        self._retired_ignored = 0
 
     @classmethod
     def from_bridge(
@@ -188,6 +216,8 @@ class ShardedRuntime:
             name=f"router:{self.merged.name}",
         )
         network.attach(router)
+        for worker in self._workers:
+            worker.session_close_listener = router.note_session_closed
         self._router = router
         self._network = network
         return router
@@ -204,17 +234,28 @@ class ShardedRuntime:
                 self._network.detach(self._router)
             for worker in self._workers:
                 self._network.detach(worker)
+        for worker in self._workers:
+            worker.session_close_listener = None
         self._router = None
         self._network = None
+        self._drain_target = None
 
     def scale_to(self, workers: int) -> None:
-        """Grow or shrink the worker pool of a deployed runtime.
+        """Resize the worker pool of a deployed runtime, loss-free.
 
-        Growing attaches fresh workers and rebuilds the router's ring; keys
-        of in-flight sessions stay pinned to their original worker by the
-        sticky table (one session never spans shards).  Shrinking detaches
-        the excess workers — their in-flight sessions are abandoned, as
-        when a real worker process is drained without hand-off.
+        Growing is immediate: fresh workers attach and the router's ring
+        is rebuilt; keys of in-flight sessions stay pinned to their
+        original worker by the sticky table (one session never spans
+        shards).
+
+        Shrinking **drains**: the ring stops routing new correlation keys
+        to the tail workers at once, but they keep serving their pinned
+        sessions (including fan-out legs) until their session tables and
+        sticky entries empty, at which point they are detached — no
+        session is ever abandoned.  The drain completes *asynchronously*
+        on the network's event clock; observe it via
+        :attr:`scaling_in_progress` / :attr:`worker_count`.  A second
+        ``scale_to`` while a drain is in progress is rejected.
         """
         if workers <= 0:
             raise ConfigurationError(
@@ -222,14 +263,79 @@ class ShardedRuntime:
             )
         if self._router is None or self._network is None:
             raise ConfigurationError("scale_to requires a deployed runtime")
-        while len(self._workers) < workers:
-            worker = self._build_worker(len(self._workers))
-            self._network.attach(worker)
-            self._workers.append(worker)
-        while len(self._workers) > workers:
+        if self._drain_target is not None:
+            raise ConfigurationError(
+                f"a drain to {self._drain_target} workers is already in "
+                "progress; wait for it to complete before rescaling"
+            )
+        current = len(self._workers)
+        if workers == current:
+            return
+        if workers > current:
+            while len(self._workers) < workers:
+                worker = self._build_worker(len(self._workers))
+                self._network.attach(worker)
+                worker.session_close_listener = self._router.note_session_closed
+                self._workers.append(worker)
+            self._router.set_workers(self._workers)
+            self._record_scale("grow", current, workers)
+            return
+        self._drain_target = workers
+        self._router.begin_drain(workers)
+        self._record_scale("drain-start", current, workers)
+        self._network.call_later(self.drain_poll_interval, self._drain_step)
+
+    @property
+    def scaling_in_progress(self) -> bool:
+        """True while a drain (asynchronous scale-down) is running."""
+        return self._drain_target is not None
+
+    def _record_scale(self, kind: str, before: int, after: int) -> None:
+        now = self._network.now() if self._network is not None else 0.0
+        self.scale_events.append(ScaleEvent(now, kind, before, after))
+
+    def _worker_drained(self, index: int) -> bool:
+        """No in-flight sessions and no sticky pins on worker ``index``."""
+        assert self._router is not None
+        worker = self._workers[index]
+        return not worker.active_sessions and not self._router.drain_pending(index)
+
+    def _retire_worker(self, worker: AutomataEngine) -> None:
+        """Fold a drained worker's measurements into the runtime aggregate.
+
+        Completed :class:`SessionRecord` lists and drop counters must
+        survive the worker's detachment — a loss-free resize would
+        otherwise *look* lossy in the statistics.
+        """
+        worker.session_close_listener = None
+        self._retired_sessions.extend(worker.sessions)
+        self._retired_evicted.extend(worker.evicted_sessions)
+        self._retired_parse_failures.extend(worker.parse_failures)
+        self._retired_unrouted += worker.unrouted_datagrams
+        self._retired_ignored += worker.ignored_datagrams
+
+    def _drain_step(self) -> None:
+        """One drain-completion check, rescheduling itself until done.
+
+        Tail workers are detached highest-index-first as they empty (the
+        ring only ever excludes a suffix, so indices never shift under the
+        sticky table); the chain stops once the pool reaches the target,
+        so simulations quiesce.
+        """
+        target = self._drain_target
+        if target is None or self._network is None or self._router is None:
+            return
+        before = len(self._workers)
+        while len(self._workers) > target:
+            if not self._worker_drained(len(self._workers) - 1):
+                self._network.call_later(self.drain_poll_interval, self._drain_step)
+                return
             worker = self._workers.pop()
+            self._retire_worker(worker)
             self._network.detach(worker)
+        self._drain_target = None
         self._router.set_workers(self._workers)
+        self._record_scale("drain-complete", before, target)
 
     # ------------------------------------------------------------------
     # introspection / aggregated statistics
@@ -248,8 +354,10 @@ class ShardedRuntime:
 
     @property
     def sessions(self) -> List[SessionRecord]:
-        """Completed sessions across all workers, in completion order."""
+        """Completed sessions across all workers (drain-retired workers
+        included), in completion order."""
         records = [record for worker in self._workers for record in worker.sessions]
+        records.extend(self._retired_sessions)
         records.sort(key=lambda record: record.finished_at)
         return records
 
@@ -258,6 +366,7 @@ class ShardedRuntime:
         records = [
             record for worker in self._workers for record in worker.evicted_sessions
         ]
+        records.extend(self._retired_evicted)
         records.sort(key=lambda record: record.finished_at)
         return records
 
@@ -269,21 +378,66 @@ class ShardedRuntime:
     def unrouted_datagrams(self) -> int:
         """Datagrams neither the router nor any worker could place."""
         router_unrouted = self._router.unrouted_datagrams if self._router else 0
-        return router_unrouted + sum(
-            worker.unrouted_datagrams for worker in self._workers
+        return (
+            router_unrouted
+            + self._retired_unrouted
+            + sum(worker.unrouted_datagrams for worker in self._workers)
         )
 
     @property
     def ignored_datagrams(self) -> int:
-        return sum(worker.ignored_datagrams for worker in self._workers)
+        return self._retired_ignored + sum(
+            worker.ignored_datagrams for worker in self._workers
+        )
 
     @property
     def parse_failures(self) -> List:
-        return [failure for worker in self._workers for failure in worker.parse_failures]
+        return self._retired_parse_failures + [
+            failure for worker in self._workers for failure in worker.parse_failures
+        ]
 
     def worker_session_counts(self) -> List[int]:
         """Completed sessions per worker (the shard-balance view)."""
         return [len(worker.sessions) for worker in self._workers]
+
+    # ------------------------------------------------------------------
+    # metrics plane
+    # ------------------------------------------------------------------
+    def _worker_metrics(
+        self, index: int, worker: AutomataEngine, now: float, draining: bool
+    ) -> WorkerMetrics:
+        """One worker's load row (the live subclass reads under the loop
+        lock and adds queue depth and lock-wait time)."""
+        return WorkerMetrics(
+            index=index,
+            name=worker.name,
+            active_sessions=len(worker.active_sessions),
+            completed_sessions=len(worker.sessions),
+            evicted_sessions=len(worker.evicted_sessions),
+            busy_backlog=worker.busy_backlog(now),
+            draining=draining,
+        )
+
+    def metrics(self) -> ShardMetrics:
+        """One coherent :class:`ShardMetrics` snapshot of the deployment.
+
+        Requires a deployed runtime (the router's counters are part of the
+        snapshot); the autoscaler consumes these.
+        """
+        if self._router is None or self._network is None:
+            raise ConfigurationError("metrics() requires a deployed runtime")
+        now = self._network.now()
+        active = self._router.active_worker_count
+        workers = tuple(
+            self._worker_metrics(index, worker, now, draining=index >= active)
+            for index, worker in enumerate(self._workers)
+        )
+        return ShardMetrics(
+            at=now,
+            workers=workers,
+            router=self._router.metrics(),
+            active_workers=active,
+        )
 
     def __repr__(self) -> str:
         deployed = "deployed" if self._router is not None else "not deployed"

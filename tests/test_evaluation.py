@@ -144,3 +144,26 @@ class TestTables:
         ratios = dict(overhead_ratios(legacy, connectors))
         assert ratios["1. SLP to UPnP"] == pytest.approx(5.0, abs=0.5)
         assert ratios["6. Bonjour to SLP"] > 500
+
+
+class TestElasticHarness:
+    def test_run_elastic_grows_and_drains_loss_free(self):
+        from repro.evaluation.harness import run_elastic
+        from repro.evaluation.tables import format_elastic
+
+        result = run_elastic(case=2, seed=7)
+        assert result.all_found
+        assert result.abandoned_sessions == 0
+        assert result.unrouted == 0
+        assert result.peak_workers == 4
+        assert result.final_workers == 1
+        kinds = [event.kind for event in result.events]
+        assert "grow" in kinds and "drain-complete" in kinds
+
+        text = format_elastic(result)
+        assert "Scaling timeline" in text
+        assert "grow 1->4" in text
+        assert "drain-complete" in text
+        assert "Abandoned sessions: 0" in text
+        for phase in ("steady", "burst", "tail"):
+            assert phase in text

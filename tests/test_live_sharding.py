@@ -68,7 +68,9 @@ def test_from_bridge_rebinds_model_level_hosts_on_loopback():
         upnp_to_slp_bridge(base_port=45900), workers=2
     )
     assert runtime.host == "127.0.0.1"
-    assert not runtime.ephemeral_ports
+    # Per-session ephemeral ports default on live: SocketNetwork can bind
+    # kernel-assigned UDP ports after attach.
+    assert runtime.ephemeral_ports
     with SocketNetwork() as network:
         runtime.deploy(network)
         assert all(
@@ -78,15 +80,25 @@ def test_from_bridge_rebinds_model_level_hosts_on_loopback():
         runtime.undeploy()
 
 
-def test_live_runtime_rejects_in_place_rescale():
+def test_live_runtime_rescales_in_place_both_directions():
+    """`scale_to` is implemented live: grow attaches fresh worker loops,
+    shrink drains (trivially here: no sessions in flight)."""
     runtime = LiveShardedRuntime.from_bridge(
         BRIDGE_BUILDERS[2](host="127.0.0.1", base_port=46000), workers=2
     )
     with SocketNetwork() as network:
         runtime.deploy(network)
-        with pytest.raises(ConfigurationError):
+        try:
             runtime.scale_to(4)
-        runtime.undeploy()
+            assert runtime.worker_count == 4
+            assert runtime.router.worker_count == 4
+            runtime.scale_to(1)
+            assert runtime.worker_count == 1
+            assert runtime.router.worker_count == 1
+            assert not runtime.scaling_in_progress
+            assert runtime.worker_errors == []
+        finally:
+            runtime.undeploy()
 
 
 def test_live_runtime_requires_room_for_worker_ports():

@@ -512,14 +512,11 @@ class TestUPnPConcurrency:
         assert result.all_found
         assert result.unrouted_datagrams == 0
         assert len(scenario.bridge.sessions) == 8
-        recorded = {
-            (record.client.host, record.client.port)
-            for record in scenario.bridge.sessions
-        }
-        expected = {
-            (client.endpoint.host, client.endpoint.port)
-            for client in scenario.clients
-        }
+        # Control points send each lookup from a per-lookup ephemeral port,
+        # so sessions are attributed per client *host* (unique per client)
+        # while the recorded port is the lookup's own source port.
+        recorded = {record.client.host for record in scenario.bridge.sessions}
+        expected = {client.endpoint.host for client in scenario.clients}
         assert recorded == expected
         # The sessions genuinely overlapped.
         assert result.makespan < 0.5 * sum(result.translation_times)

@@ -259,3 +259,54 @@ def test_now_is_monotonic_and_call_later_fires():
         first = network.now()
         assert _wait(lambda: fired)
         assert network.now() >= first
+
+
+def test_bind_endpoint_after_attach_delivers_and_unbinds():
+    """The live per-session ephemeral port substrate: a node can acquire a
+    kernel-assigned UDP endpoint at runtime, receive on it, and release it
+    (ROADMAP satellite: `bind_endpoint` on the socket engine)."""
+    with SocketNetwork() as network:
+        node = Sink("late", [Endpoint("127.0.0.1", _free_port(), Transport.UDP)])
+        network.attach(node)
+        assert network.kernel_ephemeral_ports
+        bound = network.bind_endpoint(node, Endpoint("127.0.0.1", 0, Transport.UDP))
+        assert bound.port != 0
+
+        src = Endpoint("127.0.0.1", 0, Transport.UDP)
+        network.send(b"to-ephemeral", src, bound)
+        assert _wait(lambda: b"to-ephemeral" in node.received)
+
+        network.unbind_endpoint(node, bound)
+        # The port is returned to the kernel: a fresh socket can bind it.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            assert _wait(lambda: _rebindable(probe, bound.port))
+        finally:
+            probe.close()
+
+
+def _rebindable(sock: socket.socket, port: int) -> bool:
+    try:
+        sock.bind(("127.0.0.1", port))
+        return True
+    except OSError:
+        return False
+
+
+def test_bind_endpoint_rejects_tcp_and_foreign_rebind():
+    from repro.core.errors import NetworkError
+
+    with SocketNetwork() as network:
+        a = Sink("a", [Endpoint("127.0.0.1", _free_port(), Transport.UDP)])
+        b = Sink("b", [Endpoint("127.0.0.1", _free_port(), Transport.UDP)])
+        network.attach(a)
+        network.attach(b)
+        with pytest.raises(NetworkError):
+            network.bind_endpoint(a, Endpoint("127.0.0.1", 0, Transport.TCP))
+        bound = network.bind_endpoint(a, Endpoint("127.0.0.1", 0, Transport.UDP))
+        with pytest.raises(NetworkError):
+            network.bind_endpoint(b, bound)
+        # Unbinding by a node that does not own the endpoint is a no-op.
+        network.unbind_endpoint(b, bound)
+        network.send(b"still-mine", Endpoint("127.0.0.1", 0, Transport.UDP), bound)
+        assert _wait(lambda: b"still-mine" in a.received)
