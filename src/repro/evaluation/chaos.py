@@ -1,0 +1,668 @@
+"""Chaos harness: seeded, deterministic fault schedules for both runtimes.
+
+The bridge must keep translating transparently while the deployment around
+it misbehaves.  The elastic control plane made resizing loss-free; this
+module *adversarially* exercises that promise: a seeded schedule of
+membership faults — grows, suffix shrinks, **arbitrary-worker removals**,
+worker replacements — is interleaved with waves of concurrent legacy
+clients, garbage traffic aimed at the bridge's public endpoints and colour
+groups, and (on the simulation) packet-loss windows.  After every run the
+harness checks the whole loss-free contract at once:
+
+* every client lookup is answered (zero dropped sessions);
+* no session was evicted by the idle sweeper (zero abandoned sessions);
+* nothing was unrouted (garbage never parses, so it never counts);
+* no worker-loop thread raised (live runtime);
+* the raw bytes every client received are **identical to a fixed-shard
+  twin** of the same workload — chaos may change timings, never outputs.
+
+Determinism is the point: every random decision — which fault fires in
+which round, which worker is the victim, how lossy a loss window is —
+comes from one ``random.Random(seed)``, so a failing seed reproduces the
+exact same schedule locally (``python -m repro.evaluation --table chaos
+--seed N``).  The tier-1 soak test and ``benchmarks/bench_chaos.py`` both
+print the seed of any failing run for exactly that reason.
+
+Faults on the simulation run on the virtual clock (loss windows open only
+while no legitimate traffic is in flight, because lost datagrams of a
+live session would — correctly — fail the zero-drop assertion the harness
+exists to make).  The live runner drives the same membership schedule over
+real sockets; loss injection does not exist there, so its rounds fire
+garbage only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
+from ..core.errors import ConfigurationError
+from ..network.addressing import Endpoint, Transport
+from ..network.simulated import SimulatedNetwork
+from ..runtime import LiveShardedRuntime, ScaleEvent, ShardedRuntime
+from .workloads import (
+    _elastic_calibration,
+    _fast_calibration,
+    _live_bridge,
+    _live_case_parts,
+    _make_client_and_service,
+    _make_concurrent_clients,
+)
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosResult",
+    "run_chaos_simulated",
+    "run_chaos_live",
+    "run_chaos",
+    "DEFAULT_CHAOS_SEEDS",
+    "GARBAGE_PAYLOADS",
+]
+
+#: Seeds of the default chaos sweep (the acceptance criterion's ">= 3").
+DEFAULT_CHAOS_SEEDS: Tuple[int, ...] = (7, 11, 13)
+
+#: Junk the injector throws at the bridge's public endpoints and colour
+#: groups: none of it parses under any MDL spec, so the engines must record
+#: parse failures and carry on — garbage never becomes a session and never
+#: counts as unrouted.
+GARBAGE_PAYLOADS: Tuple[bytes, ...] = (
+    b"",
+    b"\x00",
+    b"\xff" * 48,
+    b"chaos \x00\x01\x02 not-a-protocol\r\n\r\n",
+)
+
+_LIVE_HOST = "127.0.0.1"
+
+#: Membership faults a round can fire (weighted towards the arbitrary
+#: removals this harness exists to cover).
+_MEMBERSHIP_KINDS = ("grow", "shrink", "remove", "remove", "replace", "hold")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One executed fault of a chaos run's schedule."""
+
+    round: int
+    #: ``grow`` | ``shrink`` | ``remove`` | ``replace`` | ``garbage`` |
+    #: ``loss`` | ``hold``
+    kind: str
+    detail: str = ""
+
+    def as_row(self) -> Dict[str, object]:
+        return {"round": self.round, "kind": self.kind, "detail": self.detail}
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one seeded chaos run (plus its fixed-shard twin check)."""
+
+    name: str
+    seed: int
+    #: ``simulated`` | ``live``
+    runtime_kind: str
+    rounds: int
+    clients: int
+    completed: int
+    events: List[ChaosEvent] = field(default_factory=list)
+    #: The runtime's scaling timeline, for the audit trail.
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    #: Membership faults executed (everything but garbage/loss/hold).
+    membership_ops: int = 0
+    #: Drains of a worker that was *not* the last pool position — the
+    #: arbitrary-removal coverage the suffix-only ring could never give.
+    arbitrary_removals: int = 0
+    garbage_sent: int = 0
+    #: Datagrams dropped by the loss windows (simulated runs only).
+    datagrams_dropped: int = 0
+    abandoned_sessions: int = 0
+    unrouted: int = 0
+    worker_errors: int = 0
+    final_workers: int = 0
+    outputs_match_twin: bool = False
+    #: A harness-level exception (e.g. a live drain timeout's
+    #: ``EngineError``) caught by :func:`run_chaos`, so even a crashed run
+    #: reports its seed instead of losing the repro path to a traceback.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """The whole loss-free contract, as one boolean."""
+        return (
+            self.error is None
+            and self.completed == self.clients
+            and self.abandoned_sessions == 0
+            and self.unrouted == 0
+            and self.worker_errors == 0
+            and self.outputs_match_twin
+        )
+
+    def repro_command(self) -> str:
+        """The exact shell line that replays this run's schedule.
+
+        Includes the ``PYTHONPATH=src`` prefix (the package is only
+        importable from a source checkout that way), and ``--chaos-live``
+        for a live row — without the flag the command would replay only
+        the simulated schedule and a red live run would not be
+        reproducible via its own printed repro path.
+        """
+        command = (
+            "PYTHONPATH=src python -m repro.evaluation --table chaos "
+            f"--seed {self.seed}"
+        )
+        if self.runtime_kind == "live":
+            command += " --chaos-live"
+        return command
+
+    def failure_reason(self) -> Optional[str]:
+        """Why :attr:`ok` is false (``None`` on a clean run)."""
+        if self.error is not None:
+            return f"harness exception: {self.error}"
+        if self.completed != self.clients:
+            return f"{self.clients - self.completed} of {self.clients} lookups unanswered"
+        if self.abandoned_sessions:
+            return f"{self.abandoned_sessions} sessions abandoned (evicted)"
+        if self.unrouted:
+            return f"{self.unrouted} datagrams unrouted"
+        if self.worker_errors:
+            return f"{self.worker_errors} worker-loop exceptions"
+        if not self.outputs_match_twin:
+            return "client bytes differ from the fixed-shard twin"
+        return None
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "runtime": self.runtime_kind,
+            "rounds": self.rounds,
+            "clients": self.clients,
+            "completed": self.completed,
+            "membership_ops": self.membership_ops,
+            "arbitrary_removals": self.arbitrary_removals,
+            "garbage_sent": self.garbage_sent,
+            "datagrams_dropped": self.datagrams_dropped,
+            "abandoned": self.abandoned_sessions,
+            "unrouted": self.unrouted,
+            "worker_errors": self.worker_errors,
+            "final_workers": self.final_workers,
+            "outputs_match_twin": self.outputs_match_twin,
+            "error": self.error,
+            "ok": self.ok,
+            "events": [event.as_row() for event in self.events],
+        }
+
+
+def _case_parts(case: int, total_clients: int, live: bool):
+    """Clients / service / lookup target of ``case``, chaos edition.
+
+    Delegates to the existing workload builders — the live branch *is*
+    :func:`~repro.evaluation.workloads._live_case_parts`, so the chaos
+    byte-twin comparison can never drift from the topology the
+    live-sharding harness checks.
+    """
+    if live:
+        clients, service, target, _ = _live_case_parts(case, total_clients)
+        return clients, service, target
+    if case not in BRIDGE_BUILDERS:
+        raise ValueError(f"unknown case {case}; valid cases are 1..6")
+    client_protocol, _, service_protocol = CASE_NAMES[case].partition(" to ")
+    clients = _make_concurrent_clients(client_protocol, total_clients)
+    _, service, target = _make_client_and_service(
+        client_protocol, service_protocol, _elastic_calibration()
+    )
+    return clients, service, target
+
+
+def _pick_membership(rng: random.Random, workers: int, bounds) -> str:
+    minimum, maximum = bounds
+    kinds = [
+        kind
+        for kind in _MEMBERSHIP_KINDS
+        if (kind != "grow" or workers < maximum)
+        and (kind not in ("shrink", "remove") or workers > minimum)
+        # A replacement never shrinks the pool, but it does grow it
+        # transiently — keep headroom under the bound.
+        and (kind != "replace" or workers < maximum)
+    ]
+    return rng.choice(kinds) if kinds else "hold"
+
+
+def _pick_victim(rng: random.Random, worker_ids: Sequence[int]) -> Tuple[int, bool]:
+    """A victim id, preferring a non-suffix position; returns (id, arbitrary)."""
+    ids = list(worker_ids)
+    if len(ids) > 1:
+        victim = rng.choice(ids[:-1])  # never the last position: the drain
+        return victim, True  # is guaranteed non-suffix
+    return ids[-1], False
+
+
+def _garbage_targets(runtime) -> List[Endpoint]:
+    """The bridge's public UDP endpoints plus its multicast colour groups."""
+    router = runtime.router
+    assert router is not None
+    targets = [
+        endpoint
+        for endpoint in router.unicast_endpoints()
+        if endpoint.transport == Transport.UDP
+    ]
+    targets.extend(router.multicast_groups())
+    return targets
+
+
+def _send_garbage(network, runtime, source: Endpoint) -> int:
+    sent = 0
+    for destination in _garbage_targets(runtime):
+        for payload in GARBAGE_PAYLOADS:
+            network.send(payload, source=source, destination=destination)
+            sent += 1
+    return sent
+
+
+def _apply_membership(
+    runtime, rng: random.Random, kind: str, result: ChaosResult, round_index: int
+) -> None:
+    """Execute one membership fault against a settled runtime."""
+    ids = runtime.worker_ids
+    if kind == "grow":
+        runtime.scale_to(len(ids) + 1)
+        result.events.append(
+            ChaosEvent(round_index, "grow", f"{len(ids)}->{len(ids) + 1}")
+        )
+    elif kind == "shrink":
+        strategy = rng.choice(("suffix", "least-loaded"))
+        victims = runtime.select_victims(1, strategy)
+        runtime.scale_to(len(ids) - 1, victims=victims)
+        result.events.append(
+            ChaosEvent(round_index, "shrink", f"{strategy} victims={victims}")
+        )
+        if victims[0] != ids[-1]:
+            result.arbitrary_removals += 1
+    elif kind == "remove":
+        victim, arbitrary = _pick_victim(rng, ids)
+        runtime.remove_worker(victim)
+        result.events.append(ChaosEvent(round_index, "remove", f"worker {victim}"))
+        if arbitrary:
+            result.arbitrary_removals += 1
+    elif kind == "replace":
+        victim, arbitrary = _pick_victim(rng, ids)
+        new_id = runtime.replace_worker(victim)
+        result.events.append(
+            ChaosEvent(round_index, "replace", f"worker {victim} -> {new_id}")
+        )
+        if arbitrary:
+            result.arbitrary_removals += 1
+    else:
+        result.events.append(ChaosEvent(round_index, "hold"))
+    if kind != "hold":
+        result.membership_ops += 1
+
+
+def _collect_bytes(clients) -> Dict[str, Tuple[bytes, ...]]:
+    return {client.name: tuple(client.raw_responses) for client in clients}
+
+
+#: Per-message translation compute of the simulated chaos topology.
+SIM_PROCESSING_DELAY = 0.004
+
+
+def _deploy_simulated(
+    case: int, seed: int, total_clients: int, workers: int, live_topology: bool
+):
+    """Deploy one simulated chaos topology: network, runtime, clients.
+
+    The **single** deploy recipe shared by the chaos run and both twin
+    builders — the byte-twin oracle is only meaningful while the chaotic
+    and fixed-shard topologies are built identically, so there must be
+    exactly one place that builds them.  ``live_topology`` selects the
+    loopback layout of the *live* workload (the reference the live chaos
+    run is compared against) instead of the model-level one.
+    """
+    clients, service, target = _case_parts(case, total_clients, live=live_topology)
+    if live_topology:
+        network = SimulatedNetwork(latencies=_fast_calibration(), seed=seed)
+        runtime = ShardedRuntime.from_bridge(
+            _live_bridge(case, 0.0),
+            workers=workers,
+            serialize_processing=True,
+            ephemeral_ports=False,
+            worker_port_stride=16,
+        )
+    else:
+        network = SimulatedNetwork(latencies=_elastic_calibration(), seed=seed)
+        bridge = BRIDGE_BUILDERS[case](processing_delay=SIM_PROCESSING_DELAY)
+        bridge.validate()
+        runtime = ShardedRuntime.from_bridge(
+            bridge, workers=workers, serialize_processing=True
+        )
+    runtime.deploy(network)
+    network.attach(service)
+    for client in clients:
+        network.attach(client)
+    return network, runtime, clients, target
+
+
+def _twin_bytes(
+    case: int,
+    seed: int,
+    total: int,
+    workers: int,
+    timeout: float,
+    live_topology: bool,
+) -> Dict[str, Tuple[bytes, ...]]:
+    """The fixed-shard twin: same clients, no faults, ``workers`` shards."""
+    network, _, clients, target = _deploy_simulated(
+        case, seed, total, workers, live_topology
+    )
+    started = [(client, client.start_lookup(network, target)) for client in clients]
+    network.run_until(
+        lambda: all(client.lookup_result(key) is not None for client, key in started),
+        timeout=timeout,
+    )
+    return _collect_bytes(clients)
+
+
+# ----------------------------------------------------------------------
+# simulated chaos
+# ----------------------------------------------------------------------
+def run_chaos_simulated(
+    case: int = 2,
+    seed: int = 7,
+    rounds: int = 5,
+    clients_per_round: int = 6,
+    min_workers: int = 1,
+    max_workers: int = 4,
+    start_workers: int = 2,
+    twin_workers: int = 2,
+    wave_timeout: float = 30.0,
+) -> ChaosResult:
+    """One seeded chaos run on the simulated runtime, plus its twin check.
+
+    Every round starts a wave of concurrent lookups, fires one membership
+    fault *while the wave is in flight* (racing the drain against open
+    sessions and fan-out legs), floods the public endpoints with garbage,
+    waits for the wave to complete and the pool to settle, and then — on
+    the rounds the schedule says so — opens a packet-loss window over
+    another garbage burst.  The twin run serves the identical client set
+    on a fixed ``twin_workers``-shard pool with no faults; its bytes are
+    the reference the chaos run must reproduce exactly.
+    """
+    rng = random.Random(seed)
+    total = rounds * clients_per_round
+    network, runtime, clients, target = _deploy_simulated(
+        case, seed, total, start_workers, live_topology=False
+    )
+
+    result = ChaosResult(
+        name=f"chaos-case-{case}-seed-{seed}",
+        seed=seed,
+        runtime_kind="simulated",
+        rounds=rounds,
+        clients=total,
+        completed=0,
+    )
+    injector = Endpoint("chaos-injector.local", 9999, Transport.UDP)
+    started: List[Tuple[object, object]] = []
+    dropped_before = network.dropped
+
+    for round_index in range(rounds):
+        wave = clients[
+            round_index * clients_per_round : (round_index + 1) * clients_per_round
+        ]
+        wave_started = [
+            (client, client.start_lookup(network, target)) for client in wave
+        ]
+        started.extend(wave_started)
+        # Let the wave's sessions open, then fault the membership while
+        # they are in flight: the drain must race live sessions, sticky
+        # pins and fan-out legs, not an idle pool.
+        network.run_for(0.004)
+        kind = _pick_membership(rng, runtime.worker_count, (min_workers, max_workers))
+        _apply_membership(runtime, rng, kind, result, round_index)
+        result.garbage_sent += _send_garbage(network, runtime, injector)
+        result.events.append(ChaosEvent(round_index, "garbage"))
+        wave_settled = network.run_until(
+            lambda: all(
+                client.lookup_result(key) is not None for client, key in wave_started
+            )
+            and not runtime.scaling_in_progress,
+            timeout=wave_timeout,
+        )
+        # Settle before a loss window: with no legitimate traffic in
+        # flight, loss can only eat garbage — the zero-drop assertion
+        # stays meaningful.  Draw from the rng unconditionally so the
+        # schedule is a pure function of the seed, but only OPEN the
+        # window when the wave really finished: a timed-out wave still in
+        # flight must surface as the unanswered-lookup failure it is, not
+        # as loss eating its datagrams.
+        network.run_for(3 * runtime.drain_poll_interval)
+        open_loss, loss = rng.random() < 0.5, rng.uniform(0.5, 1.0)
+        if open_loss and wave_settled:
+            network.loss_rate = loss
+            result.garbage_sent += _send_garbage(network, runtime, injector)
+            network.run_for(0.05)
+            network.loss_rate = 0.0
+            result.events.append(
+                ChaosEvent(round_index, "loss", f"rate={loss:.2f}")
+            )
+
+    network.run_until(
+        lambda: all(client.lookup_result(key) is not None for client, key in started)
+        and not runtime.scaling_in_progress,
+        timeout=wave_timeout,
+    )
+    result.completed = sum(
+        1
+        for client, key in started
+        if (found := client.lookup_result(key)) is not None and found.found
+    )
+    result.datagrams_dropped = network.dropped - dropped_before
+    result.abandoned_sessions = len(runtime.evicted_sessions)
+    result.unrouted = runtime.unrouted_datagrams
+    result.final_workers = runtime.worker_count
+    result.scale_events = list(runtime.scale_events)
+    chaos_bytes = _collect_bytes(clients)
+
+    twin_bytes = _twin_bytes(
+        case, seed, total, twin_workers, wave_timeout, live_topology=False
+    )
+    result.outputs_match_twin = chaos_bytes == twin_bytes
+    return result
+
+
+# ----------------------------------------------------------------------
+# live chaos
+# ----------------------------------------------------------------------
+def run_chaos_live(
+    case: int = 2,
+    seed: int = 7,
+    rounds: int = 3,
+    clients_per_round: int = 4,
+    min_workers: int = 1,
+    max_workers: int = 3,
+    start_workers: int = 2,
+    twin_workers: int = 2,
+    wave_timeout: float = 15.0,
+) -> ChaosResult:
+    """One seeded chaos run on the **live** runtime (real loopback sockets).
+
+    The same membership schedule as the simulated runner — grows, shrinks,
+    arbitrary removals, replacements, all racing real in-flight waves —
+    plus garbage datagrams thrown at the router's real sockets.  Packet
+    loss cannot be injected into a kernel loopback path, so live rounds
+    have no loss windows.  The byte reference is the deterministic
+    *simulated* twin of the identical loopback topology at a fixed shard
+    count (the same cross-engine check the live-sharding table performs).
+    """
+    import time as _time
+
+    from ..network.sockets import SocketNetwork
+
+    rng = random.Random(seed)
+    total = rounds * clients_per_round
+    clients, service, target = _case_parts(case, total, live=True)
+    network = SocketNetwork()
+    runtime = LiveShardedRuntime.from_bridge(
+        _live_bridge(case, 0.0), workers=start_workers
+    )
+    result = ChaosResult(
+        name=f"chaos-live-case-{case}-seed-{seed}",
+        seed=seed,
+        runtime_kind="live",
+        rounds=rounds,
+        clients=total,
+        completed=0,
+    )
+    injector = Endpoint(_LIVE_HOST, 45999, Transport.UDP)
+    started: List[Tuple[object, object]] = []
+
+    def wave_done(pairs) -> bool:
+        return all(client.lookup_result(key) is not None for client, key in pairs)
+
+    def await_wave(pairs) -> None:
+        deadline = _time.monotonic() + wave_timeout
+        while _time.monotonic() < deadline and not wave_done(pairs):
+            if runtime.worker_errors:
+                return
+            _time.sleep(0.002)
+
+    try:
+        runtime.deploy(network)
+        network.attach(service)
+        for client in clients:
+            network.attach(client)
+        for round_index in range(rounds):
+            wave = clients[
+                round_index * clients_per_round : (round_index + 1) * clients_per_round
+            ]
+            wave_started = [
+                (client, client.start_lookup(network, target)) for client in wave
+            ]
+            started.extend(wave_started)
+            kind = _pick_membership(
+                rng, runtime.worker_count, (min_workers, max_workers)
+            )
+            # The live membership ops block through the drain — which is
+            # exactly the race: the wave above is still in flight.
+            _apply_membership(runtime, rng, kind, result, round_index)
+            result.garbage_sent += _send_garbage(network, runtime, injector)
+            result.events.append(ChaosEvent(round_index, "garbage"))
+            await_wave(wave_started)
+        await_wave(started)
+        result.completed = sum(
+            1
+            for client, key in started
+            if (found := client.lookup_result(key)) is not None and found.found
+        )
+        result.abandoned_sessions = len(runtime.evicted_sessions)
+        result.unrouted = runtime.unrouted_datagrams
+        result.worker_errors = len(runtime.worker_errors)
+        result.final_workers = runtime.worker_count
+        result.scale_events = list(runtime.scale_events)
+        chaos_bytes = _collect_bytes(clients)
+    finally:
+        runtime.undeploy()
+        network.close()
+
+    # The live run's byte reference: a fixed-shard *simulated* twin of the
+    # same loopback topology (same hosts, ports, pinned transaction ids).
+    result.outputs_match_twin = chaos_bytes == _twin_bytes(
+        case, seed, total, twin_workers, wave_timeout, live_topology=True
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def _check_options(case: int, options: Dict[str, object]) -> None:
+    """Fail fast on caller misconfiguration, *before* any seed runs.
+
+    Everything that raises here is independent of the seed — an unknown
+    case, a non-positive size — so surfacing it as an exception (the CLI's
+    uniform ``error:`` exit) beats folding it into per-seed FAIL rows
+    whose printed seed-replay command would not reproduce it.  Exceptions
+    raised later, mid-schedule, ARE seed-reproducible and are folded.
+    """
+    if case not in BRIDGE_BUILDERS:
+        raise ValueError(f"unknown case {case}; valid cases are 1..6")
+    for key in (
+        "rounds",
+        "clients_per_round",
+        "min_workers",
+        "max_workers",
+        "start_workers",
+        "twin_workers",
+    ):
+        value = options.get(key)
+        if value is not None and (not isinstance(value, int) or value <= 0):
+            raise ConfigurationError(
+                f"chaos option {key!r} must be a positive integer, got {value!r}"
+            )
+
+
+def run_chaos(
+    case: int = 2,
+    seeds: Sequence[int] = DEFAULT_CHAOS_SEEDS,
+    include_live: bool = False,
+    raise_on_failure: bool = True,
+    **options,
+) -> List[ChaosResult]:
+    """The chaos sweep: one simulated run per seed (plus one live run).
+
+    With ``raise_on_failure`` (the default) raises ``RuntimeError`` naming
+    the **failing seed** when any run breaks the loss-free contract, so a
+    red sweep is reproducible with
+    ``python -m repro.evaluation --table chaos --seed <seed>``; with it
+    off the rows come back regardless, carrying their per-run ``ok``.
+    Either way a run that *crashes* (a live drain-timeout ``EngineError``,
+    a wedged simulated drain's ``ConfigurationError``) is folded into a
+    failed row carrying its seed rather than lost to a bare traceback —
+    the failing-seed log must name every red seed.  Only *pre-flight*
+    configuration mistakes (an unknown case, a non-positive worker count)
+    raise directly: those are the caller's bug, and replaying a seed would
+    not reproduce them, so a FAIL row would print a phantom repro command.
+    """
+    if not seeds:
+        raise ConfigurationError(
+            "a chaos sweep needs at least one seed — an empty sweep would "
+            "report 'all runs loss-free' having run nothing"
+        )
+    _check_options(case, options)
+
+    def _guarded(runner, kind: str, seed: int, **runner_options) -> ChaosResult:
+        try:
+            return runner(case=case, seed=seed, **runner_options)
+        except Exception as exc:  # noqa: BLE001 - every seed must report
+            prefix = "chaos-live" if kind == "live" else "chaos"
+            return ChaosResult(
+                name=f"{prefix}-case-{case}-seed-{seed}",
+                seed=seed,
+                runtime_kind=kind,
+                rounds=0,
+                clients=0,
+                completed=0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    results = [
+        _guarded(run_chaos_simulated, "simulated", seed, **options)
+        for seed in seeds
+    ]
+    if include_live:
+        # Explicit options apply to the live run too (its own smaller
+        # defaults only cover the keys the caller left unset), so one
+        # sweep never silently mixes parameters between its rows.
+        results.append(_guarded(run_chaos_live, "live", seeds[0], **options))
+    failures = [result for result in results if not result.ok]
+    if failures and raise_on_failure:
+        first = failures[0]
+        raise RuntimeError(
+            f"chaos run {first.name} (seed {first.seed}, {first.runtime_kind}) "
+            f"failed: {first.failure_reason()} — reproduce with "
+            f"`{first.repro_command()}`"
+        )
+    return results

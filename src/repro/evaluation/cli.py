@@ -15,6 +15,15 @@ CLI exists so the headline result can be reproduced without pytest.
 ``REPRO_BENCH_RESULTS_DIR``).  It is excluded from ``all``: it needs
 permission to bind loopback sockets and measures the machine, not the
 model.
+
+``--table chaos`` runs the seeded fault-injection sweep of
+:mod:`repro.evaluation.chaos` (membership faults + garbage + loss windows
+against the sharded runtime, loss-free contract checked against a
+fixed-shard twin) and writes ``BENCH_chaos.json``.  Also excluded from
+``all`` — it is an adversarial soak, not a paper table.  An explicit
+``--seed N`` replays exactly one schedule: that is the repro command the
+soak test and benchmark print when a seed fails; ``--chaos-live`` adds a
+real-socket run.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import platform
 import sys
 from typing import List, Optional, Sequence
 
+from .chaos import DEFAULT_CHAOS_SEEDS, run_chaos
 from .harness import (
     DEFAULT_LIVE_CLIENTS,
     DEFAULT_LIVE_WORKER_COUNTS,
@@ -39,6 +49,7 @@ from .harness import (
     run_sharding,
 )
 from .tables import (
+    format_chaos,
     format_concurrency,
     format_elastic,
     format_fig12a,
@@ -48,29 +59,50 @@ from .tables import (
     overhead_ratios,
 )
 
-__all__ = ["main", "build_parser", "write_live_sharding_results"]
+__all__ = [
+    "main",
+    "build_parser",
+    "write_live_sharding_results",
+    "write_chaos_results",
+]
 
 
-def write_live_sharding_results(rows, clients: int, case: int) -> str:
-    """Write the live-sharding rows to ``BENCH_live_sharding.json``.
+def _write_bench_json(name: str, **payload) -> str:
+    """Write one table's ``BENCH_<name>.json`` artifact and return the path.
 
-    Same payload shape as the benchmark suite's writers, so CI archives
-    the CLI output interchangeably with the pytest-benchmark artifacts.
+    Same payload shape and conventions (results directory from
+    ``REPRO_BENCH_RESULTS_DIR``, sorted keys, trailing newline) as the
+    benchmark suite's writers, so CI archives the CLI output
+    interchangeably with the pytest-benchmark artifacts.
     """
     results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR", os.getcwd())
-    payload = {
-        "benchmark": "live_sharding",
-        "python": platform.python_version(),
-        "case": case,
-        "clients": clients,
-        "worker_counts": [row.workers for row in rows],
-        "rows": [row.as_row() for row in rows],
-    }
-    path = os.path.join(results_dir, "BENCH_live_sharding.json")
+    payload = {"benchmark": name, "python": platform.python_version(), **payload}
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def write_live_sharding_results(rows, clients: int, case: int) -> str:
+    """Write the live-sharding rows to ``BENCH_live_sharding.json``."""
+    return _write_bench_json(
+        "live_sharding",
+        case=case,
+        clients=clients,
+        worker_counts=[row.workers for row in rows],
+        rows=[row.as_row() for row in rows],
+    )
+
+
+def write_chaos_results(results, case: int) -> str:
+    """Write the chaos rows to ``BENCH_chaos.json``."""
+    return _write_bench_json(
+        "chaos",
+        case=case,
+        seeds=[result.seed for result in results],
+        rows=[result.as_row() for result in results],
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,14 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
             "concurrency",
             "sharding",
             "elastic",
+            "chaos",
             "live-sharding",
             "all",
         ],
         default="all",
         help="which table to regenerate ('all' covers the simulated tables; "
-        "live-sharding runs on real loopback sockets and must be asked for)",
+        "chaos and live-sharding must be asked for — chaos runs the seeded "
+        "fault-injection sweep, live-sharding binds real loopback sockets)",
     )
-    parser.add_argument("--seed", type=int, default=7, help="simulation seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="simulation seed (default 7); with --table chaos an explicit "
+        "seed runs exactly that one schedule — the failing-seed repro path",
+    )
+    parser.add_argument(
+        "--chaos-live",
+        action="store_true",
+        help="include a live (real-socket) run in the chaos sweep",
+    )
     parser.add_argument(
         "--concurrency-case",
         type=int,
@@ -125,12 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     lines: List[str] = []
+    seed = args.seed if args.seed is not None else 7
 
     legacy = connectors = None
     if args.table in ("fig12a", "overhead", "all"):
-        legacy = run_fig12a(repetitions=args.repetitions, seed=args.seed)
+        legacy = run_fig12a(repetitions=args.repetitions, seed=seed)
     if args.table in ("fig12b", "overhead", "all"):
-        connectors = run_fig12b(repetitions=args.repetitions, seed=args.seed)
+        connectors = run_fig12b(repetitions=args.repetitions, seed=seed)
 
     if args.table in ("fig12a", "all") and legacy is not None:
         lines.append(format_fig12a(legacy))
@@ -146,7 +192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append("")
     if args.table in ("concurrency", "all"):
         try:
-            rows = run_concurrency(case=args.concurrency_case, seed=args.seed)
+            rows = run_concurrency(case=args.concurrency_case, seed=seed)
         except ValueError as exc:
             print("\n".join(lines).rstrip())
             print(f"error: {exc}", file=sys.stderr)
@@ -158,7 +204,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sharding_rows = run_sharding(
                 case=args.concurrency_case,
                 clients=args.sharding_clients,
-                seed=args.seed,
+                seed=seed,
             )
         except ValueError as exc:
             print("\n".join(lines).rstrip())
@@ -168,13 +214,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append("")
     if args.table in ("elastic", "all"):
         try:
-            elastic_result = run_elastic(case=args.concurrency_case, seed=args.seed)
+            elastic_result = run_elastic(case=args.concurrency_case, seed=seed)
         except (ValueError, RuntimeError) as exc:
             print("\n".join(lines).rstrip())
             print(f"error: {exc}", file=sys.stderr)
             return 2
         lines.append(format_elastic(elastic_result))
         lines.append("")
+    if args.table == "chaos":
+        # An explicit --seed runs exactly that one schedule — the repro
+        # path printed when a sweep (or the soak test) goes red.
+        seeds = (args.seed,) if args.seed is not None else DEFAULT_CHAOS_SEEDS
+        try:
+            chaos_results = run_chaos(
+                case=args.concurrency_case,
+                seeds=seeds,
+                include_live=args.chaos_live,
+                raise_on_failure=False,
+            )
+        except ValueError as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_chaos(chaos_results))
+        path = write_chaos_results(chaos_results, case=args.concurrency_case)
+        lines.append(f"(rows written to {path})")
+        lines.append("")
+        if not all(result.ok for result in chaos_results):
+            print("\n".join(lines).rstrip())
+            return 2
     if args.table == "live-sharding":
         try:
             live_rows = run_live_sharding(

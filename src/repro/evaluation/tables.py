@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .chaos import ChaosResult
 from .harness import ConcurrencySummary, LiveShardingSummary, ShardingSummary, Summary
 from .workloads import ElasticResult
 
@@ -23,6 +24,7 @@ __all__ = [
     "format_sharding",
     "format_live_sharding",
     "format_elastic",
+    "format_chaos",
     "overhead_ratios",
 ]
 
@@ -206,9 +208,61 @@ def format_elastic(result: ElasticResult) -> str:
     )
     if result.final_metrics is not None:
         router = result.final_metrics.router
-        lines.append(
+        router_line = (
             f"Router: {router.classify_count} datagrams classified, "
             f"{router.classify_cost_avg_us:.1f} us/classify"
+        )
+        if router.charged_routing_seconds > 0.0:
+            router_line += (
+                f", {router.charged_routing_seconds * 1000.0:.1f} ms "
+                "modelled routing charged on the virtual clock"
+            )
+        lines.append(router_line)
+    return "\n".join(lines)
+
+
+def format_chaos(results: Sequence[ChaosResult]) -> str:
+    """Render the chaos sweep as a text table.
+
+    One row per seeded run (simulated rows first, the live row last when
+    present).  ``Arb.rm`` counts the drains of a *non-suffix* worker —
+    the coverage the identity-based membership added — and the last two
+    columns are the loss-free contract: nothing abandoned or unrouted,
+    and every client's bytes equal to the fixed-shard twin's.
+    """
+    header = (
+        f"{'Run':<28} {'Seed':>5} {'Clients':>8} {'Done':>5} "
+        f"{'Ops':>4} {'Arb.rm':>7} {'Garbage':>8} {'Dropped':>8} "
+        f"{'Abandoned':>10} {'Bytes=twin':>11} {'OK':>4}"
+    )
+    lines = [
+        "Chaos harness - seeded fault schedules against the sharded runtimes",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for result in results:
+        lines.append(
+            f"{result.name:<28} {result.seed:>5} {result.clients:>8} "
+            f"{result.completed:>5} {result.membership_ops:>4} "
+            f"{result.arbitrary_removals:>7} {result.garbage_sent:>8} "
+            f"{result.datagrams_dropped:>8} {result.abandoned_sessions:>10} "
+            f"{'yes' if result.outputs_match_twin else 'NO':>11} "
+            f"{'ok' if result.ok else 'FAIL':>4}"
+        )
+    lines.append("-" * len(header))
+    failures = [result for result in results if not result.ok]
+    if failures:
+        for failure in failures:
+            lines.append(
+                f"FAILED seed {failure.seed} ({failure.runtime_kind}): "
+                f"{failure.failure_reason()} — reproduce with "
+                f"`{failure.repro_command()}`"
+            )
+    else:
+        lines.append(
+            "All runs loss-free: zero dropped/abandoned sessions, "
+            "bytes identical to the fixed-shard twin."
         )
     return "\n".join(lines)
 

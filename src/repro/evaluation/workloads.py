@@ -414,6 +414,7 @@ def sharded_scenario(
     seed: int = 7,
     processing_delay: Optional[float] = None,
     serialize_processing: bool = True,
+    routing_delay: float = 0.0,
 ) -> ConcurrentScenario:
     """``clients`` overlapping lookups through a ``workers``-shard runtime.
 
@@ -423,7 +424,11 @@ def sharded_scenario(
     across ``workers`` engines.  Workers model their translation compute as
     a serial resource (``serialize_processing``), so the sweep over worker
     counts measures genuine parallel capacity — run with ``workers=1`` for
-    the like-for-like single-shard baseline.
+    the like-for-like single-shard baseline.  ``routing_delay`` charges the
+    router's classify-and-place cost on the virtual clock too (serial, one
+    busy-until clock for the whole edge), which is how a sweep exhibits
+    *router* saturation: with it set high enough, adding workers stops
+    helping because the edge, not the pool, is the bottleneck.
     """
     if case not in BRIDGE_BUILDERS:
         raise ValueError(f"unknown case {case}; valid cases are 1..6")
@@ -441,7 +446,10 @@ def sharded_scenario(
     bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
     bridge.validate()
     runtime = ShardedRuntime.from_bridge(
-        bridge, workers=workers, serialize_processing=serialize_processing
+        bridge,
+        workers=workers,
+        serialize_processing=serialize_processing,
+        routing_delay=routing_delay,
     )
     runtime.deploy(network)
 
@@ -895,6 +903,7 @@ def elastic_scenario(
     processing_delay: float = 0.004,
     policy: Optional[AutoscalerPolicy] = None,
     tick_interval: float = 0.05,
+    routing_delay: float = 0.0,
 ) -> ElasticScenario:
     """The bursty elastic workload: trickle, burst, trickle.
 
@@ -932,7 +941,10 @@ def elastic_scenario(
     bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
     bridge.validate()
     runtime = ShardedRuntime.from_bridge(
-        bridge, workers=min_workers, serialize_processing=True
+        bridge,
+        workers=min_workers,
+        serialize_processing=True,
+        routing_delay=routing_delay,
     )
     runtime.deploy(network)
     if policy is None:

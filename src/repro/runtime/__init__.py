@@ -38,12 +38,13 @@ from .elastic import (
 from .live import LiveShardedRuntime, LiveShardRouter, WorkerLoop
 from .metrics import RouterMetrics, ShardMetrics, WorkerMetrics
 from .router import ShardRouter
-from .runtime import DEFAULT_WORKERS, ScaleEvent, ShardedRuntime
+from .runtime import DEFAULT_WORKERS, VICTIM_STRATEGIES, ScaleEvent, ShardedRuntime
 from .sharding import HashRing, stable_hash
 
 __all__ = [
     "HashRing",
     "stable_hash",
+    "VICTIM_STRATEGIES",
     "ShardRouter",
     "ShardedRuntime",
     "ScaleEvent",

@@ -36,7 +36,7 @@ from typing import List, NamedTuple, Optional
 from ..core.errors import ConfigurationError
 from ..network.engine import NetworkEngine
 from .metrics import ShardMetrics
-from .runtime import ShardedRuntime
+from .runtime import VICTIM_STRATEGIES, ShardedRuntime
 
 __all__ = [
     "AutoscalerPolicy",
@@ -193,10 +193,24 @@ class ElasticController:
         runtime: ShardedRuntime,
         autoscaler: Optional[Autoscaler] = None,
         interval: float = DEFAULT_TICK_INTERVAL,
+        victim_strategy: Optional[str] = None,
     ) -> None:
         self.runtime = runtime
         self.autoscaler = autoscaler if autoscaler is not None else Autoscaler()
         self.interval = interval
+        if victim_strategy is not None and victim_strategy not in VICTIM_STRATEGIES:
+            # Fail at construction, not at the first scale-down tick — on
+            # the live controller that tick's error would be swallowed
+            # into `errors` and the pool would silently never shrink.
+            raise ConfigurationError(
+                f"unknown victim strategy {victim_strategy!r}; "
+                f"choose one of {VICTIM_STRATEGIES}"
+            )
+        #: How scale-down picks the workers to drain (see
+        #: :meth:`ShardedRuntime.select_victims`): ``None`` keeps the
+        #: historical pool-suffix choice; ``"least-loaded"`` retires the
+        #: emptiest workers (fastest drain) wherever they sit in the pool.
+        self.victim_strategy = victim_strategy
         self._network: Optional[NetworkEngine] = None
         self._running = False
 
@@ -223,8 +237,14 @@ class ElasticController:
         if runtime.scaling_in_progress or runtime.router is None:
             return
         desired = self.autoscaler.desired_workers(runtime.metrics())
-        if desired is not None and desired != runtime.worker_count:
-            runtime.scale_to(desired)
+        if desired is None or desired == runtime.worker_count:
+            return
+        victims = None
+        if desired < runtime.worker_count and self.victim_strategy is not None:
+            victims = runtime.select_victims(
+                runtime.worker_count - desired, self.victim_strategy
+            )
+        runtime.scale_to(desired, victims=victims)
 
     @property
     def decisions(self) -> List[AutoscaleDecision]:
@@ -246,8 +266,9 @@ class LiveElasticController(ElasticController):
         runtime: ShardedRuntime,
         autoscaler: Optional[Autoscaler] = None,
         interval: float = 0.2,
+        victim_strategy: Optional[str] = None,
     ) -> None:
-        super().__init__(runtime, autoscaler, interval)
+        super().__init__(runtime, autoscaler, interval, victim_strategy)
         #: Exceptions the control thread swallowed (inspect after a run).
         self.errors: List[BaseException] = []
         self._stop_event = threading.Event()

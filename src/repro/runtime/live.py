@@ -322,6 +322,7 @@ class LiveShardRouter(ShardRouter):
         loops: Sequence[WorkerLoop],
         name: str = "live-shard-router",
         prune_interval: float = 15.0,
+        worker_ids: Optional[Sequence[int]] = None,
     ) -> None:
         self._loops: Dict[int, WorkerLoop] = {
             id(loop.worker): loop for loop in loops
@@ -337,6 +338,7 @@ class LiveShardRouter(ShardRouter):
             hop_delay=0.0,
             prune_interval=prune_interval,
             name=name,
+            worker_ids=worker_ids,
         )
 
     def _loop_for(self, worker: AutomataEngine) -> WorkerLoop:
@@ -347,10 +349,14 @@ class LiveShardRouter(ShardRouter):
                 f"worker '{worker.name}' has no live worker loop"
             ) from None
 
-    def set_workers(self, workers: Sequence[AutomataEngine]) -> None:
+    def set_workers(
+        self,
+        workers: Sequence[AutomataEngine],
+        worker_ids: Optional[Sequence[int]] = None,
+    ) -> None:
         # The live scale_to calls this from the control thread while
         # receiver threads route under _route_lock; the sticky-table
-        # rebuild and ring swap must not race their `_sticky[key] = index`
+        # rebuild and ring swap must not race their `_sticky[key] = id`
         # writes (the RLock makes the construction-time call safe too).
         with self._route_lock:
             for worker in workers:
@@ -358,7 +364,7 @@ class LiveShardRouter(ShardRouter):
                     raise ConfigurationError(
                         f"worker '{worker.name}' has no live worker loop"
                     )
-            super().set_workers(workers)
+            super().set_workers(workers, worker_ids)
 
     # -- live rebalancing: loop registry maintenance ----------------------
     def add_loop(self, loop: WorkerLoop) -> None:
@@ -371,20 +377,20 @@ class LiveShardRouter(ShardRouter):
         with self._route_lock:
             self._loops.pop(id(loop.worker), None)
 
-    def begin_drain(self, active: int) -> None:
+    def begin_drain(self, worker_ids) -> None:
         with self._route_lock:
-            super().begin_drain(active)
+            super().begin_drain(worker_ids)
 
     def cancel_drain(self) -> None:
         with self._route_lock:
             super().cancel_drain()
 
-    def drain_pending(self, index: int) -> bool:
+    def drain_pending(self, worker_id) -> bool:
         # Runs on the draining (control) thread; flushing closed keys
         # probes worker session tables, so the lock order is the documented
         # route_lock → loop.lock.
         with self._route_lock:
-            return super().drain_pending(index)
+            return super().drain_pending(worker_id)
 
     def metrics(self):
         with self._route_lock:
@@ -406,7 +412,12 @@ class LiveShardRouter(ShardRouter):
             self.route_lock_wait_seconds += perf_counter() - waited
             super().on_datagram(engine, data, source, destination)
 
-    def _hand_off(self, engine: NetworkEngine, worker, deliver) -> None:
+    def _hand_off(
+        self, engine: NetworkEngine, worker, deliver, delay: float = 0.0
+    ) -> None:
+        # ``delay`` (the simulated routing_delay charge) is ignored: on
+        # real sockets the router's cost is *measured* wall time, not a
+        # modelled virtual charge.
         if worker is not None:
             self._loop_for(worker).post(deliver)
         else:
@@ -424,7 +435,15 @@ class LiveShardRouter(ShardRouter):
         source: Endpoint,
         strict: bool = False,
     ) -> bool:
-        loop = self._loop_for(worker)
+        try:
+            loop = self._loop_for(worker)
+        except ConfigurationError:
+            # Defence in depth for fan-out racing a teardown: a pass that
+            # captured a worker whose loop has since been removed treats
+            # that (empty, drained) worker as a decline and carries on to
+            # the next shard, mirroring the simulated router's behaviour
+            # for detached engines.
+            return False
         waited = perf_counter()
         with loop.lock:
             loop.lock_wait_seconds += perf_counter() - waited
@@ -498,6 +517,13 @@ class LiveShardedRuntime(ShardedRuntime):
                 "worker_port_stride must cover one port per component automaton "
                 f"({len(self.merged.automata)} needed, got {self.worker_port_stride})"
             )
+        if self.routing_delay > 0.0:
+            raise ConfigurationError(
+                "routing_delay models router compute on the simulated virtual "
+                "clock; on the live runtime the cost is *measured* (classify "
+                "seconds, route-lock wait) — a charge cannot be applied to "
+                "real sockets, so rejecting it beats silently ignoring it"
+            )
         self._loops: List[WorkerLoop] = []
         self._shells: List[_WorkerShell] = []
         #: Worker-loop exceptions from undeployed generations, preserved so
@@ -549,6 +575,7 @@ class LiveShardedRuntime(ShardedRuntime):
                 self.public_endpoints,
                 loops,
                 name=f"live-router:{self.merged.name}",
+                worker_ids=self._worker_ids,
             )
             network.attach(router)
             for worker in self._workers:
@@ -613,14 +640,18 @@ class LiveShardedRuntime(ShardedRuntime):
             self._worker_error_log.extend(loop.errors)
 
     def scale_to(
-        self, workers: int, drain_timeout: float = DEFAULT_LIVE_DRAIN_TIMEOUT
+        self,
+        workers: int,
+        drain_timeout: float = DEFAULT_LIVE_DRAIN_TIMEOUT,
+        victims: Optional[Sequence[int]] = None,
     ) -> None:
         """Resize a deployed live runtime in place, loss-free.
 
         Growing starts fresh worker loops, attaches their shells, registers
         the loops with the router and extends the ring — all before any new
         key routes to them.  Shrinking **drains**: the ring stops handing
-        new correlation keys to the tail workers immediately, then this
+        new correlation keys to the victim workers immediately (``victims``
+        names arbitrary worker ids; default: the pool suffix), then this
         call *blocks* until their session tables and sticky pins empty
         (worker loops signal progress after every job; idle-session
         eviction bounds the wait), detaches them and compacts the pool.
@@ -647,12 +678,21 @@ class LiveShardedRuntime(ShardedRuntime):
             self._scaling = True
         try:
             current = len(self._workers)
+            if workers >= current and victims is not None:
+                # Mirror the simulated runtime: naming victims without a
+                # shrink is an error, never a silent no-op.
+                raise ConfigurationError(
+                    f"victims only apply when shrinking the pool "
+                    f"(target {workers}, current {current})"
+                )
             if workers == current:
                 return
             if workers > current:
                 self._grow_live(workers)
             else:
-                self._shrink_live(workers, drain_timeout)
+                self._shrink_live(
+                    self._check_victims(workers, victims), workers, drain_timeout
+                )
         finally:
             self._scaling = False
 
@@ -668,7 +708,8 @@ class LiveShardedRuntime(ShardedRuntime):
         added_shells: List[_WorkerShell] = []
         try:
             while len(self._workers) < target:
-                worker = self._build_worker(len(self._workers))
+                worker_id = self._allocate_worker_id()
+                worker = self._build_worker(worker_id)
                 loop = WorkerLoop(worker, self._network)
                 shell = _WorkerShell(loop)
                 loop.start()
@@ -676,11 +717,12 @@ class LiveShardedRuntime(ShardedRuntime):
                 router.add_loop(loop)
                 worker.session_close_listener = router.note_session_closed
                 self._workers.append(worker)
+                self._worker_ids.append(worker_id)
                 self._loops.append(loop)
                 self._shells.append(shell)
                 added_loops.append(loop)
                 added_shells.append(shell)
-            router.set_workers(self._workers)
+            router.set_workers(self._workers, self._worker_ids)
         except BaseException:
             # Unwind the partial additions so the runtime stays consistent
             # at its previous size and a retry starts clean.
@@ -692,30 +734,34 @@ class LiveShardedRuntime(ShardedRuntime):
                 if loop.worker in self._workers:
                     index = self._workers.index(loop.worker)
                     del self._workers[index]
+                    del self._worker_ids[index]
                     del self._loops[index]
                     del self._shells[index]
             self._shutdown_loops(added_loops)
-            router.set_workers(self._workers)
+            router.set_workers(self._workers, self._worker_ids)
             raise
         self._record_scale("grow", before, target)
 
-    def _shrink_live(self, target: int, drain_timeout: float) -> None:
+    def _shrink_live(
+        self, victims: List[int], target: int, drain_timeout: float
+    ) -> None:
         assert self._router is not None and self._network is not None
         router: LiveShardRouter = self._router  # type: ignore[assignment]
         before = len(self._workers)
-        router.begin_drain(target)
+        router.begin_drain(victims)
         self._record_scale("drain-start", before, target)
         deadline = time.monotonic() + drain_timeout
-        for index in range(before - 1, target - 1, -1):
-            worker = self._workers[index]
-            loop = self._loops[index]
+        for worker_id in victims:
+            position = self._worker_ids.index(worker_id)
+            worker = self._workers[position]
+            loop = self._loops[position]
             while True:
                 # Order matters: once no sticky entry pins a key to this
                 # worker, no *new* keyed delivery can be routed to it, so a
                 # subsequent observation of "no sessions, no queued jobs"
                 # is stable — a delivery posted before the unpin would
                 # still be visible in the queue depth.
-                if not router.drain_pending(index):
+                if not router.drain_pending(worker_id):
                     with loop.lock:
                         empty = (
                             not worker.active_sessions and loop.queue_depth == 0
@@ -731,25 +777,37 @@ class LiveShardedRuntime(ShardedRuntime):
                         "no session was abandoned"
                     )
                 loop.wait_progress(LIVE_DRAIN_POLL_INTERVAL)
-        # Every tail worker is empty: tear them down highest-index first.
-        while len(self._workers) > target:
-            shell = self._shells.pop()
+        # Every victim is empty.  Rebuild the router's membership over the
+        # survivors FIRST: from this point no fan-out pass can capture a
+        # victim, so removing the victims' loops below can never abort a
+        # pass mid-flight (a receiver thread that raced us here would
+        # otherwise hit `_loop_for(victim)` after `remove_loop` and drop
+        # the datagram before the surviving workers were offered it).
+        survivor_ids = [wid for wid in self._worker_ids if wid not in victims]
+        survivors = [
+            self._workers[self._worker_ids.index(wid)] for wid in survivor_ids
+        ]
+        router.set_workers(survivors, survivor_ids)
+        # Now tear the victims down (identity membership means popping
+        # mid-list positions never disturbs the survivors).
+        for worker_id in victims:
+            position = self._worker_ids.index(worker_id)
+            shell = self._shells.pop(position)
             self._network.detach(shell)
-            loop = self._loops.pop()
-            worker = self._workers.pop()
+            loop = self._loops.pop(position)
+            worker = self._pop_worker(worker_id)
             self._shutdown_loops([loop])
             self._retire_worker(worker)
             router.remove_loop(loop)
-        router.set_workers(self._workers)
         self._record_scale("drain-complete", before, target)
 
     # ------------------------------------------------------------------
-    def _worker_metrics(self, index, worker, now, draining):
+    def _worker_metrics(self, index, worker, now, draining, worker_id):
         """The live worker row: engine state read under the loop lock,
         plus the loop's queue depth and accumulated lock-wait time."""
         loop = self._loops[index] if index < len(self._loops) else None
         if loop is None:
-            return super()._worker_metrics(index, worker, now, draining)
+            return super()._worker_metrics(index, worker, now, draining, worker_id)
         with loop.lock:
             return WorkerMetrics(
                 index=index,
@@ -761,6 +819,7 @@ class LiveShardedRuntime(ShardedRuntime):
                 draining=draining,
                 queue_depth=loop.queue_depth,
                 lock_wait_seconds=loop.lock_wait_seconds,
+                worker_id=worker_id,
             )
 
     @property

@@ -53,10 +53,14 @@ class WorkerMetrics:
     #: Live runtime only: cumulative seconds threads spent waiting to
     #: acquire this worker's loop lock (router fan-out contention).
     lock_wait_seconds: float = 0.0
+    #: The worker's stable membership id (survives pool compaction after
+    #: an arbitrary-worker drain; ``index`` is just the list position).
+    worker_id: int = -1
 
     def as_row(self) -> Dict[str, object]:
         return {
             "index": self.index,
+            "worker_id": self.worker_id,
             "name": self.name,
             "active_sessions": self.active_sessions,
             "completed_sessions": self.completed_sessions,
@@ -86,6 +90,10 @@ class RouterMetrics:
     #: Live router only: cumulative seconds receiver threads waited for
     #: the route lock before classifying (router-lock contention).
     route_lock_wait_seconds: float = 0.0
+    #: Simulated router only: cumulative *virtual* seconds of modelled
+    #: router compute charged by the ``routing_delay`` busy-until clock
+    #: (0.0 when the router cost is measured but not modelled).
+    charged_routing_seconds: float = 0.0
 
     @property
     def classify_cost_avg_us(self) -> float:
@@ -103,6 +111,7 @@ class RouterMetrics:
             "classify_count": self.classify_count,
             "classify_cost_avg_us": round(self.classify_cost_avg_us, 2),
             "route_lock_wait_s": round(self.route_lock_wait_seconds, 6),
+            "charged_routing_s": round(self.charged_routing_seconds, 6),
         }
 
 

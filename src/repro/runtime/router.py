@@ -8,7 +8,7 @@ router classifies it once (parse + component-automaton selection, via the
 the parsed message to the worker engine that owns the session:
 
 * **client-facing traffic** (the merged automaton's initial leg) carries a
-  session correlation key; the router maps the key to a shard by
+  session correlation key; the router maps the key to a worker by
   consistent hash, remembers the choice in a sticky table, and from then
   on every datagram of that session goes to the same worker — including
   across :meth:`set_workers` rebalances, which only re-home *new* keys;
@@ -25,6 +25,16 @@ the parsed message to the worker engine that owns the session:
   recognised by its worker source host and dropped, mirroring a disabled
   ``IP_MULTICAST_LOOP``.
 
+Membership is **identity-based**: every worker is known by a stable id
+(the runtime hands out monotone integers), the hash ring is built over the
+ids of the non-draining workers, and the sticky table maps correlation
+keys to ids — never to list positions.  Removing an **arbitrary** worker
+therefore never remaps a surviving worker's keys: :meth:`begin_drain`
+takes the *set of ids* to exclude from the ring, the victims' pinned
+sessions keep routing to them via the sticky table, and
+:meth:`set_workers` (once they are empty and detached) drops exactly the
+retired ids' bookkeeping and nothing else.
+
 Hand-off to a worker is scheduled as a fresh network event
 (``call_later``), so each worker drains its own queue of deliveries on the
 shared virtual clock — the simulated analogue of one event loop per worker
@@ -34,19 +44,20 @@ process.  Completed sessions are unpinned from the sticky table
 next routing operation, prune sweep or drain check (the periodic sweep
 remains as the backstop for entries whose close was never reported).
 
-The router also serves the control plane: it can *drain* — stop routing
-new keys to a suffix of the worker list (:meth:`ShardRouter.begin_drain`)
-while fan-out and sticky routing keep feeding their in-flight sessions —
-and it measures its own classify-and-place cost per datagram
-(:meth:`ShardRouter.metrics`), making "the router is the bottleneck"
-observable.
+The router also serves the control plane: it measures its own
+classify-and-place cost per datagram (:meth:`ShardRouter.metrics`), and —
+with ``routing_delay`` set — additionally *models* that cost on the
+simulated virtual clock: a busy-until clock charges ``routing_delay``
+seconds of serial router compute per classified datagram (mirroring the
+workers' ``serialize_processing``), so a simulated sweep can exhibit
+router saturation instead of assuming an infinitely fast edge.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from time import perf_counter
-from typing import Deque, Dict, Hashable, List, Optional, Sequence
+from typing import Deque, Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 from ..core.engine.automata_engine import AutomataEngine
 from ..core.errors import ConfigurationError
@@ -71,20 +82,27 @@ class ShardRouter(NetworkNode):
         hop_delay: float = 0.0,
         prune_interval: float = DEFAULT_PRUNE_INTERVAL,
         name: str = "shard-router",
+        worker_ids: Optional[Sequence[Hashable]] = None,
+        routing_delay: float = 0.0,
     ) -> None:
         if not workers:
             raise ConfigurationError("a shard router needs at least one worker")
         self.name = name
         self.hop_delay = hop_delay
         self.prune_interval = prune_interval
+        #: Virtual seconds of serial router compute charged per classified
+        #: datagram (0.0 = unmodelled, the router is an infinitely fast
+        #: edge as before).  Mirrors the workers' ``serialize_processing``.
+        self.routing_delay = routing_delay
         self._public_endpoints = dict(public_endpoints)
         self._workers: List[AutomataEngine] = []
+        self._ids: List[Hashable] = []
+        self._by_id: Dict[Hashable, AutomataEngine] = {}
+        #: Worker ids excluded from the ring by an in-progress drain.
+        self._draining: Set[Hashable] = set()
         self._ring: Optional[HashRing] = None
-        #: Workers the ring routes *new* keys to: ``workers[:active]``.
-        #: Less than the worker count while a drain is in progress.
-        self._active = 0
-        #: Session key -> worker index, pinned for the session's lifetime.
-        self._sticky: Dict[Hashable, int] = {}
+        #: Session key -> worker id, pinned for the session's lifetime.
+        self._sticky: Dict[Hashable, Hashable] = {}
         #: Keys whose session a worker reported closed, awaiting removal
         #: from the sticky table.  Appended from worker engines (worker
         #: threads on the live runtime; ``deque.append`` is atomic) and
@@ -103,69 +121,111 @@ class ShardRouter(NetworkNode):
         #: signal for "the router is the bottleneck".
         self.classify_count = 0
         self.classify_seconds = 0.0
+        #: Virtual seconds of modelled router compute charged so far (the
+        #: ``routing_delay`` busy-until clock; 0.0 when unmodelled).
+        self.charged_routing_seconds = 0.0
+        #: The modelled busy-until clock: hand-offs are delayed until the
+        #: router's serial compute would actually have finished.
+        self._route_busy_until = 0.0
         #: Live router only (accumulated by the subclass): seconds receiver
         #: threads spent waiting for the route lock.
         self.route_lock_wait_seconds = 0.0
         self._prune_scheduled = False
         self._engine: Optional[NetworkEngine] = None
-        self.set_workers(workers)
+        self.set_workers(workers, worker_ids)
 
     # ------------------------------------------------------------------
     # worker membership / rebalancing
     # ------------------------------------------------------------------
-    def set_workers(self, workers: Sequence[AutomataEngine]) -> None:
+    def set_workers(
+        self,
+        workers: Sequence[AutomataEngine],
+        worker_ids: Optional[Sequence[Hashable]] = None,
+    ) -> None:
         """Install the worker set, rebuilding the hash ring.
 
-        Sticky entries survive as long as their worker does — in-flight
-        sessions never migrate — while entries whose worker index fell off
-        the end are dropped and re-homed by the new ring on next arrival.
+        ``worker_ids`` gives each worker its stable identity (defaults to
+        dense ``0..n-1``, which is exactly right for a fixed pool).  Sticky
+        entries survive as long as their worker's *id* does — in-flight
+        sessions never migrate, and compacting the list after an arbitrary
+        removal shifts positions but never identities — while entries
+        whose id left the membership are dropped and re-homed by the new
+        ring on next arrival.  Any in-progress drain marks are cleared:
+        this is the "membership settled" call.
         """
         workers = list(workers)
         if not workers:
             raise ConfigurationError("a shard router needs at least one worker")
+        ids = list(worker_ids) if worker_ids is not None else list(range(len(workers)))
+        if len(ids) != len(workers):
+            raise ConfigurationError(
+                f"{len(workers)} workers but {len(ids)} worker ids"
+            )
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate worker ids {ids!r}")
         self._workers = workers
-        self._active = len(workers)
-        self._ring = HashRing(len(workers))
-        limit = len(workers)
+        self._ids = ids
+        self._by_id = dict(zip(ids, workers))
+        self._draining = set()
+        self._ring = HashRing(ids)
         self._sticky = {
-            key: index for key, index in self._sticky.items() if index < limit
+            key: wid for key, wid in self._sticky.items() if wid in self._by_id
         }
 
-    def begin_drain(self, active: int) -> None:
-        """Route *new* keys only to the first ``active`` workers.
+    def begin_drain(self, worker_ids: Iterable[Hashable]) -> None:
+        """Stop routing *new* keys to the workers in ``worker_ids``.
 
-        The ring is rebuilt over the head of the worker list; sessions
-        already sticky to a tail (draining) worker stay pinned there until
-        they complete, and fan-out deliveries still offer keyless traffic
-        to every worker — a draining shard keeps receiving everything its
-        in-flight sessions need.  :meth:`set_workers` (called once the tail
-        is empty and detached) restores full membership.
+        The ring is rebuilt over the remaining (active) ids — which may be
+        *any* subset, not just a prefix; sessions already sticky to a
+        draining worker stay pinned there until they complete, and fan-out
+        deliveries still offer keyless traffic to every worker — a
+        draining shard keeps receiving everything its in-flight sessions
+        need.  :meth:`set_workers` (called once the victims are empty and
+        detached) settles the new membership; :meth:`cancel_drain` aborts.
         """
-        if not 0 < active < len(self._workers):
+        victims = set(worker_ids)
+        if not victims:
+            raise ConfigurationError("begin_drain needs at least one worker id")
+        unknown = victims - set(self._ids)
+        if unknown:
             raise ConfigurationError(
-                f"cannot drain to {active} active workers out of "
-                f"{len(self._workers)}"
+                f"cannot drain unknown worker ids {sorted(unknown, key=repr)!r}"
             )
-        self._active = active
+        active = [wid for wid in self._ids if wid not in victims]
+        if not active:
+            raise ConfigurationError(
+                "cannot drain every worker; at least one must stay active"
+            )
+        self._draining = victims
         self._ring = HashRing(active)
 
     def cancel_drain(self) -> None:
         """Restore full ring membership (an aborted drain)."""
-        self._active = len(self._workers)
-        self._ring = HashRing(self._active)
+        self._draining = set()
+        self._ring = HashRing(self._ids)
 
-    def drain_pending(self, index: int) -> bool:
-        """Whether sticky entries still pin sessions to worker ``index``.
+    def drain_pending(self, worker_id: Hashable) -> bool:
+        """Whether sticky entries still pin sessions to ``worker_id``.
 
         Flushes the closed-key queue first, so a drain check observes
         completions immediately instead of after the prune interval.
         """
         self._flush_closed_keys()
-        return any(owner == index for owner in self._sticky.values())
+        return any(owner == worker_id for owner in self._sticky.values())
 
     @property
     def workers(self) -> List[AutomataEngine]:
         return list(self._workers)
+
+    @property
+    def worker_ids(self) -> List[Hashable]:
+        """The stable ids of the current membership, in pool order."""
+        return list(self._ids)
+
+    @property
+    def draining_ids(self) -> Set[Hashable]:
+        """Ids currently excluded from the ring by an in-progress drain."""
+        return set(self._draining)
 
     @property
     def worker_count(self) -> int:
@@ -174,10 +234,10 @@ class ShardRouter(NetworkNode):
     @property
     def active_worker_count(self) -> int:
         """Workers the ring currently routes new keys to."""
-        return self._active
+        return len(self._ids) - len(self._draining)
 
-    def shard_for_key(self, key: Hashable) -> int:
-        """The worker index ``key`` routes to right now (sticky-aware)."""
+    def shard_for_key(self, key: Hashable) -> Hashable:
+        """The worker id ``key`` routes to right now (sticky-aware)."""
         sticky = self._sticky.get(key)
         if sticky is not None:
             return sticky
@@ -217,12 +277,17 @@ class ShardRouter(NetworkNode):
             classified = core.classify(data, destination, now=engine.now())
             if classified is None:
                 return
+            # The modelled serial router compute: every classified datagram
+            # occupies the router for ``routing_delay`` virtual seconds, so
+            # its hand-off leaves only when the router would actually be
+            # done with it (and with everything queued before it).
+            charge = self._charge_routing(engine.now())
             automaton_name, message = classified
             key = core.routing_key(automaton_name, message, source)
             if key is not None:
-                self._route_keyed(engine, key, automaton_name, message, source)
+                self._route_keyed(engine, key, automaton_name, message, source, charge)
             else:
-                self._fan_out(engine, automaton_name, message, source)
+                self._fan_out(engine, automaton_name, message, source, charge)
         finally:
             # The classify-and-place cost in real seconds (hand-off
             # execution is deferred, so it is not included): the router's
@@ -240,15 +305,32 @@ class ShardRouter(NetworkNode):
     # ``_dispatch_to`` decides *how* one worker's engine is invoked (bare
     # here, under the worker's lock and engine view live).
 
-    def _hand_off(self, engine: NetworkEngine, worker, deliver) -> None:
+    def _charge_routing(self, now: float) -> float:
+        """Occupy the modelled router clock; return the queueing delay.
+
+        Mirrors the workers' busy-until translation clock: the datagram
+        starts when the router frees up, holds it for ``routing_delay``
+        seconds, and its hand-off is deferred by the total wait.  Returns
+        0.0 when the cost is unmodelled.
+        """
+        if self.routing_delay <= 0.0:
+            return 0.0
+        start = max(now, self._route_busy_until)
+        self._route_busy_until = start + self.routing_delay
+        self.charged_routing_seconds += self.routing_delay
+        return self._route_busy_until - now
+
+    def _hand_off(
+        self, engine: NetworkEngine, worker, deliver, delay: float = 0.0
+    ) -> None:
         """Run ``deliver`` as a fresh event owned by ``worker``.
 
         On the simulation every hand-off is a ``call_later`` event on the
         shared virtual clock — the analogue of posting to a worker process'
         queue.  ``worker`` is ``None`` for fan-out deliveries, which touch
-        every shard.
+        every shard; ``delay`` carries the modelled router compute charge.
         """
-        engine.call_later(self.hop_delay, deliver)
+        engine.call_later(self.hop_delay + delay, deliver)
 
     def _dispatch_to(
         self,
@@ -278,10 +360,11 @@ class ShardRouter(NetworkNode):
         automaton_name: str,
         message,
         source: Endpoint,
+        delay: float = 0.0,
     ) -> None:
-        index = self.shard_for_key(key)
-        self._sticky[key] = index
-        worker = self._workers[index]
+        worker_id = self.shard_for_key(key)
+        self._sticky[key] = worker_id
+        worker = self._by_id[worker_id]
         self._ensure_pruner(engine)
 
         def deliver() -> None:
@@ -289,7 +372,7 @@ class ShardRouter(NetworkNode):
                 self._dispatch_to(worker, engine, automaton_name, message, source)
             )
 
-        self._hand_off(engine, worker, deliver)
+        self._hand_off(engine, worker, deliver, delay)
 
     def _fan_out(
         self,
@@ -297,6 +380,7 @@ class ShardRouter(NetworkNode):
         automaton_name: str,
         message,
         source: Endpoint,
+        delay: float = 0.0,
     ) -> None:
         workers = list(self._workers)
 
@@ -313,7 +397,7 @@ class ShardRouter(NetworkNode):
                         return
             self._record_outcome(False)
 
-        self._hand_off(engine, None, deliver)
+        self._hand_off(engine, None, deliver, delay)
 
     # ------------------------------------------------------------------
     # sticky-table pruning
@@ -340,12 +424,11 @@ class ShardRouter(NetworkNode):
         """
         while self._closed_keys:
             key = self._closed_keys.popleft()
-            index = self._sticky.get(key)
-            if index is None:
+            worker_id = self._sticky.get(key)
+            if worker_id is None:
                 continue
-            if index < len(self._workers) and self._has_session(
-                self._workers[index], key
-            ):
+            worker = self._by_id.get(worker_id)
+            if worker is not None and self._has_session(worker, key):
                 continue
             del self._sticky[key]
 
@@ -368,17 +451,17 @@ class ShardRouter(NetworkNode):
         self._prune_scheduled = False
         self._flush_closed_keys()
         self._sticky = {
-            key: index
-            for key, index in self._sticky.items()
-            if index < len(self._workers)
-            and self._has_session(self._workers[index], key)
+            key: worker_id
+            for key, worker_id in self._sticky.items()
+            if worker_id in self._by_id
+            and self._has_session(self._by_id[worker_id], key)
         }
         if self._sticky:
             self._ensure_pruner(engine)
 
     @property
-    def sticky_sessions(self) -> Dict[Hashable, int]:
-        """A snapshot of the sticky key→shard table (tests, introspection)."""
+    def sticky_sessions(self) -> Dict[Hashable, Hashable]:
+        """A snapshot of the sticky key→worker-id table (tests, introspection)."""
         return dict(self._sticky)
 
     # ------------------------------------------------------------------
@@ -398,6 +481,7 @@ class ShardRouter(NetworkNode):
             classify_count=self.classify_count,
             classify_seconds=self.classify_seconds,
             route_lock_wait_seconds=self.route_lock_wait_seconds,
+            charged_routing_seconds=self.charged_routing_seconds,
         )
 
     def __repr__(self) -> str:

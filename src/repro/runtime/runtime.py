@@ -22,6 +22,14 @@ Invariants the design rests on (and the tests pin):
   complete with the same translated outputs, only wall/virtual-clock
   timings change.
 
+Workers carry **stable integer ids** (allocated lowest-free on build) that
+survive pool compaction: the router's ring and sticky table are keyed by
+id, so *any* worker — not just the highest-indexed one — can be drained
+and removed loss-free (:meth:`ShardedRuntime.remove_worker`), or swapped
+for a fresh engine (:meth:`ShardedRuntime.replace_worker`), which is what
+lets an autoscaler or failure detector retire the most loaded or least
+healthy worker instead of whichever happens to sit at the end of the list.
+
 On the simulated network the workers are independently-clocked event
 queues: each runs with ``serialize_processing`` so its translation compute
 is a serial resource, and the router hands datagrams over as fresh events.
@@ -51,7 +59,7 @@ from ..network.engine import NetworkEngine
 from .metrics import ShardMetrics, WorkerMetrics
 from .router import ShardRouter
 
-__all__ = ["ShardedRuntime", "ScaleEvent"]
+__all__ = ["ShardedRuntime", "ScaleEvent", "VICTIM_STRATEGIES"]
 
 #: Default shard count; matches the evaluation's sweet spot on the
 #: calibrated workload (beyond it the legacy service latency dominates).
@@ -59,6 +67,9 @@ DEFAULT_WORKERS = 4
 
 #: Seconds between drain-completion checks on the simulated clock.
 DEFAULT_DRAIN_POLL_INTERVAL = 0.05
+
+#: Victim-selection strategies for :meth:`ShardedRuntime.select_victims`.
+VICTIM_STRATEGIES = ("suffix", "least-loaded", "most-loaded")
 
 
 class ScaleEvent(NamedTuple):
@@ -100,6 +111,7 @@ class ShardedRuntime:
         hop_delay: float = 0.0,
         ephemeral_ports: bool = True,
         worker_port_stride: int = 0,
+        routing_delay: float = 0.0,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError(
@@ -116,8 +128,12 @@ class ShardedRuntime:
         self.serialize_processing = serialize_processing
         self.hop_delay = hop_delay
         self.ephemeral_ports = ephemeral_ports
-        #: With a stride, worker *i* shares the runtime's host and claims
-        #: the port range ``base_port + (i+1) * stride`` — required on the
+        #: Virtual seconds of serial router compute charged per classified
+        #: datagram (see :class:`~repro.runtime.router.ShardRouter`); 0.0
+        #: keeps the router an unmodelled (measured-only) edge.
+        self.routing_delay = routing_delay
+        #: With a stride, worker *id* shares the runtime's host and claims
+        #: the port range ``base_port + (id+1) * stride`` — required on the
         #: socket engine, where hosts are real addresses (everything is
         #: 127.0.0.1) and only ports distinguish the nodes.  Without one
         #: (the simulation default), workers share ``base_port`` under
@@ -125,13 +141,18 @@ class ShardedRuntime:
         self.worker_port_stride = worker_port_stride
         #: The advertised (router-owned) endpoint per component automaton.
         self.public_endpoints = binding_plan(merged, host, base_port)
+        #: Stable worker ids, parallel to the worker list.  Ids are
+        #: allocated lowest-free, so a fixed pool is ``0..n-1`` (identical
+        #: naming and ports to the pre-identity runtime) while churn after
+        #: an arbitrary removal refills the hole instead of leaking ports.
+        self._worker_ids: List[int] = list(range(workers))
         self._workers: List[AutomataEngine] = [
-            self._build_worker(index) for index in range(workers)
+            self._build_worker(worker_id) for worker_id in self._worker_ids
         ]
         self._router: Optional[ShardRouter] = None
         self._network: Optional[NetworkEngine] = None
-        #: Target worker count of the drain in progress, ``None`` when idle.
-        self._drain_target: Optional[int] = None
+        #: Worker ids of the drain in progress, ``None`` when idle.
+        self._drain_victims: Optional[List[int]] = None
         #: Seconds between drain-completion checks (virtual clock).
         self.drain_poll_interval = DEFAULT_DRAIN_POLL_INTERVAL
         #: The scaling timeline (grow / drain-start / drain-complete).
@@ -153,7 +174,7 @@ class ShardedRuntime:
 
         The bridge supplies the models and configuration; keyword
         ``overrides`` adjust runtime-only knobs (``serialize_processing``,
-        ``hop_delay``, ...).
+        ``hop_delay``, ``routing_delay``, ...).
         """
         options: Dict[str, Any] = dict(
             host=bridge.host,
@@ -170,12 +191,26 @@ class ShardedRuntime:
     # ------------------------------------------------------------------
     # deployment
     # ------------------------------------------------------------------
-    def _build_worker(self, index: int) -> AutomataEngine:
+    def _allocate_worker_id(self) -> int:
+        """The lowest non-negative id not currently in the pool.
+
+        Reusing the id of a fully-retired worker keeps hostnames and port
+        ranges bounded under churn; a *draining* worker is still in the
+        pool, so its id (and therefore its endpoints) can never be handed
+        to a newcomer while the old engine is alive.
+        """
+        in_use = set(self._worker_ids)
+        candidate = 0
+        while candidate in in_use:
+            candidate += 1
+        return candidate
+
+    def _build_worker(self, worker_id: int) -> AutomataEngine:
         if self.worker_port_stride > 0:
             worker_host = self.host
-            worker_base_port = self.base_port + (index + 1) * self.worker_port_stride
+            worker_base_port = self.base_port + (worker_id + 1) * self.worker_port_stride
         else:
-            worker_host = f"{self.host}.w{index}"
+            worker_host = f"{self.host}.w{worker_id}"
             worker_base_port = self.base_port
         return AutomataEngine(
             self.merged,
@@ -184,7 +219,7 @@ class ShardedRuntime:
             base_port=worker_base_port,
             processing_delay=self.processing_delay,
             actions=self.actions,
-            name=f"starlink:{self.merged.name}.w{index}",
+            name=f"starlink:{self.merged.name}.w{worker_id}",
             correlator=self.correlator,
             session_timeout=self.session_timeout,
             serialize_processing=self.serialize_processing,
@@ -214,6 +249,8 @@ class ShardedRuntime:
             self.public_endpoints,
             hop_delay=self.hop_delay,
             name=f"router:{self.merged.name}",
+            worker_ids=self._worker_ids,
+            routing_delay=self.routing_delay,
         )
         network.attach(router)
         for worker in self._workers:
@@ -238,9 +275,52 @@ class ShardedRuntime:
             worker.session_close_listener = None
         self._router = None
         self._network = None
-        self._drain_target = None
+        self._drain_victims = None
 
-    def scale_to(self, workers: int) -> None:
+    # ------------------------------------------------------------------
+    # scaling (grow / drain / arbitrary removal)
+    # ------------------------------------------------------------------
+    def select_victims(self, count: int, strategy: str = "suffix") -> List[int]:
+        """Choose ``count`` worker ids to drain, by ``strategy``.
+
+        * ``"suffix"`` — the last ``count`` pool positions (the historical
+          behaviour, and the default of :meth:`scale_to`);
+        * ``"least-loaded"`` — the workers with the fewest in-flight
+          sessions (they drain fastest — the natural scale-down choice);
+        * ``"most-loaded"`` — the busiest workers (what a failure detector
+          retiring a hot or sick shard would pick, paired with
+          :meth:`replace_worker`).
+
+        Ties prefer the highest pool position, so a uniformly-loaded pool
+        selects exactly the suffix.  On the live runtime the session
+        counts are sampled without the loop locks — victim choice is a
+        heuristic, not a correctness decision.
+        """
+        if strategy not in VICTIM_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown victim strategy {strategy!r}; "
+                f"choose one of {VICTIM_STRATEGIES}"
+            )
+        if not 0 < count < len(self._workers):
+            raise ConfigurationError(
+                f"cannot select {count} victims from {len(self._workers)} workers"
+            )
+        if strategy == "suffix":
+            return list(self._worker_ids[len(self._workers) - count :])
+        # Ties prefer the highest pool position under BOTH load orders
+        # (negating the load, not reversing the sort, keeps that true), so
+        # a uniformly-loaded pool always selects exactly the suffix.
+        sign = 1 if strategy == "least-loaded" else -1
+        order = sorted(
+            range(len(self._workers)),
+            key=lambda pos: (
+                sign * len(self._workers[pos].active_sessions),
+                -pos,
+            ),
+        )
+        return [self._worker_ids[pos] for pos in order[:count]]
+
+    def scale_to(self, workers: int, victims: Optional[Sequence[int]] = None) -> None:
         """Resize the worker pool of a deployed runtime, loss-free.
 
         Growing is immediate: fresh workers attach and the router's ring
@@ -249,13 +329,15 @@ class ShardedRuntime:
         shards).
 
         Shrinking **drains**: the ring stops routing new correlation keys
-        to the tail workers at once, but they keep serving their pinned
+        to the victim workers at once, but they keep serving their pinned
         sessions (including fan-out legs) until their session tables and
         sticky entries empty, at which point they are detached — no
-        session is ever abandoned.  The drain completes *asynchronously*
-        on the network's event clock; observe it via
-        :attr:`scaling_in_progress` / :attr:`worker_count`.  A second
-        ``scale_to`` while a drain is in progress is rejected.
+        session is ever abandoned.  ``victims`` names the worker ids to
+        retire (any subset, see :meth:`select_victims`); by default the
+        suffix of the pool drains, matching the historical behaviour.  The
+        drain completes *asynchronously* on the network's event clock;
+        observe it via :attr:`scaling_in_progress` / :attr:`worker_count`.
+        A second ``scale_to`` while a drain is in progress is rejected.
         """
         if workers <= 0:
             raise ConfigurationError(
@@ -263,42 +345,140 @@ class ShardedRuntime:
             )
         if self._router is None or self._network is None:
             raise ConfigurationError("scale_to requires a deployed runtime")
-        if self._drain_target is not None:
+        if self._drain_victims is not None:
             raise ConfigurationError(
-                f"a drain to {self._drain_target} workers is already in "
+                f"a drain of workers {self._drain_victims!r} is already in "
                 "progress; wait for it to complete before rescaling"
             )
         current = len(self._workers)
+        if workers >= current:
+            if victims is not None:
+                # Loud, not a silent no-op: a caller naming victims
+                # expects a drain (or an error), and a concurrent resize
+                # that already brought the pool to the target must not
+                # make their victim quietly survive.
+                raise ConfigurationError(
+                    f"victims only apply when shrinking the pool "
+                    f"(target {workers}, current {current})"
+                )
         if workers == current:
             return
         if workers > current:
             while len(self._workers) < workers:
-                worker = self._build_worker(len(self._workers))
+                worker_id = self._allocate_worker_id()
+                worker = self._build_worker(worker_id)
                 self._network.attach(worker)
                 worker.session_close_listener = self._router.note_session_closed
                 self._workers.append(worker)
-            self._router.set_workers(self._workers)
+                self._worker_ids.append(worker_id)
+            self._router.set_workers(self._workers, self._worker_ids)
             self._record_scale("grow", current, workers)
             return
-        self._drain_target = workers
-        self._router.begin_drain(workers)
-        self._record_scale("drain-start", current, workers)
+        self._start_drain(self._check_victims(workers, victims), current, workers)
+
+    def _check_victims(
+        self, target: int, victims: Optional[Sequence[int]]
+    ) -> List[int]:
+        """Validate (or default) the victim ids of a shrink to ``target``."""
+        needed = len(self._workers) - target
+        if victims is None:
+            return list(self._worker_ids[target:])
+        victims = list(victims)
+        if len(victims) != needed:
+            raise ConfigurationError(
+                f"shrinking {len(self._workers)} -> {target} workers needs "
+                f"{needed} victims, got {len(victims)}"
+            )
+        if len(set(victims)) != len(victims):
+            raise ConfigurationError(f"duplicate victim ids {victims!r}")
+        unknown = set(victims) - set(self._worker_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown victim worker ids {sorted(unknown)!r}"
+            )
+        return victims
+
+    def _start_drain(self, victims: List[int], before: int, target: int) -> None:
+        """Begin the asynchronous drain of ``victims`` (simulated clock)."""
+        assert self._router is not None and self._network is not None
+        self._drain_victims = victims
+        self._router.begin_drain(victims)
+        self._record_scale("drain-start", before, target)
         self._network.call_later(self.drain_poll_interval, self._drain_step)
+
+    def remove_worker(self, worker_id: int, **scale_options: Any) -> None:
+        """Drain and retire one **arbitrary** worker, loss-free.
+
+        Sugar for ``scale_to(worker_count - 1, victims=[worker_id])``: the
+        ring stops routing new keys to the worker immediately, its pinned
+        sessions are served to completion (keyed traffic via the sticky
+        table, keyless legs via fan-out), and only then is it detached —
+        regardless of where in the pool it sits.  This is the hook a
+        failure detector uses to retire the worker on a failing host.
+        """
+        if worker_id not in self._worker_ids:
+            raise ConfigurationError(
+                f"no worker with id {worker_id!r} to remove"
+            )
+        self.scale_to(len(self._workers) - 1, victims=[worker_id], **scale_options)
+
+    def replace_worker(self, worker_id: int, **scale_options: Any) -> int:
+        """Swap one worker for a fresh engine, loss-free; returns the new id.
+
+        Grows the pool by one (the newcomer starts taking new keys at
+        once), then drains exactly ``worker_id`` — so capacity never dips
+        below the original pool size while the old worker finishes its
+        pinned sessions.  On the simulated runtime the drain completes
+        asynchronously (``scaling_in_progress``); the live runtime blocks,
+        as its ``scale_to`` does.  If the victim's drain fails (a live
+        drain timeout, say), the committed grow is unwound by draining the
+        *newcomer* back out before the error propagates — a wedged victim
+        must not inflate the pool by one worker per retry.
+
+        Not atomic against a concurrently *running* controller: a control
+        tick that resizes the pool between the grow and the drain makes
+        the shrink step fail loudly with
+        :class:`~repro.core.errors.ConfigurationError` (never a silent
+        skip of the victim) — stop the controller, or accept the retry.
+        """
+        if self._router is None or self._network is None:
+            raise ConfigurationError("replace_worker requires a deployed runtime")
+        if worker_id not in self._worker_ids:
+            raise ConfigurationError(
+                f"no worker with id {worker_id!r} to replace"
+            )
+        current = len(self._workers)
+        before = set(self._worker_ids)
+        self.scale_to(current + 1)
+        (new_id,) = set(self._worker_ids) - before
+        try:
+            self.scale_to(current, victims=[worker_id], **scale_options)
+        except Exception:
+            # Best-effort unwind: retire the (nearly empty) newcomer to
+            # restore the original pool size, then surface the original
+            # failure.  If this drain wedges too, the pool stays one
+            # worker large — still bounded, never compounding.
+            try:
+                self.scale_to(current, victims=[new_id], **scale_options)
+            except Exception:
+                pass
+            raise
+        return new_id
 
     @property
     def scaling_in_progress(self) -> bool:
         """True while a drain (asynchronous scale-down) is running."""
-        return self._drain_target is not None
+        return self._drain_victims is not None
 
     def _record_scale(self, kind: str, before: int, after: int) -> None:
         now = self._network.now() if self._network is not None else 0.0
         self.scale_events.append(ScaleEvent(now, kind, before, after))
 
-    def _worker_drained(self, index: int) -> bool:
-        """No in-flight sessions and no sticky pins on worker ``index``."""
+    def _worker_drained(self, worker_id: int) -> bool:
+        """No in-flight sessions and no sticky pins on worker ``worker_id``."""
         assert self._router is not None
-        worker = self._workers[index]
-        return not worker.active_sessions and not self._router.drain_pending(index)
+        worker = self._workers[self._worker_ids.index(worker_id)]
+        return not worker.active_sessions and not self._router.drain_pending(worker_id)
 
     def _retire_worker(self, worker: AutomataEngine) -> None:
         """Fold a drained worker's measurements into the runtime aggregate.
@@ -314,28 +494,38 @@ class ShardedRuntime:
         self._retired_unrouted += worker.unrouted_datagrams
         self._retired_ignored += worker.ignored_datagrams
 
+    def _pop_worker(self, worker_id: int) -> AutomataEngine:
+        """Remove ``worker_id`` from the pool lists, returning its engine."""
+        position = self._worker_ids.index(worker_id)
+        self._worker_ids.pop(position)
+        return self._workers.pop(position)
+
     def _drain_step(self) -> None:
         """One drain-completion check, rescheduling itself until done.
 
-        Tail workers are detached highest-index-first as they empty (the
-        ring only ever excludes a suffix, so indices never shift under the
-        sticky table); the chain stops once the pool reaches the target,
-        so simulations quiesce.
+        Victims are retired *as they empty* (identity membership means
+        compacting the list never disturbs the survivors' sticky entries);
+        the chain stops once every victim is gone, so simulations quiesce.
         """
-        target = self._drain_target
-        if target is None or self._network is None or self._router is None:
+        victims = self._drain_victims
+        if victims is None or self._network is None or self._router is None:
             return
         before = len(self._workers)
-        while len(self._workers) > target:
-            if not self._worker_drained(len(self._workers) - 1):
-                self._network.call_later(self.drain_poll_interval, self._drain_step)
-                return
-            worker = self._workers.pop()
-            self._retire_worker(worker)
-            self._network.detach(worker)
-        self._drain_target = None
-        self._router.set_workers(self._workers)
-        self._record_scale("drain-complete", before, target)
+        remaining: List[int] = []
+        for worker_id in victims:
+            if self._worker_drained(worker_id):
+                worker = self._pop_worker(worker_id)
+                self._retire_worker(worker)
+                self._network.detach(worker)
+            else:
+                remaining.append(worker_id)
+        if remaining:
+            self._drain_victims = remaining
+            self._network.call_later(self.drain_poll_interval, self._drain_step)
+            return
+        self._drain_victims = None
+        self._router.set_workers(self._workers, self._worker_ids)
+        self._record_scale("drain-complete", before, len(self._workers))
 
     # ------------------------------------------------------------------
     # introspection / aggregated statistics
@@ -347,6 +537,11 @@ class ShardedRuntime:
     @property
     def workers(self) -> List[AutomataEngine]:
         return list(self._workers)
+
+    @property
+    def worker_ids(self) -> List[int]:
+        """The stable ids of the current pool, in pool order."""
+        return list(self._worker_ids)
 
     @property
     def worker_count(self) -> int:
@@ -404,7 +599,12 @@ class ShardedRuntime:
     # metrics plane
     # ------------------------------------------------------------------
     def _worker_metrics(
-        self, index: int, worker: AutomataEngine, now: float, draining: bool
+        self,
+        index: int,
+        worker: AutomataEngine,
+        now: float,
+        draining: bool,
+        worker_id: int,
     ) -> WorkerMetrics:
         """One worker's load row (the live subclass reads under the loop
         lock and adds queue depth and lock-wait time)."""
@@ -416,6 +616,7 @@ class ShardedRuntime:
             evicted_sessions=len(worker.evicted_sessions),
             busy_backlog=worker.busy_backlog(now),
             draining=draining,
+            worker_id=worker_id,
         )
 
     def metrics(self) -> ShardMetrics:
@@ -427,16 +628,22 @@ class ShardedRuntime:
         if self._router is None or self._network is None:
             raise ConfigurationError("metrics() requires a deployed runtime")
         now = self._network.now()
-        active = self._router.active_worker_count
+        draining_ids = self._router.draining_ids
         workers = tuple(
-            self._worker_metrics(index, worker, now, draining=index >= active)
+            self._worker_metrics(
+                index,
+                worker,
+                now,
+                draining=self._worker_ids[index] in draining_ids,
+                worker_id=self._worker_ids[index],
+            )
             for index, worker in enumerate(self._workers)
         )
         return ShardMetrics(
             at=now,
             workers=workers,
             router=self._router.metrics(),
-            active_workers=active,
+            active_workers=self._router.active_worker_count,
         )
 
     def __repr__(self) -> str:

@@ -9,6 +9,15 @@ whose arc actually moved — roughly ``1/n`` of them — which is what makes
 scaling a live runtime safe in combination with the router's sticky
 session map.
 
+Membership is **identity-based**: a ring is built over a set of stable
+member identities (the runtime uses integer worker ids that survive list
+compaction), not over dense positional indices.  Removing member *w*
+therefore hands *w*'s arcs to the survivors without moving a single key
+*between* survivors — the property that makes draining an **arbitrary**
+worker (not just the highest-indexed suffix) loss-free.  Constructing a
+ring from a bare ``int`` is shorthand for members ``0..n-1``; the two
+spellings place keys identically.
+
 Hashing uses :mod:`hashlib` (BLAKE2) rather than Python's builtin ``hash``
 so the key→shard mapping is deterministic across processes and runs
 (``PYTHONHASHSEED`` randomises ``str`` hashes), a property the evaluation
@@ -19,7 +28,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Hashable, List, Tuple
+from typing import Hashable, Iterable, List, Sequence, Tuple, Union
 
 __all__ = ["HashRing", "stable_hash"]
 
@@ -41,32 +50,65 @@ def stable_hash(value: Hashable) -> int:
 
 
 class HashRing:
-    """A consistent-hash ring mapping session keys to shard indices."""
+    """A consistent-hash ring mapping session keys to member identities.
 
-    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS) -> None:
-        if shards <= 0:
-            raise ValueError(f"a hash ring needs at least one shard, got {shards}")
+    ``members`` is either a shard count (members ``0..n-1``) or an
+    explicit sequence of hashable member ids.  ``shard_for`` returns the
+    owning member id; for the integer shorthand that is the familiar dense
+    shard index.
+    """
+
+    def __init__(
+        self,
+        members: Union[int, Sequence[Hashable], Iterable[Hashable]],
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if isinstance(members, int):
+            if members <= 0:
+                raise ValueError(
+                    f"a hash ring needs at least one shard, got {members}"
+                )
+            members = range(members)
+        member_list = list(members)
+        if not member_list:
+            raise ValueError("a hash ring needs at least one member")
+        if len(set(member_list)) != len(member_list):
+            raise ValueError(f"duplicate ring members in {member_list!r}")
         if replicas <= 0:
             raise ValueError(f"a hash ring needs at least one replica, got {replicas}")
-        self.shards = shards
+        self.members: Tuple[Hashable, ...] = tuple(member_list)
         self.replicas = replicas
-        points: List[Tuple[int, int]] = []
-        for shard in range(shards):
+        points: List[Tuple[int, Hashable]] = []
+        for member in member_list:
             for replica in range(replicas):
-                points.append((stable_hash(("shard", shard, replica)), shard))
-        points.sort()
+                points.append((stable_hash(("shard", member, replica)), member))
+        points.sort(key=lambda point: point[0])
         self._hashes = [point for point, _ in points]
-        self._owners = [shard for _, shard in points]
+        self._owners = [member for _, member in points]
 
-    def shard_for(self, key: Hashable) -> int:
-        """The shard owning ``key``: first ring point clockwise of its hash."""
+    @property
+    def shards(self) -> int:
+        """Member count (kept for the original dense-index spelling)."""
+        return len(self.members)
+
+    def shard_for(self, key: Hashable) -> Hashable:
+        """The member owning ``key``: first ring point clockwise of its hash."""
         index = bisect.bisect_right(self._hashes, stable_hash(key))
         if index == len(self._hashes):
             index = 0
         return self._owners[index]
 
+    def without(self, member: Hashable) -> "HashRing":
+        """A new ring with ``member`` removed (survivor arcs untouched)."""
+        if member not in self.members:
+            raise ValueError(f"{member!r} is not a ring member")
+        return HashRing(
+            [existing for existing in self.members if existing != member],
+            replicas=self.replicas,
+        )
+
     def __len__(self) -> int:
-        return self.shards
+        return len(self.members)
 
     def __repr__(self) -> str:
-        return f"HashRing(shards={self.shards}, replicas={self.replicas})"
+        return f"HashRing(members={list(self.members)!r}, replicas={self.replicas})"

@@ -12,7 +12,10 @@ class TestArgumentParsing:
         args = build_parser().parse_args([])
         assert args.repetitions == 100
         assert args.table == "all"
-        assert args.seed == 7
+        # No-seed means "default 7" for the paper tables but "the full
+        # default sweep" for --table chaos, so the parser keeps it None.
+        assert args.seed is None
+        assert args.chaos_live is False
 
     def test_invalid_table_rejected(self):
         with pytest.raises(SystemExit):
@@ -48,3 +51,24 @@ class TestExecution:
         second = capsys.readouterr().out
         assert first != second
         assert "Paper median" in first and "Paper median" in second
+
+    def test_chaos_table_runs_one_explicit_seed(self, capsys, tmp_path, monkeypatch):
+        """`--table chaos --seed N` is the failing-seed repro path: it
+        replays exactly one schedule and writes the BENCH artifact."""
+        monkeypatch.setenv("REPRO_BENCH_RESULTS_DIR", str(tmp_path))
+        assert main(["--table", "chaos", "--seed", "13"]) == 0
+        output = capsys.readouterr().out
+        assert "Chaos harness" in output
+        assert "chaos-case-2-seed-13" in output
+        assert "chaos-case-2-seed-7" not in output  # one seed, not the sweep
+        assert "All runs loss-free" in output
+        artifact = tmp_path / "BENCH_chaos.json"
+        assert artifact.exists()
+        payload = artifact.read_text()
+        assert '"seeds": [' in payload and "13" in payload
+
+    def test_chaos_table_reports_bad_case_as_config_error(self, capsys):
+        assert main(["--table", "chaos", "--concurrency-case", "9"]) == 2
+        captured = capsys.readouterr()
+        assert "error: unknown case 9" in captured.err
+        assert "FAILED seed" not in captured.out

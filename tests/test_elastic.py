@@ -15,14 +15,11 @@ import pytest
 
 from repro.bridges.specs import slp_to_bonjour_bridge
 from repro.core.errors import ConfigurationError
-from repro.core.mdl.base import create_composer
 from repro.core.message import AbstractMessage
 from repro.network.addressing import Endpoint, Transport
 from repro.network.latency import LatencyModel
 from repro.network.simulated import SimulatedNetwork
 from repro.protocols.mdns import BonjourResponder
-from repro.protocols.mdns.mdl import DNS_RESPONSE, DNS_RESPONSE_FLAGS, mdns_mdl
-from repro.protocols.slp import SLPUserAgent
 from repro.protocols.upnp import UPnPControlPoint, UPnPDevice
 from repro.runtime import (
     Autoscaler,
@@ -34,49 +31,11 @@ from repro.runtime import (
     WorkerMetrics,
 )
 
-SERVICE_URL = "http://bonjour-service.local:9000/service"
+from case2_utils import SERVICE_URL, attach_clients as _attach_clients, deploy_case2, mdns_answer as _mdns_answer
 
 
 def _deploy_case2(network, workers, serialize=True, **kwargs):
-    bridge = slp_to_bonjour_bridge(**kwargs)
-    runtime = ShardedRuntime.from_bridge(
-        bridge, workers=workers, serialize_processing=serialize
-    )
-    runtime.deploy(network)
-    return runtime
-
-
-def _attach_clients(network, count, xid_base=1000):
-    clients = [
-        SLPUserAgent(
-            host=f"client-{i}.local",
-            port=6000 + i,
-            name=f"client-{i}",
-            xid_start=xid_base + i * 16,
-        )
-        for i in range(count)
-    ]
-    for client in clients:
-        network.attach(client)
-    return clients
-
-
-def _mdns_answer(network, xid):
-    """Inject a multicast mDNS response for ``xid`` into the colour group."""
-    response = AbstractMessage(DNS_RESPONSE, protocol="mDNS")
-    response.set("ID", xid, type_name="Integer")
-    response.set("Flags", DNS_RESPONSE_FLAGS, type_name="Integer")
-    response.set("ANCount", 1, type_name="Integer")
-    response.set("AnswerName", "_test._tcp.local", type_name="FQDN")
-    response.set("AType", 16, type_name="Integer")
-    response.set("AClass", 1, type_name="Integer")
-    response.set("TTL", 120, type_name="Integer")
-    response.set("RDATA", SERVICE_URL, type_name="String")
-    network.send(
-        create_composer(mdns_mdl()).compose(response),
-        source=Endpoint("adhoc-responder.local", 5353, Transport.UDP),
-        destination=Endpoint("224.0.0.251", 5353, Transport.UDP),
-    )
+    return deploy_case2(network, workers, serialize, **kwargs)
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,12 @@ These cover the invariants the rest of the framework relies on:
 * MDL composers and parsers are inverse functions for arbitrary field
   content (SLP and DNS messages with random payloads);
 * network colours are injective on their attribute sets;
-* field paths round-trip between the dotted and XPath notations.
+* field paths round-trip between the dotted and XPath notations;
+* the consistent-hash ring under identity membership: removing member *w*
+  remaps only *w*'s keys (never a key between survivors), adding a member
+  moves roughly ``1/n`` of the key space (all of it *to* the newcomer),
+  and placement is BLAKE2-deterministic across processes — the three
+  properties arbitrary-worker drain is built on.
 """
 
 from __future__ import annotations
@@ -208,3 +213,81 @@ def test_fieldpath_assign_then_resolve(labels, value):
     path = FieldPath(".".join(labels))
     path.assign(message, value)
     assert path.resolve(message) == value
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring under identity membership
+# ----------------------------------------------------------------------
+from repro.runtime import HashRing, stable_hash  # noqa: E402
+
+_member_sets = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=2, max_size=8, unique=True
+)
+_keys = st.lists(
+    st.tuples(
+        st.text(alphabet=string.ascii_lowercase + ".", min_size=1, max_size=16),
+        st.integers(min_value=0, max_value=0xFFFF),
+    ),
+    min_size=1,
+    max_size=120,
+    unique=True,
+)
+
+
+@settings(max_examples=60)
+@given(_member_sets, _keys, st.data())
+def test_removing_a_member_remaps_only_its_own_keys(members, keys, data):
+    """The arbitrary-drain invariant: dropping member *w* hands *w*'s keys
+    to survivors, but never moves a key *between* two survivors."""
+    ring = HashRing(members)
+    victim = data.draw(st.sampled_from(members))
+    shrunk = ring.without(victim)
+    for key in keys:
+        before = ring.shard_for(key)
+        after = shrunk.shard_for(key)
+        if before == victim:
+            assert after != victim  # re-homed to some survivor
+        else:
+            assert after == before  # survivors keep every key they had
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=64, max_value=127),
+)
+def test_adding_a_member_moves_about_one_nth_to_the_newcomer(size, newcomer):
+    """Growth moves roughly 1/(n+1) of the key space, and every moved key
+    lands on the new member (consistent hashing, not rehash-the-world)."""
+    members = list(range(size))
+    grown = HashRing(members + [newcomer])
+    ring = HashRing(members)
+    keys = [("client-%d.local" % index, index) for index in range(600)]
+    moved = 0
+    for key in keys:
+        before, after = ring.shard_for(key), grown.shard_for(key)
+        if before != after:
+            moved += 1
+            assert after == newcomer
+    # ~1/(n+1) expected; allow generous slack for replica-placement noise,
+    # while still ruling out the ~n/(n+1) a modulo hash would move.
+    assert moved <= 3 * len(keys) / (size + 1)
+
+
+@given(_member_sets)
+def test_ring_placement_is_restart_deterministic(members):
+    """Two independently-built rings over the same members agree on every
+    key — the property sticky-table persistence across restarts needs."""
+    first, second = HashRing(members), HashRing(list(members))
+    for index in range(100):
+        key = ("restart-key", index)
+        assert first.shard_for(key) == second.shard_for(key)
+
+
+def test_stable_hash_pinned_values():
+    """BLAKE2 determinism pinned to literals: if these move, every sticky
+    table and twin-comparison in the field silently re-shards on upgrade.
+    (Computed once with hashlib.blake2b(repr(...), digest_size=8).)"""
+    assert stable_hash("starlink") == 0xAA0C5F4AA1DB2F35
+    assert stable_hash(("shard", 0, 0)) == 0xB126E5604E2C023D
+    assert stable_hash(("client-0.local", 0)) == 0x8743BE8E0E610295
