@@ -1,0 +1,103 @@
+"""Chaos harness benchmark: the loss-free contract under seeded fault storms.
+
+The elastic benchmark witnesses one polite grow-and-drain cycle; this one
+is adversarial.  ``repro.evaluation.chaos`` drives seeded schedules of
+membership faults — grows, shrinks, **arbitrary (non-suffix) worker
+removals**, replacements — against waves of concurrent legacy lookups,
+garbage traffic at the public endpoints and colour groups, and (simulated)
+packet-loss windows, then checks the whole contract at once:
+
+* every client answered, zero abandoned (evicted) sessions, zero unrouted
+  datagrams, zero worker-loop exceptions;
+* the raw bytes every client received are identical to a **fixed-shard
+  twin** of the same workload — chaos changes timings, never outputs.
+
+The sweep runs the three default seeds on the simulated runtime and (when
+loopback sockets are available) one live run on real sockets.  Every
+seed's outcome — pass or fail, with the exact reproduction command — is
+appended to ``CHAOS_seeds.log`` next to ``BENCH_chaos.json``, so a red CI
+run always names the seed to replay locally::
+
+    PYTHONPATH=src python -m repro.evaluation --table chaos --seed <seed>
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.evaluation.chaos import DEFAULT_CHAOS_SEEDS, run_chaos
+from repro.evaluation.tables import format_chaos
+from repro.network.sockets import loopback_available
+
+#: The benchmarked case: SLP clients, Bonjour service (cheap legacy legs,
+#: so the membership faults dominate the schedule, not service latency).
+CASE = 2
+
+#: Where the failing-seed log lands (same default as the BENCH_*.json
+#: writers in conftest: the repo root, overridable for CI).
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SEEDS_LOG = os.path.join(
+    os.environ.get("REPRO_BENCH_RESULTS_DIR", _ROOT), "CHAOS_seeds.log"
+)
+
+
+def _write_seeds_log(results) -> str:
+    """One line per seeded run: the failing-seed log CI archives."""
+    lines = []
+    for result in results:
+        if result.ok:
+            lines.append(
+                f"seed={result.seed} runtime={result.runtime_kind} ok "
+                f"(clients={result.clients} ops={result.membership_ops} "
+                f"arbitrary_removals={result.arbitrary_removals})"
+            )
+        else:
+            lines.append(
+                f"seed={result.seed} runtime={result.runtime_kind} FAILED: "
+                f"{result.failure_reason()} — reproduce with "
+                f"`{result.repro_command()}`"
+            )
+    with open(SEEDS_LOG, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return SEEDS_LOG
+
+
+def test_chaos_loss_free_across_seeds(capsys, benchmark, bench_results):
+    include_live = loopback_available()
+    results = benchmark.pedantic(
+        run_chaos,
+        kwargs={
+            "case": CASE,
+            "seeds": DEFAULT_CHAOS_SEEDS,
+            "include_live": include_live,
+            "raise_on_failure": False,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_chaos(results))
+    bench_results(
+        "chaos",
+        [result.as_row() for result in results],
+        case=CASE,
+        seeds=list(DEFAULT_CHAOS_SEEDS),
+        include_live=include_live,
+    )
+    log_path = _write_seeds_log(results)
+
+    # The acceptance criterion: every seeded schedule — including the
+    # live run when sockets are available — is loss-free and byte-exact.
+    failures = [result for result in results if not result.ok]
+    assert not failures, (
+        f"chaos seeds failed: "
+        f"{[(f.seed, f.runtime_kind, f.failure_reason()) for f in failures]}; "
+        f"see {log_path}"
+    )
+    # The sweep genuinely exercised arbitrary (non-suffix) drains: the
+    # coverage that did not exist before identity-based membership.
+    assert sum(result.arbitrary_removals for result in results) >= 3
+    assert all(result.membership_ops >= 1 for result in results)
+    if include_live:
+        assert results[-1].runtime_kind == "live"
