@@ -6,10 +6,12 @@ pytest-benchmark measurements break that overhead down into its parts on
 real wall-clock time:
 
 * parsing and composing binary (SLP, DNS) and text (SSDP, HTTP) messages
-  with the generic MDL interpreters,
+  with the compiled MDL codecs (the deployed default) and, for the
+  ``*_interpreted`` variants, with the generic interpreters they replace,
 * applying translation-logic assignments,
 * evaluating the semantic-equivalence operator,
-* loading MDL and bridge models from XML (the runtime-deployment cost).
+* loading MDL and bridge models from XML (the runtime-deployment cost),
+  including the memoised ``load_mdl`` file path.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import pytest
 from repro.bridges.specs import slp_to_upnp_bridge
 from repro.core.automata.merge import derive_equivalence
 from repro.core.mdl.base import create_composer, create_parser
-from repro.core.mdl.xml_loader import dumps_mdl, loads_mdl
+from repro.core.mdl.xml_loader import clear_mdl_cache, dump_mdl, dumps_mdl, load_mdl, loads_mdl
 from repro.core.message import AbstractMessage
 from repro.core.translation.xml_loader import dumps_bridge, loads_bridge
 from repro.protocols.http.mdl import HTTP_OK, http_mdl
@@ -85,6 +87,33 @@ def test_benchmark_parse_text_http(benchmark):
     assert "URLBase" in parsed["Body"]
 
 
+def test_benchmark_parse_binary_slp_interpreted(benchmark):
+    composer = create_composer(slp_mdl())
+    parser = create_parser(slp_mdl(), interpreted=True)
+    data = composer.compose(_slp_request())
+    parsed = benchmark(lambda: parser.parse(data))
+    assert parsed["SRVType"] == "service:test"
+
+
+def test_benchmark_compose_binary_slp_interpreted(benchmark):
+    composer = create_composer(slp_mdl(), interpreted=True)
+    message = _slp_request()
+    data = benchmark(lambda: composer.compose(message))
+    assert len(data) > 20
+
+
+def test_benchmark_parse_text_http_interpreted(benchmark):
+    composer = create_composer(http_mdl())
+    parser = create_parser(http_mdl(), interpreted=True)
+    ok = AbstractMessage(HTTP_OK)
+    ok.set("URI", "200")
+    ok.set("Version", "OK")
+    ok.set("Body", "<root><URLBase>http://h:1/s</URLBase></root>" * 5)
+    data = composer.compose(ok)
+    parsed = benchmark(lambda: parser.parse(data))
+    assert "URLBase" in parsed["Body"]
+
+
 def test_benchmark_translation_assignments(benchmark):
     bridge = slp_to_upnp_bridge()
     translation = bridge.merged.translation
@@ -118,6 +147,17 @@ def test_benchmark_load_mdl_from_xml(benchmark):
     document = dumps_mdl(slp_mdl())
     spec = benchmark(lambda: loads_mdl(document))
     assert spec.protocol == "SLP"
+
+
+def test_benchmark_load_mdl_from_file_memoised(benchmark, tmp_path):
+    """The deploy path: repeated ``load_mdl`` of an unchanged file is one
+    ``stat`` plus a dict hit, not an XML re-parse."""
+    path = tmp_path / "slp.xml"
+    dump_mdl(slp_mdl(), path)
+    clear_mdl_cache()
+    first = load_mdl(path)
+    spec = benchmark(lambda: load_mdl(path))
+    assert spec is first
 
 
 def test_benchmark_load_bridge_from_xml(benchmark):

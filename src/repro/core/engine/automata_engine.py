@@ -92,6 +92,13 @@ from ..automata.colored import Action, ColoredAutomaton
 from ..automata.merge import DeltaTransition, MergedAutomaton
 from ..errors import ConfigurationError, EngineError, ParseError
 from ..mdl.base import MessageComposer, MessageParser, create_composer, create_parser
+from ..mdl.compiled import (
+    PROBE_MATCH,
+    PROBE_REJECT,
+    PROBE_UNKNOWN,
+    SpecDiscriminator,
+    discriminator_for,
+)
 from ..mdl.spec import MDLSpec
 from ..message import AbstractMessage
 from .actions import ActionRegistry, default_action_registry
@@ -175,6 +182,7 @@ class AutomataEngine(NetworkNode, EngineCore):
         public_endpoints: Optional[Mapping[str, Endpoint]] = None,
         join_groups: bool = True,
         ephemeral_ports: bool = True,
+        interpreted: bool = False,
     ) -> None:
         """Create an engine for ``merged``.
 
@@ -198,6 +206,9 @@ class AutomataEngine(NetworkNode, EngineCore):
         identifier from a fresh per-session source port, so their replies
         are attributed exactly instead of FIFO (requires a network engine
         with ``bind_endpoint``; silently falls back otherwise).
+        ``interpreted`` selects the original interpreting MDL codecs and
+        trial-parse-only classification instead of the compiled hot path —
+        the escape hatch for debugging and differential testing.
         """
         self.merged = merged
         self.name = name or f"starlink:{merged.name}"
@@ -212,8 +223,13 @@ class AutomataEngine(NetworkNode, EngineCore):
         self.serialize_processing = serialize_processing
         self.join_groups = join_groups
         self.ephemeral_ports = ephemeral_ports
+        self.interpreted = interpreted
         self.public_endpoints: Dict[str, Endpoint] = dict(public_endpoints or {})
         self._bindings: Dict[str, ProtocolBinding] = {}
+        #: First-bytes discriminators per automaton (compiled mode only):
+        #: a sound O(1) probe that lets :meth:`classify` skip candidates
+        #: whose parser is guaranteed to reject the datagram.
+        self._discriminators: Dict[str, SpecDiscriminator] = {}
         plan = binding_plan(merged, host, base_port)
         for automaton_name, automaton in merged.automata.items():
             spec = mdl_specs.get(automaton_name)
@@ -223,10 +239,14 @@ class AutomataEngine(NetworkNode, EngineCore):
                 )
             self._bindings[automaton_name] = ProtocolBinding(
                 automaton=automaton,
-                parser=create_parser(spec),
-                composer=create_composer(spec),
+                parser=create_parser(spec, interpreted=interpreted),
+                composer=create_composer(spec, interpreted=interpreted),
                 local_endpoint=plan[automaton_name],
             )
+            if not interpreted:
+                discriminator = discriminator_for(spec)
+                if discriminator is not None:
+                    self._discriminators[automaton_name] = discriminator
         #: Static multicast routing, precomputed once: the automata are
         #: read-only at runtime, so colours never change after this point.
         #: ``(group, port) -> automaton names`` plus the ordered group list
@@ -292,6 +312,17 @@ class AutomataEngine(NetworkNode, EngineCore):
         self.ignored_datagrams: int = 0
         #: Upstream replies attributed exactly via an ephemeral source port.
         self.ephemeral_hits: int = 0
+        #: Classifications resolved by a single discriminator probe (the
+        #: probed candidate matched and parsed, no wasted trial parses).
+        self.discriminator_hits: int = 0
+        #: Classifications that needed trial parsing beyond the probe (no
+        #: discriminator for the winning candidate, an ambiguous prefix, or
+        #: a matched prefix whose full parse still failed).
+        self.discriminator_misses: int = 0
+        #: Datagrams rejected by discriminators alone — every candidate's
+        #: probe said REJECT, so no parser ever ran (a garbage flood shows
+        #: up here as cheap rejects instead of trial-parse storms).
+        self.garbage_rejects: int = 0
         #: Called with the session key whenever a session leaves the table
         #: (normal completion, eviction or reset).  The shard router wires
         #: this to unpin its sticky entry promptly — drain latency then
@@ -506,12 +537,49 @@ class AutomataEngine(NetworkNode, EngineCore):
             return None
         automaton_name = candidates[0]
         last_error: Optional[str] = None
+        if self.interpreted:
+            for name in candidates:
+                try:
+                    message = self._bindings[name].parser.parse(data)
+                    return name, message
+                except ParseError as exc:
+                    automaton_name, last_error = name, str(exc)
+            self.parse_failures.append((now, automaton_name, last_error or ""))
+            return None
+        # Compiled mode: probe each candidate's first-bytes discriminator
+        # first.  REJECT is sound (the parser would raise), so rejected
+        # candidates are skipped without parsing; only ambiguous (UNKNOWN)
+        # or matching prefixes fall through to a real parse.
+        discriminators = self._discriminators
+        attempted = False
+        clean = True
         for name in candidates:
+            discriminator = discriminators.get(name)
+            verdict = (
+                discriminator.probe(data)
+                if discriminator is not None
+                else PROBE_UNKNOWN
+            )
+            if verdict == PROBE_REJECT:
+                continue
+            attempted = True
             try:
                 message = self._bindings[name].parser.parse(data)
-                return name, message
             except ParseError as exc:
                 automaton_name, last_error = name, str(exc)
+                clean = False
+                continue
+            if verdict == PROBE_MATCH and clean:
+                self.discriminator_hits += 1
+            else:
+                self.discriminator_misses += 1
+            return name, message
+        if not attempted:
+            self.garbage_rejects += 1
+            self.parse_failures.append(
+                (now, automaton_name, "datagram rejected by first-bytes discriminator")
+            )
+            return None
         self.parse_failures.append((now, automaton_name, last_error or ""))
         return None
 

@@ -52,6 +52,7 @@ class StarlinkBridge:
         correlator: Optional[SessionCorrelator] = None,
         session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
         ephemeral_ports: bool = True,
+        interpreted: bool = False,
     ) -> None:
         missing = [name for name in merged.automaton_names if name not in mdl_specs]
         if missing:
@@ -71,6 +72,9 @@ class StarlinkBridge:
         #: Per-session ephemeral source ports on upstream legs without a
         #: transaction identifier (exact reply attribution).
         self.ephemeral_ports = ephemeral_ports
+        #: Force the interpreting MDL codecs and trial-parse classification
+        #: instead of the compiled hot path (debug/differential escape hatch).
+        self.interpreted = interpreted
         self._engine: Optional[AutomataEngine] = None
         self._network: Optional[NetworkEngine] = None
 
@@ -123,6 +127,7 @@ class StarlinkBridge:
             correlator=self.correlator,
             session_timeout=self.session_timeout,
             ephemeral_ports=self.ephemeral_ports,
+            interpreted=self.interpreted,
         )
         network.attach(engine)
         self._engine = engine

@@ -5,8 +5,9 @@ The public surface of this subpackage:
 * :class:`~repro.core.mdl.spec.MDLSpec` and its component classes describe a
   protocol's message formats;
 * :func:`~repro.core.mdl.base.create_parser` /
-  :func:`~repro.core.mdl.base.create_composer` instantiate the generic
-  interpreters for the binary or text dialect;
+  :func:`~repro.core.mdl.base.create_composer` instantiate codecs for the
+  binary or text dialect — compiled by default (see
+  :mod:`repro.core.mdl.compiled`), interpreting with ``interpreted=True``;
 * :func:`~repro.core.mdl.xml_loader.load_mdl` /
   :func:`~repro.core.mdl.xml_loader.dump_mdl` move specifications to and
   from their XML document form.
@@ -14,6 +15,21 @@ The public surface of this subpackage:
 
 from .base import MessageComposer, MessageParser, create_composer, create_parser
 from .binary import BinaryMessageComposer, BinaryMessageParser
+from .compiled import (
+    PROBE_MATCH,
+    PROBE_REJECT,
+    PROBE_UNKNOWN,
+    Codec,
+    CompiledBinaryComposer,
+    CompiledBinaryParser,
+    CompiledTextComposer,
+    CompiledTextParser,
+    SpecDiscriminator,
+    compile_composer,
+    compile_parser,
+    compiled_artifacts,
+    discriminator_for,
+)
 from .functions import (
     FieldFunctionContext,
     FieldFunctionRegistry,
@@ -33,7 +49,7 @@ from .spec import (
     TypeDecl,
 )
 from .text import TextMessageComposer, TextMessageParser
-from .xml_loader import dump_mdl, dumps_mdl, load_mdl, loads_mdl
+from .xml_loader import clear_mdl_cache, dump_mdl, dumps_mdl, load_mdl, loads_mdl
 
 __all__ = [
     "MDLKind",
@@ -55,6 +71,19 @@ __all__ = [
     "BinaryMessageComposer",
     "TextMessageParser",
     "TextMessageComposer",
+    "Codec",
+    "CompiledBinaryParser",
+    "CompiledBinaryComposer",
+    "CompiledTextParser",
+    "CompiledTextComposer",
+    "SpecDiscriminator",
+    "PROBE_MATCH",
+    "PROBE_REJECT",
+    "PROBE_UNKNOWN",
+    "compile_parser",
+    "compile_composer",
+    "compiled_artifacts",
+    "discriminator_for",
     "FieldFunctionRegistry",
     "FieldFunctionContext",
     "default_function_registry",
@@ -62,4 +91,5 @@ __all__ = [
     "loads_mdl",
     "dump_mdl",
     "dumps_mdl",
+    "clear_mdl_cache",
 ]

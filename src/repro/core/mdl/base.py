@@ -79,8 +79,21 @@ def create_parser(
     spec: MDLSpec,
     types: Optional[TypeRegistry] = None,
     functions: Optional[FieldFunctionRegistry] = None,
+    interpreted: bool = False,
 ) -> MessageParser:
-    """Instantiate the parser interpreter matching the MDL dialect."""
+    """Instantiate a parser for the MDL dialect.
+
+    By default this returns a compiled codec (see
+    :mod:`repro.core.mdl.compiled`), behaviourally identical to the
+    interpreter but operating on bytes instead of a bit list; specs the
+    compiler cannot prove equivalent for fall back automatically.  Pass
+    ``interpreted=True`` to force the original interpreting parser — the
+    escape hatch used by the differential tests and for debugging.
+    """
+    if not interpreted:
+        from .compiled import compile_parser
+
+        return compile_parser(spec, types, functions)
     from .binary import BinaryMessageParser
     from .text import TextMessageParser
 
@@ -95,8 +108,17 @@ def create_composer(
     spec: MDLSpec,
     types: Optional[TypeRegistry] = None,
     functions: Optional[FieldFunctionRegistry] = None,
+    interpreted: bool = False,
 ) -> MessageComposer:
-    """Instantiate the composer interpreter matching the MDL dialect."""
+    """Instantiate a composer for the MDL dialect.
+
+    Compiled by default with automatic interpreter fallback; pass
+    ``interpreted=True`` to force the original interpreting composer.
+    """
+    if not interpreted:
+        from .compiled import compile_composer
+
+        return compile_composer(spec, types, functions)
     from .binary import BinaryMessageComposer
     from .text import TextMessageComposer
 

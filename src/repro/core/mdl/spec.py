@@ -312,10 +312,17 @@ class MDLSpec:
     types: Dict[str, TypeDecl] = field(default_factory=dict)
     header: Optional[HeaderSpec] = None
     messages: List[MessageSpec] = field(default_factory=list)
+    #: Compiled codec artifacts (see :mod:`repro.core.mdl.compiled`), built
+    #: lazily on first use and shared by everything holding this spec.
+    #: Valid only while the spec is read-only — mutators below invalidate.
+    _codec_cache: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def add_type(self, label: str, declaration: str) -> "MDLSpec":
         self.types[label] = TypeDecl.parse(label, declaration)
+        self.invalidate_codecs()
         return self
 
     def add_message(self, message: MessageSpec) -> "MDLSpec":
@@ -324,7 +331,17 @@ class MDLSpec:
                 f"duplicate message spec '{message.name}' in MDL for {self.protocol}"
             )
         self.messages.append(message)
+        self.invalidate_codecs()
         return self
+
+    def invalidate_codecs(self) -> None:
+        """Drop cached compiled codecs after mutating the specification.
+
+        Direct mutation of ``header``/``messages``/``types`` contents (as
+        opposed to the ``add_*`` helpers) must be followed by an explicit
+        call before the spec is used for parsing or composing again.
+        """
+        self._codec_cache = None
 
     # ------------------------------------------------------------------
     def type_of(self, label: str) -> str:

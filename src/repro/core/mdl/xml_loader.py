@@ -34,8 +34,9 @@ boundary directive for text MDLs.  Inside ``<Message>``, ``<Rule>`` and
 
 from __future__ import annotations
 
+import os
 import xml.etree.ElementTree as ET
-from typing import Union
+from typing import Dict, Tuple, Union
 
 from ..errors import MDLSpecificationError
 from .spec import (
@@ -49,9 +50,16 @@ from .spec import (
     SizeSpec,
 )
 
-__all__ = ["load_mdl", "loads_mdl", "dump_mdl", "dumps_mdl"]
+__all__ = ["load_mdl", "loads_mdl", "dump_mdl", "dumps_mdl", "clear_mdl_cache"]
 
 _DIRECTIVES = {"Rule", "Mandatory"}
+
+#: ``load_mdl`` memoisation: absolute path -> ((mtime_ns, size), spec).
+#: Deployments load the same spec files repeatedly (one bridge per case,
+#: several cases per evaluation run); re-parsing the XML each time is pure
+#: waste, and handing out the *same* spec object also shares its compiled
+#: codec cache.  The stat pair invalidates the entry when the file changes.
+_LOAD_CACHE: Dict[str, Tuple[Tuple[int, int], MDLSpec]] = {}
 
 
 def loads_mdl(document: str) -> MDLSpec:
@@ -63,10 +71,36 @@ def loads_mdl(document: str) -> MDLSpec:
     return _from_element(root)
 
 
-def load_mdl(path: Union[str, "os.PathLike[str]"]) -> MDLSpec:  # noqa: F821
-    """Parse an MDL specification from an XML file."""
+def load_mdl(path: Union[str, "os.PathLike[str]"]) -> MDLSpec:
+    """Parse an MDL specification from an XML file.
+
+    Memoised on ``(path, mtime, size)``: repeated loads of an unchanged
+    file return the same shared :class:`MDLSpec` object.  Specs are
+    read-only once deployed, so sharing is safe; callers that intend to
+    mutate a loaded spec should mutate before deploying and call
+    :meth:`MDLSpec.invalidate_codecs` (or load via :func:`loads_mdl`,
+    which never shares).
+    """
+    key = os.path.abspath(os.fspath(path))
+    try:
+        stat = os.stat(key)
+        stamp = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        stamp = None
+    if stamp is not None:
+        cached = _LOAD_CACHE.get(key)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
     with open(path, "r", encoding="utf-8") as handle:
-        return loads_mdl(handle.read())
+        spec = loads_mdl(handle.read())
+    if stamp is not None:
+        _LOAD_CACHE[key] = (stamp, spec)
+    return spec
+
+
+def clear_mdl_cache() -> None:
+    """Drop all memoised :func:`load_mdl` entries (tests, hot reload)."""
+    _LOAD_CACHE.clear()
 
 
 def dumps_mdl(spec: MDLSpec) -> str:

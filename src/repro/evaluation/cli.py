@@ -24,6 +24,11 @@ fixed-shard twin) and writes ``BENCH_chaos.json``.  Also excluded from
 ``--seed N`` replays exactly one schedule: that is the repro command the
 soak test and benchmark print when a seed fails; ``--chaos-live`` adds a
 real-socket run.
+
+``--table micro`` runs the compiled-vs-interpreted MDL codec micro
+benchmarks of :mod:`repro.evaluation.micro` (gated on the byte-identity
+differential) and writes ``BENCH_micro.json``.  Also excluded from
+``all``: it measures the machine, not the model.
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ from .harness import (
     run_live_sharding,
     run_sharding,
 )
+from .micro import DEFAULT_MICRO_REPETITIONS, run_micro
 from .tables import (
     format_chaos,
     format_concurrency,
@@ -55,6 +61,7 @@ from .tables import (
     format_fig12a,
     format_fig12b,
     format_live_sharding,
+    format_micro,
     format_sharding,
     overhead_ratios,
 )
@@ -64,6 +71,7 @@ __all__ = [
     "build_parser",
     "write_live_sharding_results",
     "write_chaos_results",
+    "write_micro_results",
 ]
 
 
@@ -105,6 +113,18 @@ def write_chaos_results(results, case: int) -> str:
     )
 
 
+def write_micro_results(result) -> str:
+    """Write the micro rows to ``BENCH_micro.json``."""
+    return _write_bench_json(
+        "micro",
+        messages_checked=result.messages_checked,
+        garbage_checked=result.garbage_checked,
+        parse_speedup=round(result.parse_speedup, 2),
+        compose_speedup=round(result.compose_speedup, 2),
+        rows=[row.as_row() for row in result.rows],
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
@@ -126,13 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
             "sharding",
             "elastic",
             "chaos",
+            "micro",
             "live-sharding",
             "all",
         ],
         default="all",
         help="which table to regenerate ('all' covers the simulated tables; "
-        "chaos and live-sharding must be asked for — chaos runs the seeded "
-        "fault-injection sweep, live-sharding binds real loopback sockets)",
+        "chaos, micro and live-sharding must be asked for — chaos runs the "
+        "seeded fault-injection sweep, micro times the compiled codecs "
+        "against the interpreters, live-sharding binds real loopback "
+        "sockets)",
     )
     parser.add_argument(
         "--seed",
@@ -243,6 +266,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not all(result.ok for result in chaos_results):
             print("\n".join(lines).rstrip())
             return 2
+    if args.table == "micro":
+        # --repetitions defaults to the paper's 100 lookups per row; a
+        # micro-benchmark loop needs more iterations than that to average
+        # out noise, so an untouched default means "use the micro default".
+        repetitions = (
+            args.repetitions
+            if args.repetitions != DEFAULT_REPETITIONS
+            else DEFAULT_MICRO_REPETITIONS
+        )
+        try:
+            micro_result = run_micro(repetitions=repetitions)
+        except (ValueError, RuntimeError) as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_micro(micro_result))
+        path = write_micro_results(micro_result)
+        lines.append(f"(rows written to {path})")
+        lines.append("")
     if args.table == "live-sharding":
         try:
             live_rows = run_live_sharding(

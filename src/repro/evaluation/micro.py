@@ -1,0 +1,297 @@
+"""Compiled-vs-interpreted micro benchmarks with a differential gate.
+
+The compiled hot path (:mod:`repro.core.mdl.compiled`) claims two things:
+it is *byte-identical* to the interpreting codecs, and it is much faster.
+This module checks both claims in one place:
+
+* :func:`run_differential` round-trips a realistic message per protocol
+  through both codec stacks and asserts byte-identical wire output,
+  value-identical parses, error-class **and error-text** parity on a
+  garbage corpus, and soundness of the first-bytes discriminator (a
+  ``PROBE_REJECT`` verdict must imply the interpreted parser raises).
+* :func:`run_micro` times parse and compose per protocol on both stacks
+  and reports per-operation microseconds plus the speedup.  The timing
+  run is *gated* on the differential: a speedup measured against codecs
+  that disagree on bytes is meaningless, so any mismatch raises before a
+  single timing loop runs.
+
+``python -m repro.evaluation --table micro`` prints the table and writes
+``BENCH_micro.json`` next to the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.errors import ParseError
+from ..core.mdl.base import create_composer, create_parser
+from ..core.mdl.compiled import PROBE_REJECT, discriminator_for
+from ..core.mdl.spec import MDLSpec
+from ..core.message import AbstractMessage
+from ..protocols.http.mdl import HTTP_OK, http_mdl
+from ..protocols.mdns.mdl import DNS_RESPONSE, mdns_mdl
+from ..protocols.slp.mdl import SLP_SRVREQ, slp_mdl
+from ..protocols.ssdp.mdl import SSDP_MSEARCH, ssdp_mdl
+
+__all__ = [
+    "DEFAULT_MICRO_REPETITIONS",
+    "GARBAGE_CORPUS",
+    "MicroRow",
+    "MicroResult",
+    "run_differential",
+    "run_micro",
+]
+
+#: Loops per timed operation.  Each loop is one full parse or compose of a
+#: realistic message, so a few thousand keeps the whole table under a
+#: couple of seconds while still averaging out scheduler noise.
+DEFAULT_MICRO_REPETITIONS = 2000
+
+#: Garbage datagrams every protocol must reject identically on both
+#: stacks: empty, truncated binary, non-utf-8 text, and random-ish bytes.
+GARBAGE_CORPUS: Tuple[bytes, ...] = (
+    b"",
+    b"\x00",
+    b"\xff" * 3,
+    b"junk\r\n",
+    b"\xff\xfe\x00utf",
+    bytes(range(40)),
+)
+
+
+def _slp_sample() -> AbstractMessage:
+    message = AbstractMessage(SLP_SRVREQ)
+    message.set("Version", 2, type_name="Integer")
+    message.set("XID", 9, type_name="Integer")
+    message.set("LangTag", "en")
+    message.set("SRVType", "service:test")
+    return message
+
+
+def _dns_sample() -> AbstractMessage:
+    message = AbstractMessage(DNS_RESPONSE)
+    message.set("AnswerName", "_test._tcp.local", type_name="FQDN")
+    message.set("RDATA", "http://h:9000/service")
+    return message
+
+
+def _ssdp_sample() -> AbstractMessage:
+    message = AbstractMessage(SSDP_MSEARCH)
+    message.set("URI", "*")
+    message.set("Version", "HTTP/1.1")
+    message.set("ST", "urn:schemas-upnp-org:service:test:1")
+    return message
+
+
+def _http_sample() -> AbstractMessage:
+    message = AbstractMessage(HTTP_OK)
+    message.set("URI", "200")
+    message.set("Version", "OK")
+    message.set("Body", "<root><URLBase>http://h:1/s</URLBase></root>" * 5)
+    return message
+
+
+#: (protocol label, spec builder, sample builder) — the same four
+#: protocols and message shapes as ``benchmarks/bench_micro_processing``.
+_CASES: Tuple[Tuple[str, Callable[[], MDLSpec], Callable[[], AbstractMessage]], ...] = (
+    ("SLP", slp_mdl, _slp_sample),
+    ("DNS", mdns_mdl, _dns_sample),
+    ("SSDP", ssdp_mdl, _ssdp_sample),
+    ("HTTP", http_mdl, _http_sample),
+)
+
+
+@dataclass
+class MicroRow:
+    """One protocol x operation timing: interpreted vs compiled."""
+
+    protocol: str
+    operation: str  # "parse" or "compose"
+    repetitions: int
+    interpreted_us: float  # microseconds per operation
+    compiled_us: float
+
+    @property
+    def speedup(self) -> float:
+        return self.interpreted_us / self.compiled_us if self.compiled_us else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "operation": self.operation,
+            "repetitions": self.repetitions,
+            "interpreted_us": round(self.interpreted_us, 3),
+            "compiled_us": round(self.compiled_us, 3),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+@dataclass
+class MicroResult:
+    """The full micro table plus the differential evidence behind it."""
+
+    rows: List[MicroRow] = field(default_factory=list)
+    messages_checked: int = 0
+    garbage_checked: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def _aggregate(self, operation: str) -> float:
+        interpreted = sum(r.interpreted_us for r in self.rows if r.operation == operation)
+        compiled = sum(r.compiled_us for r in self.rows if r.operation == operation)
+        return interpreted / compiled if compiled else 0.0
+
+    @property
+    def parse_speedup(self) -> float:
+        return self._aggregate("parse")
+
+    @property
+    def compose_speedup(self) -> float:
+        return self._aggregate("compose")
+
+
+def _codec_pair(builder: Callable[[], MDLSpec]):
+    """Both codec stacks for one protocol, built from independent specs.
+
+    Separate spec objects keep the comparison honest: the interpreted
+    stack never touches the compiled stack's cached artifacts.
+    """
+    compiled_spec = builder()
+    interpreted_spec = builder()
+    return (
+        compiled_spec,
+        create_parser(compiled_spec),
+        create_composer(compiled_spec),
+        create_parser(interpreted_spec, interpreted=True),
+        create_composer(interpreted_spec, interpreted=True),
+    )
+
+
+def run_differential(garbage: Sequence[bytes] = GARBAGE_CORPUS) -> MicroResult:
+    """Check compiled/interpreted agreement for every protocol.
+
+    Returns a :class:`MicroResult` with no timing rows; ``mismatches``
+    lists every disagreement found (empty means the gate is green).
+    """
+    result = MicroResult()
+    for protocol, builder, sample in _CASES:
+        spec, c_parser, c_composer, i_parser, i_composer = _codec_pair(builder)
+        message = sample()
+
+        compiled_wire = c_composer.compose(message)
+        interpreted_wire = i_composer.compose(message)
+        if compiled_wire != interpreted_wire:
+            result.mismatches.append(
+                f"{protocol}: compose bytes differ "
+                f"(compiled {compiled_wire!r} vs interpreted {interpreted_wire!r})"
+            )
+            continue
+
+        compiled_parsed = c_parser.parse(compiled_wire)
+        interpreted_parsed = i_parser.parse(compiled_wire)
+        if (
+            compiled_parsed.name != interpreted_parsed.name
+            or compiled_parsed.values() != interpreted_parsed.values()
+        ):
+            result.mismatches.append(
+                f"{protocol}: parsed values differ "
+                f"({compiled_parsed!r} vs {interpreted_parsed!r})"
+            )
+            continue
+
+        recomposed = c_composer.compose(compiled_parsed)
+        if recomposed != i_composer.compose(interpreted_parsed):
+            result.mismatches.append(f"{protocol}: recomposed bytes differ")
+            continue
+        result.messages_checked += 1
+
+        discriminator = discriminator_for(spec)
+        for data in garbage:
+            outcomes = []
+            for parser in (c_parser, i_parser):
+                try:
+                    parser.parse(data)
+                    outcomes.append(None)
+                except ParseError as exc:
+                    outcomes.append((type(exc).__name__, str(exc)))
+            if outcomes[0] != outcomes[1]:
+                result.mismatches.append(
+                    f"{protocol}: garbage {data!r} outcome differs "
+                    f"(compiled {outcomes[0]!r} vs interpreted {outcomes[1]!r})"
+                )
+                continue
+            # Discriminator soundness: a fast REJECT must never veto a
+            # datagram the interpreted parser would have accepted.
+            if (
+                discriminator is not None
+                and discriminator.probe(data) == PROBE_REJECT
+                and outcomes[1] is None
+            ):
+                result.mismatches.append(
+                    f"{protocol}: discriminator rejected parseable garbage {data!r}"
+                )
+                continue
+            result.garbage_checked += 1
+    return result
+
+
+def _time_per_op(operation: Callable[[], object], repetitions: int) -> float:
+    """Average microseconds per call over ``repetitions`` calls."""
+    operation()  # warm caches outside the timed window
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        operation()
+    elapsed = time.perf_counter() - start
+    return elapsed * 1e6 / repetitions
+
+
+def run_micro(
+    repetitions: int = DEFAULT_MICRO_REPETITIONS,
+    check: bool = True,
+) -> MicroResult:
+    """Time parse and compose on both stacks for every protocol.
+
+    With ``check`` (the default) the differential gate runs first and a
+    ``RuntimeError`` is raised on any mismatch — timings of disagreeing
+    codecs would be noise, not evidence.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    result = run_differential() if check else MicroResult()
+    if check and not result.ok:
+        raise RuntimeError(
+            "compiled/interpreted differential gate failed:\n  "
+            + "\n  ".join(result.mismatches)
+        )
+    for protocol, builder, sample in _CASES:
+        _, c_parser, c_composer, i_parser, i_composer = _codec_pair(builder)
+        message = sample()
+        wire = i_composer.compose(message)
+        result.rows.append(
+            MicroRow(
+                protocol=protocol,
+                operation="parse",
+                repetitions=repetitions,
+                interpreted_us=_time_per_op(lambda: i_parser.parse(wire), repetitions),
+                compiled_us=_time_per_op(lambda: c_parser.parse(wire), repetitions),
+            )
+        )
+        result.rows.append(
+            MicroRow(
+                protocol=protocol,
+                operation="compose",
+                repetitions=repetitions,
+                interpreted_us=_time_per_op(
+                    lambda: i_composer.compose(message), repetitions
+                ),
+                compiled_us=_time_per_op(
+                    lambda: c_composer.compose(message), repetitions
+                ),
+            )
+        )
+    return result

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .chaos import ChaosResult
 from .harness import ConcurrencySummary, LiveShardingSummary, ShardingSummary, Summary
+from .micro import MicroResult
 from .workloads import ElasticResult
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "format_live_sharding",
     "format_elastic",
     "format_chaos",
+    "format_micro",
     "overhead_ratios",
 ]
 
@@ -264,6 +266,47 @@ def format_chaos(results: Sequence[ChaosResult]) -> str:
             "All runs loss-free: zero dropped/abandoned sessions, "
             "bytes identical to the fixed-shard twin."
         )
+    return "\n".join(lines)
+
+
+def format_micro(result: MicroResult) -> str:
+    """Render the compiled-vs-interpreted micro benchmarks as a text table.
+
+    One row per protocol and operation, timings in microseconds per call.
+    The summary lines state the differential evidence first — the speedup
+    column only means something because both stacks produced identical
+    bytes and identical errors — then the aggregate speedups.
+    """
+    header = (
+        f"{'Protocol':<10} {'Op':<8} {'Reps':>6} "
+        f"{'Interp (us/op)':>15} {'Compiled (us/op)':>17} {'Speedup':>8}"
+    )
+    lines = [
+        "Compiled hot path - MDL codec micro benchmarks vs the interpreters",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.protocol:<10} {row.operation:<8} {row.repetitions:>6} "
+            f"{row.interpreted_us:>15.2f} {row.compiled_us:>17.2f} "
+            f"{row.speedup:>7.1f}x"
+        )
+    lines.append("-" * len(header))
+    if result.ok:
+        lines.append(
+            f"Differential gate: {result.messages_checked} round-trips "
+            f"byte-identical, {result.garbage_checked} garbage datagrams "
+            "rejected identically."
+        )
+    else:
+        for mismatch in result.mismatches:
+            lines.append(f"MISMATCH: {mismatch}")
+    lines.append(
+        f"Aggregate speedup: parse {result.parse_speedup:.1f}x, "
+        f"compose {result.compose_speedup:.1f}x"
+    )
     return "\n".join(lines)
 
 

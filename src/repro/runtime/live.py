@@ -820,6 +820,8 @@ class LiveShardedRuntime(ShardedRuntime):
                 queue_depth=loop.queue_depth,
                 lock_wait_seconds=loop.lock_wait_seconds,
                 worker_id=worker_id,
+                discriminator_misses=worker.discriminator_misses,
+                garbage_rejects=worker.garbage_rejects,
             )
 
     @property

@@ -56,6 +56,12 @@ class WorkerMetrics:
     #: The worker's stable membership id (survives pool compaction after
     #: an arbitrary-worker drain; ``index`` is just the list position).
     worker_id: int = -1
+    #: Classifications that fell back to trial parsing (no discriminator,
+    #: an ambiguous prefix, or a matched prefix whose parse still failed).
+    discriminator_misses: int = 0
+    #: Datagrams rejected by the first-bytes discriminators alone, without
+    #: running any parser (garbage floods become cheap rejects).
+    garbage_rejects: int = 0
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -69,6 +75,8 @@ class WorkerMetrics:
             "draining": self.draining,
             "queue_depth": self.queue_depth,
             "lock_wait_s": round(self.lock_wait_seconds, 6),
+            "discriminator_misses": self.discriminator_misses,
+            "garbage_rejects": self.garbage_rejects,
         }
 
 
@@ -94,6 +102,12 @@ class RouterMetrics:
     #: router compute charged by the ``routing_delay`` busy-until clock
     #: (0.0 when the router cost is measured but not modelled).
     charged_routing_seconds: float = 0.0
+    #: Router-edge classifications that fell back to trial parsing
+    #: (accumulated from the classify core's discriminator counters).
+    discriminator_misses: int = 0
+    #: Datagrams the router's classify rejected on first bytes alone,
+    #: before any parser ran.
+    garbage_rejects: int = 0
 
     @property
     def classify_cost_avg_us(self) -> float:
@@ -112,6 +126,8 @@ class RouterMetrics:
             "classify_cost_avg_us": round(self.classify_cost_avg_us, 2),
             "route_lock_wait_s": round(self.route_lock_wait_seconds, 6),
             "charged_routing_s": round(self.charged_routing_seconds, 6),
+            "discriminator_misses": self.discriminator_misses,
+            "garbage_rejects": self.garbage_rejects,
         }
 
 

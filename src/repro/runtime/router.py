@@ -130,6 +130,11 @@ class ShardRouter(NetworkNode):
         #: Live router only (accumulated by the subclass): seconds receiver
         #: threads spent waiting for the route lock.
         self.route_lock_wait_seconds = 0.0
+        #: Router-edge classify outcomes, accumulated from the classify
+        #: core's discriminator counters: trial-parse fallbacks and
+        #: first-bytes garbage rejects observed at this edge.
+        self.discriminator_misses = 0
+        self.garbage_rejects = 0
         self._prune_scheduled = False
         self._engine: Optional[NetworkEngine] = None
         self.set_workers(workers, worker_ids)
@@ -274,7 +279,13 @@ class ShardRouter(NetworkNode):
                 self.echoes_dropped += 1
                 return
             core = self._workers[0]
+            misses_before = core.discriminator_misses
+            rejects_before = core.garbage_rejects
             classified = core.classify(data, destination, now=engine.now())
+            # The edge classify runs on worker 0's engine; attribute its
+            # fast-reject outcomes to the router, where they happened.
+            self.discriminator_misses += core.discriminator_misses - misses_before
+            self.garbage_rejects += core.garbage_rejects - rejects_before
             if classified is None:
                 return
             # The modelled serial router compute: every classified datagram
@@ -482,6 +493,8 @@ class ShardRouter(NetworkNode):
             classify_seconds=self.classify_seconds,
             route_lock_wait_seconds=self.route_lock_wait_seconds,
             charged_routing_seconds=self.charged_routing_seconds,
+            discriminator_misses=self.discriminator_misses,
+            garbage_rejects=self.garbage_rejects,
         )
 
     def __repr__(self) -> str:

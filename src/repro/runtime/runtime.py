@@ -112,6 +112,7 @@ class ShardedRuntime:
         ephemeral_ports: bool = True,
         worker_port_stride: int = 0,
         routing_delay: float = 0.0,
+        interpreted: bool = False,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError(
@@ -128,6 +129,18 @@ class ShardedRuntime:
         self.serialize_processing = serialize_processing
         self.hop_delay = hop_delay
         self.ephemeral_ports = ephemeral_ports
+        #: Select the interpreting MDL codecs instead of the compiled hot
+        #: path (escape hatch for debugging and differential tests).
+        self.interpreted = interpreted
+        if not interpreted:
+            # Compile every spec once, up front: the model is read-only
+            # after deployment, so the artifacts cached on each spec are
+            # shared by all workers (current and future) instead of each
+            # engine compiling its own.
+            from ..core.mdl.compiled import compiled_artifacts
+
+            for spec in self.mdl_specs.values():
+                compiled_artifacts(spec)
         #: Virtual seconds of serial router compute charged per classified
         #: datagram (see :class:`~repro.runtime.router.ShardRouter`); 0.0
         #: keeps the router an unmodelled (measured-only) edge.
@@ -184,6 +197,7 @@ class ShardedRuntime:
             correlator=bridge.correlator,
             session_timeout=bridge.session_timeout,
             ephemeral_ports=bridge.ephemeral_ports,
+            interpreted=bridge.interpreted,
         )
         options.update(overrides)
         return cls(bridge.merged, bridge.mdl_specs, workers=workers, **options)
@@ -226,6 +240,7 @@ class ShardedRuntime:
             public_endpoints=self.public_endpoints,
             join_groups=False,
             ephemeral_ports=self.ephemeral_ports,
+            interpreted=self.interpreted,
         )
 
     def deploy(self, network: NetworkEngine) -> ShardRouter:
@@ -617,6 +632,8 @@ class ShardedRuntime:
             busy_backlog=worker.busy_backlog(now),
             draining=draining,
             worker_id=worker_id,
+            discriminator_misses=worker.discriminator_misses,
+            garbage_rejects=worker.garbage_rejects,
         )
 
     def metrics(self) -> ShardMetrics:
