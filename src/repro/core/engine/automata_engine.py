@@ -74,6 +74,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -101,6 +102,15 @@ from ..mdl.compiled import (
 )
 from ..mdl.spec import MDLSpec
 from ..message import AbstractMessage
+from ...obs.tracing import (
+    STAGE_COMPOSE,
+    STAGE_DISPATCH,
+    STAGE_INGRESS,
+    STAGE_PARSE,
+    STAGE_TRANSITION,
+    STAGE_TRANSLATE,
+    Tracer,
+)
 from .actions import ActionRegistry, default_action_registry
 from .core import EngineCore
 from .session import (
@@ -183,6 +193,7 @@ class AutomataEngine(NetworkNode, EngineCore):
         join_groups: bool = True,
         ephemeral_ports: bool = True,
         interpreted: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """Create an engine for ``merged``.
 
@@ -209,6 +220,10 @@ class AutomataEngine(NetworkNode, EngineCore):
         ``interpreted`` selects the original interpreting MDL codecs and
         trial-parse-only classification instead of the compiled hot path —
         the escape hatch for debugging and differential testing.
+        ``tracer`` attaches a :mod:`repro.obs` tracer: the engine then
+        records per-stage latency histograms (always) and sampled spans
+        into its own recorder; without one, every span site is a single
+        ``is None`` test.
         """
         self.merged = merged
         self.name = name or f"starlink:{merged.name}"
@@ -330,6 +345,13 @@ class AutomataEngine(NetworkNode, EngineCore):
         #: from a worker thread on the live runtime; listeners must be
         #: thread-safe.
         self.session_close_listener: Optional[Callable[[Hashable], None]] = None
+        #: Optional :mod:`repro.obs` tracer shared with the deployment;
+        #: the engine owns one span recorder named after itself.
+        self.tracer = tracer
+        self._recorder = tracer.recorder(self.name) if tracer is not None else None
+        #: Trace id of the datagram currently being processed (0 when the
+        #: delivery never crossed a stamping edge, e.g. a timer callback).
+        self._active_trace = 0
         self._engine: Optional[NetworkEngine] = None
 
     # ------------------------------------------------------------------
@@ -513,16 +535,47 @@ class AutomataEngine(NetworkNode, EngineCore):
         destination: Endpoint,
     ) -> None:
         self._engine = engine
-        if self._deliver_to_ephemeral(engine, data, source, destination):
+        tracer = self.tracer
+        recorder = self._recorder
+        if tracer is None or recorder is None:
+            if self._deliver_to_ephemeral(engine, data, source, destination):
+                return
+            classified = self.classify(data, destination, now=engine.now())
+            if classified is None:
+                return
+            automaton_name, message = classified
+            self.dispatch(engine, automaton_name, message, source)
             return
-        classified = self.classify(data, destination, now=engine.now())
-        if classified is None:
-            return
-        automaton_name, message = classified
-        self.dispatch(engine, automaton_name, message, source)
+        # This engine *is* the datagram's edge (standalone deployment, or
+        # an upstream reply landing directly on a worker's sockets, which
+        # bypasses the router): stamp the trace id and record the ingress
+        # root span here.
+        trace = tracer.stamp()
+        started = perf_counter()
+        previous = self._active_trace
+        self._active_trace = trace
+        try:
+            if self._deliver_to_ephemeral(engine, data, source, destination):
+                return
+            classified = self.classify(
+                data, destination, now=engine.now(), trace=trace
+            )
+            if classified is None:
+                return
+            automaton_name, message = classified
+            self.dispatch(engine, automaton_name, message, source, trace=trace)
+        finally:
+            self._active_trace = previous
+            recorder.record(trace, STAGE_INGRESS, started)
 
     def classify(
-        self, data: bytes, destination: Endpoint, now: float = 0.0
+        self,
+        data: bytes,
+        destination: Endpoint,
+        now: float = 0.0,
+        counters: Optional[Any] = None,
+        trace: int = 0,
+        recorder=None,
     ) -> Optional[Tuple[str, AbstractMessage]]:
         """Select the component automaton for ``destination`` and parse.
 
@@ -530,21 +583,36 @@ class AutomataEngine(NetworkNode, EngineCore):
         multicast groups shared by several colours); the first parser that
         accepts the bytes wins.  Returns ``None`` when no automaton owns
         the destination, or when every candidate parser rejected the bytes
-        (recorded in :attr:`parse_failures`).
+        (recorded in ``parse_failures``).
+
+        ``counters`` redirects the outcome counters — ``parse_failures``,
+        ``discriminator_hits``/``discriminator_misses``/
+        ``garbage_rejects`` — to another owner: the shard router passes
+        itself when classifying at the edge, so its outcomes are charged
+        to the router and the router/worker counters stay a conserved
+        sum.  ``trace``/``recorder`` likewise attribute the parse span to
+        the caller's recorder (default: this engine's own).
         """
+        target = counters if counters is not None else self
+        rec = recorder if recorder is not None else self._recorder
         candidates = self._automata_for_destination(destination)
         if not candidates:
             return None
+        started = perf_counter() if rec is not None else 0.0
         automaton_name = candidates[0]
         last_error: Optional[str] = None
         if self.interpreted:
             for name in candidates:
                 try:
                     message = self._bindings[name].parser.parse(data)
+                    if rec is not None:
+                        rec.record(trace, STAGE_PARSE, started)
                     return name, message
                 except ParseError as exc:
                     automaton_name, last_error = name, str(exc)
-            self.parse_failures.append((now, automaton_name, last_error or ""))
+            if rec is not None:
+                rec.record(trace, STAGE_PARSE, started)
+            target.parse_failures.append((now, automaton_name, last_error or ""))
             return None
         # Compiled mode: probe each candidate's first-bytes discriminator
         # first.  REJECT is sound (the parser would raise), so rejected
@@ -570,17 +638,28 @@ class AutomataEngine(NetworkNode, EngineCore):
                 clean = False
                 continue
             if verdict == PROBE_MATCH and clean:
-                self.discriminator_hits += 1
+                target.discriminator_hits += 1
             else:
-                self.discriminator_misses += 1
+                target.discriminator_misses += 1
+            if rec is not None:
+                rec.record(trace, STAGE_PARSE, started)
             return name, message
         if not attempted:
-            self.garbage_rejects += 1
-            self.parse_failures.append(
+            # Pure discriminator reject: no parser ever ran, so no parse
+            # span/histogram either — the edge's classify span (or the
+            # caller) owns the probe cost.
+            target.garbage_rejects += 1
+            target.parse_failures.append(
                 (now, automaton_name, "datagram rejected by first-bytes discriminator")
             )
             return None
-        self.parse_failures.append((now, automaton_name, last_error or ""))
+        if rec is not None:
+            rec.record(trace, STAGE_PARSE, started)
+        # Trial parses ran (an ambiguous or matched prefix) and all of
+        # them failed: that is still a discriminator miss, so the three
+        # outcome counters partition every classified datagram.
+        target.discriminator_misses += 1
+        target.parse_failures.append((now, automaton_name, last_error or ""))
         return None
 
     def routing_key(
@@ -600,16 +679,37 @@ class AutomataEngine(NetworkNode, EngineCore):
         source: Endpoint,
         count_unrouted: bool = True,
         strict: bool = False,
+        trace: int = 0,
     ) -> bool:
         """Route an already-parsed message to its session and advance it."""
         self._engine = engine
-        session = self._route(engine, automaton_name, message, source, strict=strict)
-        if session is None:
-            if count_unrouted:
-                self.unrouted_datagrams += 1
-            return False
-        self._deliver(engine, session, automaton_name, message, source)
-        return True
+        recorder = self._recorder
+        if recorder is None:
+            session = self._route(
+                engine, automaton_name, message, source, strict=strict
+            )
+            if session is None:
+                if count_unrouted:
+                    self.unrouted_datagrams += 1
+                return False
+            self._deliver(engine, session, automaton_name, message, source)
+            return True
+        previous = self._active_trace
+        self._active_trace = trace
+        started = perf_counter()
+        try:
+            session = self._route(
+                engine, automaton_name, message, source, strict=strict
+            )
+            if session is None:
+                if count_unrouted:
+                    self.unrouted_datagrams += 1
+                return False
+            self._deliver(engine, session, automaton_name, message, source)
+            return True
+        finally:
+            self._active_trace = previous
+            recorder.record(trace, STAGE_DISPATCH, started)
 
     def _automata_for_destination(self, destination: Endpoint) -> List[str]:
         """Component automata addressed by ``destination``, client-facing first.
@@ -728,6 +828,8 @@ class AutomataEngine(NetworkNode, EngineCore):
 
         session.record.messages_received += 1
         session.record.received_names.append(message.name)
+        if self._active_trace:
+            session.trace_id = self._active_trace
         session.peers[automaton_name] = source
         session.store(automaton_name, current_state, message)
         session.instances[message.name] = message
@@ -757,11 +859,17 @@ class AutomataEngine(NetworkNode, EngineCore):
         if entry is None:
             return False
         automaton_name, session = entry
+        recorder = self._recorder
+        started = perf_counter() if recorder is not None else 0.0
         try:
             message = self._bindings[automaton_name].parser.parse(data)
         except ParseError as exc:
+            if recorder is not None:
+                recorder.record(self._active_trace, STAGE_PARSE, started)
             self.parse_failures.append((engine.now(), automaton_name, str(exc)))
             return True
+        if recorder is not None:
+            recorder.record(self._active_trace, STAGE_PARSE, started)
         if session.finished:
             self.ignored_datagrams += 1
             return True
@@ -853,10 +961,14 @@ class AutomataEngine(NetworkNode, EngineCore):
     def _advance(self, engine: NetworkEngine, session: SessionContext) -> None:
         previous = self._active_session
         self._active_session = session
+        recorder = self._recorder
+        started = perf_counter() if recorder is not None else 0.0
         try:
             self._advance_locked(engine, session)
         finally:
             self._active_session = previous
+            if recorder is not None:
+                recorder.record(self._active_trace, STAGE_TRANSITION, started)
 
     def _advance_locked(self, engine: NetworkEngine, session: SessionContext) -> None:
         guard = 0
@@ -940,10 +1052,20 @@ class AutomataEngine(NetworkNode, EngineCore):
         state = automaton.state(state_name)
 
         outgoing = AbstractMessage(message_name, protocol=automaton.protocol)
-        self.merged.translation.apply(
-            outgoing, session.instances, context=self.translation_context(session)
-        )
-        data = binding.composer.compose(outgoing)
+        recorder = self._recorder
+        if recorder is None:
+            self.merged.translation.apply(
+                outgoing, session.instances, context=self.translation_context(session)
+            )
+            data = binding.composer.compose(outgoing)
+        else:
+            started = perf_counter()
+            self.merged.translation.apply(
+                outgoing, session.instances, context=self.translation_context(session)
+            )
+            started = recorder.record(self._active_trace, STAGE_TRANSLATE, started)
+            data = binding.composer.compose(outgoing)
+            recorder.record(self._active_trace, STAGE_COMPOSE, started)
 
         destination = self._destination_for(session, automaton_name, binding, state.color)
         source = binding.local_endpoint

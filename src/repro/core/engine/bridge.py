@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ...network.engine import NetworkEngine
+from ...obs.tracing import Tracer
 from ..automata.colored import ColoredAutomaton
 from ..automata.merge import MergedAutomaton, derive_equivalence
 from ..automata.xml_loader import loads_automaton
@@ -53,6 +54,7 @@ class StarlinkBridge:
         session_timeout: Optional[float] = DEFAULT_SESSION_TIMEOUT,
         ephemeral_ports: bool = True,
         interpreted: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         missing = [name for name in merged.automaton_names if name not in mdl_specs]
         if missing:
@@ -75,6 +77,10 @@ class StarlinkBridge:
         #: Force the interpreting MDL codecs and trial-parse classification
         #: instead of the compiled hot path (debug/differential escape hatch).
         self.interpreted = interpreted
+        #: Optional :class:`repro.obs.tracing.Tracer` handed to the engine
+        #: at deploy time: stage histograms and sampled spans for the
+        #: single-engine deployment, same surface as the sharded runtime.
+        self.tracer = tracer
         self._engine: Optional[AutomataEngine] = None
         self._network: Optional[NetworkEngine] = None
 
@@ -117,6 +123,13 @@ class StarlinkBridge:
             raise ConfigurationError(f"bridge '{self.merged.name}' is already deployed")
         if validate:
             self.validate()
+        if self.tracer is not None:
+            # Span timeline positions follow the deployment's clock, as on
+            # the sharded runtimes (socket substrates run on wall time).
+            live = bool(getattr(network, "kernel_ephemeral_ports", False))
+            self.tracer.use_clock(
+                network.now, "perf_counter" if live else "virtual"
+            )
         engine = AutomataEngine(
             self.merged,
             self.mdl_specs,
@@ -128,6 +141,7 @@ class StarlinkBridge:
             session_timeout=self.session_timeout,
             ephemeral_ports=self.ephemeral_ports,
             interpreted=self.interpreted,
+            tracer=self.tracer,
         )
         network.attach(engine)
         self._engine = engine

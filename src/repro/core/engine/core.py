@@ -52,13 +52,26 @@ class EngineCore:
 
     # -- datagram pipeline ------------------------------------------------
     def classify(
-        self, data: bytes, destination: Endpoint, now: float = 0.0
+        self,
+        data: bytes,
+        destination: Endpoint,
+        now: float = 0.0,
+        counters: Optional[Any] = None,
+        trace: int = 0,
     ) -> Optional[Tuple[str, AbstractMessage]]:
         """Parse ``data`` addressed to ``destination``.
 
         Returns ``(automaton_name, message)`` or ``None`` when no component
         automaton owns the destination or no candidate parser accepts the
         bytes (parse failures are recorded with timestamp ``now``).
+
+        ``counters`` redirects the classify outcome counters
+        (``discriminator_hits``/``discriminator_misses``/
+        ``garbage_rejects`` and the ``parse_failures`` list) to another
+        owner: a shard router classifying at the edge passes itself, so
+        edge outcomes are charged to the router and the per-worker/router
+        counters stay a conserved sum.  ``trace`` is the datagram's
+        :mod:`repro.obs` trace id (span attribution for the parse stage).
         """
         raise NotImplementedError
 
@@ -76,6 +89,7 @@ class EngineCore:
         source: Endpoint,
         count_unrouted: bool = True,
         strict: bool = False,
+        trace: int = 0,
     ) -> bool:
         """Deliver an already-parsed message; return True when consumed.
 
@@ -85,6 +99,8 @@ class EngineCore:
         so a worker cannot steal another shard's response, then retry
         leniently.  With ``count_unrouted`` false the engine leaves its
         drop counter alone and lets the caller aggregate instead.
+        ``trace`` carries the datagram's :mod:`repro.obs` trace id into
+        the dispatch/transition/translate/compose spans.
         """
         raise NotImplementedError
 

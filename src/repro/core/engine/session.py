@@ -95,6 +95,10 @@ class SessionContext:
     ephemeral_sources: Dict[str, Endpoint] = field(default_factory=dict)
     last_activity: float = 0.0
     finished: bool = False
+    #: Trace id of the datagram that last advanced this session (see
+    #: :mod:`repro.obs`): deliveries into the session inherit it so their
+    #: downstream spans (transition, translate, compose) join the tree.
+    trace_id: int = 0
 
     # -- the history operator, per session --------------------------------
     def store(self, automaton: str, state: str, message: AbstractMessage) -> None:

@@ -127,6 +127,14 @@ class ChaosResult:
     #: ``EngineError``) caught by :func:`run_chaos`, so even a crashed run
     #: reports its seed instead of losing the repro path to a traceback.
     error: Optional[str] = None
+    #: Per-stage latency attribution rows (always-on histograms), so a
+    #: chaos run reports *where* time went while membership churned.
+    stage_latency: List[Dict[str, object]] = field(default_factory=list)
+    #: Structured span-tree export (``runtime.trace_export()``), populated
+    #: when the run sampled spans (``trace_sample`` > 0).  Span ``at``
+    #: positions and :attr:`scale_events` times share one clock, so the
+    #: membership faults interleave with datagram traces on one timeline.
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -193,6 +201,7 @@ class ChaosResult:
             "error": self.error,
             "ok": self.ok,
             "events": [event.as_row() for event in self.events],
+            "stage_latency": self.stage_latency,
         }
 
 
@@ -310,7 +319,12 @@ SIM_PROCESSING_DELAY = 0.004
 
 
 def _deploy_simulated(
-    case: int, seed: int, total_clients: int, workers: int, live_topology: bool
+    case: int,
+    seed: int,
+    total_clients: int,
+    workers: int,
+    live_topology: bool,
+    trace_sample: Optional[float] = None,
 ):
     """Deploy one simulated chaos topology: network, runtime, clients.
 
@@ -320,7 +334,12 @@ def _deploy_simulated(
     exactly one place that builds them.  ``live_topology`` selects the
     loopback layout of the *live* workload (the reference the live chaos
     run is compared against) instead of the model-level one.
+    ``trace_sample`` overrides the runtime's span-sampling rate (the twin
+    builders leave it at the default — tracing never changes outputs).
     """
+    overrides: Dict[str, object] = {}
+    if trace_sample is not None:
+        overrides["trace_sample"] = trace_sample
     clients, service, target = _case_parts(case, total_clients, live=live_topology)
     if live_topology:
         network = SimulatedNetwork(latencies=_fast_calibration(), seed=seed)
@@ -330,13 +349,14 @@ def _deploy_simulated(
             serialize_processing=True,
             ephemeral_ports=False,
             worker_port_stride=16,
+            **overrides,
         )
     else:
         network = SimulatedNetwork(latencies=_elastic_calibration(), seed=seed)
         bridge = BRIDGE_BUILDERS[case](processing_delay=SIM_PROCESSING_DELAY)
         bridge.validate()
         runtime = ShardedRuntime.from_bridge(
-            bridge, workers=workers, serialize_processing=True
+            bridge, workers=workers, serialize_processing=True, **overrides
         )
     runtime.deploy(network)
     network.attach(service)
@@ -378,6 +398,7 @@ def run_chaos_simulated(
     start_workers: int = 2,
     twin_workers: int = 2,
     wave_timeout: float = 30.0,
+    trace_sample: Optional[float] = None,
 ) -> ChaosResult:
     """One seeded chaos run on the simulated runtime, plus its twin check.
 
@@ -389,11 +410,17 @@ def run_chaos_simulated(
     another garbage burst.  The twin run serves the identical client set
     on a fixed ``twin_workers``-shard pool with no faults; its bytes are
     the reference the chaos run must reproduce exactly.
+
+    ``trace_sample`` turns span capture on (1.0 = every datagram): the
+    result then carries a full ``trace`` export whose span positions share
+    the virtual clock with the membership ``scale_events``.  Stage-latency
+    attribution is recorded regardless (histograms are unconditional).
     """
     rng = random.Random(seed)
     total = rounds * clients_per_round
     network, runtime, clients, target = _deploy_simulated(
-        case, seed, total, start_workers, live_topology=False
+        case, seed, total, start_workers, live_topology=False,
+        trace_sample=trace_sample,
     )
 
     result = ChaosResult(
@@ -464,6 +491,9 @@ def run_chaos_simulated(
     result.unrouted = runtime.unrouted_datagrams
     result.final_workers = runtime.worker_count
     result.scale_events = list(runtime.scale_events)
+    result.stage_latency = [row.as_row() for row in runtime.stage_latency()]
+    if trace_sample:
+        result.trace = runtime.trace_export()
     chaos_bytes = _collect_bytes(clients)
 
     twin_bytes = _twin_bytes(
@@ -486,6 +516,7 @@ def run_chaos_live(
     start_workers: int = 2,
     twin_workers: int = 2,
     wave_timeout: float = 15.0,
+    trace_sample: Optional[float] = None,
 ) -> ChaosResult:
     """One seeded chaos run on the **live** runtime (real loopback sockets).
 
@@ -503,10 +534,13 @@ def run_chaos_live(
 
     rng = random.Random(seed)
     total = rounds * clients_per_round
+    overrides: Dict[str, object] = {}
+    if trace_sample is not None:
+        overrides["trace_sample"] = trace_sample
     clients, service, target = _case_parts(case, total, live=True)
     network = SocketNetwork()
     runtime = LiveShardedRuntime.from_bridge(
-        _live_bridge(case, 0.0), workers=start_workers
+        _live_bridge(case, 0.0), workers=start_workers, **overrides
     )
     result = ChaosResult(
         name=f"chaos-live-case-{case}-seed-{seed}",
@@ -566,6 +600,12 @@ def run_chaos_live(
     finally:
         runtime.undeploy()
         network.close()
+
+    # The tracer outlives the deployment, so attribution is harvested
+    # after the teardown above.
+    result.stage_latency = [row.as_row() for row in runtime.stage_latency()]
+    if trace_sample:
+        result.trace = runtime.trace_export()
 
     # The live run's byte reference: a fixed-shard *simulated* twin of the
     # same loopback topology (same hosts, ports, pinned transaction ids).

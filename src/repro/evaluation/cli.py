@@ -29,6 +29,15 @@ real-socket run.
 benchmarks of :mod:`repro.evaluation.micro` (gated on the byte-identity
 differential) and writes ``BENCH_micro.json``.  Also excluded from
 ``all``: it measures the machine, not the model.
+
+``--table latency`` runs the stage-latency attribution of
+:mod:`repro.obs` — the concurrency and sharding workloads with full
+tracing, p50/p95/p99 per pipeline stage on both runtimes — and writes
+``BENCH_latency.json`` plus a ``TRACE_sample.json`` span-tree export from
+a traced chaos run (membership events and datagram spans on one
+timeline).  Also excluded from ``all``: stage durations are measured CPU
+time, so it times the machine.  The live rows are skipped gracefully when
+loopback sockets cannot be bound.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ import platform
 import sys
 from typing import List, Optional, Sequence
 
-from .chaos import DEFAULT_CHAOS_SEEDS, run_chaos
+from .chaos import DEFAULT_CHAOS_SEEDS, run_chaos, run_chaos_simulated
 from .harness import (
     DEFAULT_LIVE_CLIENTS,
     DEFAULT_LIVE_WORKER_COUNTS,
@@ -50,16 +59,23 @@ from .harness import (
     run_elastic,
     run_fig12a,
     run_fig12b,
+    run_latency,
     run_live_sharding,
     run_sharding,
 )
-from .micro import DEFAULT_MICRO_REPETITIONS, run_micro
+from .micro import (
+    DEFAULT_MICRO_REPETITIONS,
+    TRACE_OVERHEAD_THRESHOLD_PCT,
+    run_micro,
+    run_trace_overhead,
+)
 from .tables import (
     format_chaos,
     format_concurrency,
     format_elastic,
     format_fig12a,
     format_fig12b,
+    format_latency,
     format_live_sharding,
     format_micro,
     format_sharding,
@@ -72,6 +88,8 @@ __all__ = [
     "write_live_sharding_results",
     "write_chaos_results",
     "write_micro_results",
+    "write_latency_results",
+    "write_trace_sample",
 ]
 
 
@@ -125,6 +143,43 @@ def write_micro_results(result) -> str:
     )
 
 
+def write_latency_results(rows, case: int, overhead=None) -> str:
+    """Write the stage-latency rows to ``BENCH_latency.json``."""
+    payload = {
+        "case": case,
+        "scenarios": sorted({row.scenario for row in rows}),
+        "rows": [row.as_row() for row in rows],
+    }
+    if overhead is not None:
+        payload["trace_overhead"] = overhead.as_row()
+    return _write_bench_json("latency", **payload)
+
+
+def write_trace_sample(case: int, seed: int) -> str:
+    """Run one fully-traced chaos schedule and write ``TRACE_sample.json``.
+
+    The export is the acceptance artifact for the tracing layer: every
+    delivered datagram's span tree, plus the membership (scale) events of
+    the same run, on one virtual timeline.
+    """
+    result = run_chaos_simulated(case=case, seed=seed, trace_sample=1.0)
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR", os.getcwd())
+    payload = {
+        "benchmark": "trace_sample",
+        "python": platform.python_version(),
+        "case": case,
+        "seed": seed,
+        "ok": result.ok,
+        "scale_events": [event._asdict() for event in result.scale_events],
+        "trace": result.trace,
+    }
+    path = os.path.join(results_dir, "TRACE_sample.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
@@ -148,14 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
             "chaos",
             "micro",
             "live-sharding",
+            "latency",
             "all",
         ],
         default="all",
         help="which table to regenerate ('all' covers the simulated tables; "
-        "chaos, micro and live-sharding must be asked for — chaos runs the "
-        "seeded fault-injection sweep, micro times the compiled codecs "
-        "against the interpreters, live-sharding binds real loopback "
-        "sockets)",
+        "chaos, micro, live-sharding and latency must be asked for — chaos "
+        "runs the seeded fault-injection sweep, micro times the compiled "
+        "codecs against the interpreters, live-sharding binds real loopback "
+        "sockets, latency prints per-stage p50/p95/p99 from the tracing "
+        "layer)",
     )
     parser.add_argument(
         "--seed",
@@ -301,6 +358,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             live_rows, clients=args.live_clients, case=args.concurrency_case
         )
         lines.append(f"(rows written to {path})")
+        lines.append("")
+    if args.table == "latency":
+        try:
+            try:
+                latency_rows = run_latency(case=args.concurrency_case, seed=seed)
+            except OSError:
+                # No loopback sockets (sandboxed CI) — the simulated rows
+                # still attribute every stage, so degrade instead of dying.
+                latency_rows = run_latency(
+                    case=args.concurrency_case, seed=seed, include_live=False
+                )
+        except (ValueError, RuntimeError) as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_latency(latency_rows))
+        overhead = run_trace_overhead(case=args.concurrency_case)
+        verdict = "ok" if overhead.ok else "FAIL"
+        lines.append(
+            f"trace overhead at default sampling: "
+            f"{overhead.overhead_pct:+.2f}% "
+            f"(gate < {TRACE_OVERHEAD_THRESHOLD_PCT:.0f}%, {verdict})"
+        )
+        path = write_latency_results(
+            latency_rows, case=args.concurrency_case, overhead=overhead
+        )
+        lines.append(f"(rows written to {path})")
+        trace_path = write_trace_sample(case=args.concurrency_case, seed=seed)
+        lines.append(f"(sample trace export written to {trace_path})")
         lines.append("")
 
     print("\n".join(lines).rstrip())

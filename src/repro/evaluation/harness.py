@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..bridges.specs import CASE_NAMES
 from ..network.latency import CalibratedLatencies
+from ..obs.tracing import Tracer
 from .workloads import (
     LEGACY_PROTOCOLS,
     LIVE_PROCESSING_DELAY,
@@ -37,6 +38,7 @@ __all__ = [
     "ConcurrencySummary",
     "ShardingSummary",
     "LiveShardingSummary",
+    "LatencySummary",
     "summarise",
     "measure_legacy_protocol",
     "measure_connector_case",
@@ -49,11 +51,13 @@ __all__ = [
     "run_sharding",
     "run_live_sharding",
     "run_elastic",
+    "run_latency",
     "DEFAULT_CLIENT_COUNTS",
     "DEFAULT_WORKER_COUNTS",
     "DEFAULT_SHARDING_CLIENTS",
     "DEFAULT_LIVE_WORKER_COUNTS",
     "DEFAULT_LIVE_CLIENTS",
+    "DEFAULT_LATENCY_CLIENTS",
 ]
 
 #: Default repetition count, matching the paper.
@@ -467,6 +471,133 @@ def measure_live_sharded_sessions(
         worker_sessions=tuple(live.runtime.worker_session_counts()),
         outputs_match_simulated=outputs_match,
     )
+
+
+# ----------------------------------------------------------------------
+# stage-latency attribution: where datagram time goes, per stage
+# ----------------------------------------------------------------------
+#: Concurrent clients of each latency-attribution scenario.
+DEFAULT_LATENCY_CLIENTS = 40
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """One stage's latency distribution within one scenario/runtime pair.
+
+    Built from the :mod:`repro.obs` always-on histograms, so the
+    percentiles cover every datagram of the run; values are bucket upper
+    bounds (power-of-two nanosecond buckets), reported in microseconds.
+    """
+
+    scenario: str
+    #: ``simulated`` | ``live``
+    runtime: str
+    stage: str
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "runtime": self.runtime,
+            "stage": self.stage,
+            "count": self.count,
+            "mean_us": round(self.mean_us, 2),
+            "p50_us": round(self.p50_us, 2),
+            "p95_us": round(self.p95_us, 2),
+            "p99_us": round(self.p99_us, 2),
+        }
+
+
+def _stage_rows(scenario: str, runtime: str, tracer: Tracer) -> List[LatencySummary]:
+    """Latency rows of one finished run, in pipeline-stage order."""
+    rows: List[LatencySummary] = []
+    for stage, hist in tracer.stage_histograms().items():
+        if hist.count == 0:
+            continue
+        rows.append(
+            LatencySummary(
+                scenario=scenario,
+                runtime=runtime,
+                stage=stage,
+                count=hist.count,
+                mean_us=1e6 * hist.total_seconds / hist.count,
+                p50_us=1e6 * hist.percentile(0.5),
+                p95_us=1e6 * hist.percentile(0.95),
+                p99_us=1e6 * hist.percentile(0.99),
+            )
+        )
+    return rows
+
+
+def run_latency(
+    case: int = 2,
+    clients: int = DEFAULT_LATENCY_CLIENTS,
+    workers: int = 4,
+    latencies: Optional[CalibratedLatencies] = None,
+    seed: int = 7,
+    sample: float = 1.0,
+    include_live: bool = True,
+) -> List[LatencySummary]:
+    """Per-stage latency attribution across the evaluation scenarios.
+
+    Runs the concurrency workload (single engine), the sharding workload
+    (router + ``workers`` shards) on the simulation, and — unless
+    ``include_live`` is off — the live sharded workload on real loopback
+    sockets, each with full tracing, and reports p50/p95/p99 per pipeline
+    stage.  Stage durations are real CPU time (``perf_counter``) on every
+    runtime; only the ``queue.wait`` stage is runtime-native (virtual
+    seconds simulated, wall seconds live).
+    """
+    rows: List[LatencySummary] = []
+
+    tracer = Tracer(sample=sample)
+    concurrent = concurrent_scenario(
+        case, clients=clients, latencies=latencies, seed=seed, tracer=tracer
+    )
+    result = concurrent.run()
+    if not result.all_found:
+        raise RuntimeError(
+            f"{clients - result.completed} of {clients} concurrency-latency "
+            f"lookups failed for case {case}"
+        )
+    rows.extend(_stage_rows("concurrency", "simulated", tracer))
+
+    sharded = sharded_scenario(
+        case,
+        clients=clients,
+        workers=workers,
+        latencies=latencies,
+        seed=seed,
+        trace_sample=sample,
+    )
+    result = sharded.run()
+    if not result.all_found:
+        raise RuntimeError(
+            f"{clients - result.completed} of {clients} sharding-latency "
+            f"lookups failed for case {case}"
+        )
+    rows.extend(_stage_rows("sharding", "simulated", sharded.bridge.tracer))
+
+    if include_live:
+        live = live_sharded_scenario(
+            case,
+            clients=min(clients, DEFAULT_LIVE_CLIENTS),
+            workers=workers,
+            trace_sample=sample,
+        )
+        live_result = live.run()
+        if not live_result.all_found:
+            raise RuntimeError(
+                f"{live.runtime.worker_count}-shard live latency run left "
+                f"{len(live.clients) - live_result.completed} lookups unanswered"
+            )
+        # The tracer outlives the teardown LiveScenario.run performs.
+        rows.extend(_stage_rows("sharding", "live", live.runtime.tracer))
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .chaos import ChaosResult
-from .harness import ConcurrencySummary, LiveShardingSummary, ShardingSummary, Summary
+from .harness import (
+    ConcurrencySummary,
+    LatencySummary,
+    LiveShardingSummary,
+    ShardingSummary,
+    Summary,
+)
 from .micro import MicroResult
 from .workloads import ElasticResult
 
@@ -26,6 +32,7 @@ __all__ = [
     "format_live_sharding",
     "format_elastic",
     "format_chaos",
+    "format_latency",
     "format_micro",
     "overhead_ratios",
 ]
@@ -266,6 +273,35 @@ def format_chaos(results: Sequence[ChaosResult]) -> str:
             "All runs loss-free: zero dropped/abandoned sessions, "
             "bytes identical to the fixed-shard twin."
         )
+    return "\n".join(lines)
+
+
+def format_latency(rows: Sequence[LatencySummary]) -> str:
+    """Render the stage-latency attribution as a text table.
+
+    One row per (scenario, runtime, stage): where a datagram's time goes
+    as it crosses the pipeline.  Percentiles come from the always-on
+    power-of-two histograms, so they cover every datagram of the run, and
+    the values are bucket upper bounds — read them as magnitudes, not
+    exact quantiles.
+    """
+    header = (
+        f"{'Scenario':<12} {'Runtime':<10} {'Stage':<22} {'Count':>7} "
+        f"{'Mean (us)':>10} {'p50 (us)':>9} {'p95 (us)':>9} {'p99 (us)':>9}"
+    )
+    lines = [
+        "Stage latency - per-stage attribution from the always-on histograms",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scenario:<12} {row.runtime:<10} {row.stage:<22} "
+            f"{row.count:>7} {row.mean_us:>10.2f} {row.p50_us:>9.2f} "
+            f"{row.p95_us:>9.2f} {row.p99_us:>9.2f}"
+        )
+    lines.append("-" * len(header))
     return "\n".join(lines)
 
 

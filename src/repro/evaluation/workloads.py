@@ -16,7 +16,7 @@ test service, one per discovery vocabulary:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
@@ -24,6 +24,7 @@ from ..core.engine.bridge import StarlinkBridge
 from ..network.latency import CalibratedLatencies, LatencyModel, default_latencies
 from ..network.simulated import SimulatedNetwork
 from ..network.sockets import SocketNetwork
+from ..obs.tracing import Tracer
 from ..protocols.common import LookupResult
 from ..protocols.mdns import BonjourBrowser, BonjourResponder
 from ..protocols.slp import SLPServiceAgent, SLPUserAgent
@@ -359,6 +360,7 @@ def concurrent_scenario(
     latencies: Optional[CalibratedLatencies] = None,
     seed: int = 7,
     processing_delay: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ConcurrentScenario:
     """``clients`` overlapping legacy lookups through the bridge of ``case``.
 
@@ -366,7 +368,9 @@ def concurrent_scenario(
     non-blocking datagram each, and the two-leg UPnP control point (cases
     3/4) drives its SSDP+HTTP dialog reactively via ``start_control``.
     ``spacing`` staggers the requests — keep it well below the service
-    latency so the sessions genuinely interleave.
+    latency so the sessions genuinely interleave.  ``tracer`` attaches a
+    :mod:`repro.obs` tracer to the single-engine bridge (the latency table
+    uses this to attribute engine stages without a router in the path).
     """
     if case not in BRIDGE_BUILDERS:
         raise ValueError(f"unknown case {case}; valid cases are 1..6")
@@ -382,6 +386,8 @@ def concurrent_scenario(
     if processing_delay is None:
         processing_delay = latencies.bridge_processing.midpoint
     bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
+    if tracer is not None:
+        bridge.tracer = tracer
     bridge.deploy(network)
 
     network.attach(service)
@@ -415,6 +421,7 @@ def sharded_scenario(
     processing_delay: Optional[float] = None,
     serialize_processing: bool = True,
     routing_delay: float = 0.0,
+    trace_sample: Optional[float] = None,
 ) -> ConcurrentScenario:
     """``clients`` overlapping lookups through a ``workers``-shard runtime.
 
@@ -445,11 +452,15 @@ def sharded_scenario(
         processing_delay = latencies.bridge_processing.midpoint
     bridge = BRIDGE_BUILDERS[case](processing_delay=processing_delay)
     bridge.validate()
+    overrides: Dict[str, object] = {}
+    if trace_sample is not None:
+        overrides["trace_sample"] = trace_sample
     runtime = ShardedRuntime.from_bridge(
         bridge,
         workers=workers,
         serialize_processing=serialize_processing,
         routing_delay=routing_delay,
+        **overrides,
     )
     runtime.deploy(network)
 
@@ -618,6 +629,7 @@ def live_sharded_scenario(
     clients: int = 24,
     workers: int = 4,
     processing_delay: float = LIVE_PROCESSING_DELAY,
+    trace_sample: Optional[float] = None,
 ) -> LiveScenario:
     """``clients`` real-socket lookups through a ``workers``-shard runtime.
 
@@ -632,8 +644,11 @@ def live_sharded_scenario(
     concurrent_clients, service, target, service_protocol = _live_case_parts(
         case, clients
     )
+    overrides: Dict[str, object] = {}
+    if trace_sample is not None:
+        overrides["trace_sample"] = trace_sample
     runtime = LiveShardedRuntime.from_bridge(
-        _live_bridge(case, processing_delay), workers=workers
+        _live_bridge(case, processing_delay), workers=workers, **overrides
     )
     try:
         runtime.deploy(network)
@@ -759,8 +774,11 @@ class ElasticResult:
     clients: int
     completed: int
     #: The deployment's metrics snapshot after the run (router dispatch
-    #: cost, per-worker completion counts).
+    #: cost, per-worker completion counts, per-stage latency).
     final_metrics: Optional[ShardMetrics] = None
+    #: Per-stage latency attribution rows (always-on histograms): where
+    #: datagram time went across the whole grow-and-drain cycle.
+    stage_latency: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def all_found(self) -> bool:
@@ -870,6 +888,7 @@ class ElasticScenario:
             clients=total,
             completed=completed_total,
             final_metrics=final_metrics,
+            stage_latency=[row.as_row() for row in runtime.stage_latency()],
         )
 
 

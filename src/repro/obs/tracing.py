@@ -1,0 +1,445 @@
+"""Tracer, span recorders and latency histograms for the data path.
+
+The instrumentation contract, tuned for the hot path:
+
+* **Trace ids** are stamped once per inbound datagram, at the edge.  The
+  id encodes the sampling decision in its low bit — ``(seq << 1) |
+  sampled`` — so every span site decides "record a span?" with a single
+  ``trace & 1`` test instead of a modulo or a tracer call.  ``trace == 0``
+  means *untraced* (a delivery that never crossed an edge, e.g. an
+  engine-internal timer): histograms still record, spans never do.
+* **Histograms are unconditional**, spans are sampled.  A histogram
+  record is one ``int.bit_length`` bucket increment plus a float add; the
+  span append (and its timeline-clock read) is only paid by sampled
+  datagrams.
+* **One logical writer per recorder.**  Each component with a recorder —
+  the router, each worker engine — only ever records from one thread at
+  a time (the simulation is single-threaded; live, the router records
+  under ``_route_lock`` and a worker engine under its loop lock), so the
+  ring-buffer append needs no lock.  Metrics/export readers on other
+  threads may observe a torn *window* (a span overwritten mid-read) but
+  never a torn tuple; the export is a debugging artifact, not a ledger.
+* **Two clock domains.**  Span *durations* for CPU stages are measured
+  with ``time.perf_counter`` on both runtimes — the simulation's virtual
+  clock does not advance inside a callback, so virtual durations of
+  compute stages would all be zero (this mirrors the router's existing
+  ``classify_seconds``, which has always been wall time even on the
+  simulation).  Span *timeline positions* (and wait-stage durations) use
+  the tracer's **timeline clock**: the network's virtual clock on the
+  simulated runtime — so membership events and spans interleave on one
+  timeline — and ``perf_counter`` live.  ``Tracer.use_clock`` is called
+  at deploy time by the owning runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_RING_SIZE",
+    "DEFAULT_SAMPLE_RATE",
+    "SPAN_PARENTS",
+    "STAGES",
+    "STAGE_CLASSIFY",
+    "STAGE_COMPOSE",
+    "STAGE_DISPATCH",
+    "STAGE_FANOUT",
+    "STAGE_INGRESS",
+    "STAGE_PARSE",
+    "STAGE_PLACE",
+    "STAGE_QUEUE_WAIT",
+    "STAGE_TRANSITION",
+    "STAGE_TRANSLATE",
+    "LatencyHistogram",
+    "SpanRecorder",
+    "Tracer",
+    "export_traces",
+]
+
+# -- stages -----------------------------------------------------------------
+
+#: Root span: one per datagram, recorded where the datagram enters the
+#: deployment (the router's ``on_datagram``, or the engine's own for
+#: upstream replies that land on worker sockets and bypass the router).
+STAGE_INGRESS = "ingress"
+#: The router's single edge classify (compiled discriminator probe or
+#: interpreted trial parses) deciding the correlation key.
+STAGE_CLASSIFY = "router.classify"
+#: Sticky consistent-hash placement + hand-off of a keyed delivery.
+STAGE_PLACE = "router.place"
+#: Strict-then-lenient fan-out of an unkeyed/multicast delivery.
+STAGE_FANOUT = "router.fanout"
+#: Live only: time a posted delivery waited in the worker's job queue
+#: (includes the loop-lock wait — it is queueing either way).
+STAGE_QUEUE_WAIT = "queue.wait"
+#: A worker engine dispatching one classified message into a session.
+STAGE_DISPATCH = "engine.dispatch"
+#: One automaton step: crossing transitions, firing sends/receives.
+STAGE_TRANSITION = "automaton.transition"
+#: Translation-logic application building the outgoing message.
+STAGE_TRANSLATE = "translate"
+#: MDL parse (compiled or interpreted — the codecs are byte-identical).
+STAGE_PARSE = "mdl.parse"
+#: MDL compose of the translated outgoing message.
+STAGE_COMPOSE = "mdl.compose"
+
+#: Every stage, in data-path order (also the table row order).
+STAGES: Tuple[str, ...] = (
+    STAGE_INGRESS,
+    STAGE_CLASSIFY,
+    STAGE_PLACE,
+    STAGE_FANOUT,
+    STAGE_QUEUE_WAIT,
+    STAGE_PARSE,
+    STAGE_DISPATCH,
+    STAGE_TRANSITION,
+    STAGE_TRANSLATE,
+    STAGE_COMPOSE,
+)
+
+#: Static parent relation used to reassemble a trace's spans into a tree.
+#: Export walks up this map until it finds a stage actually present in
+#: the trace (a parse on the direct-ingress path has no classify span, so
+#: it attaches to the ingress root instead).
+SPAN_PARENTS: Dict[str, str] = {
+    STAGE_CLASSIFY: STAGE_INGRESS,
+    STAGE_PLACE: STAGE_INGRESS,
+    STAGE_FANOUT: STAGE_INGRESS,
+    STAGE_QUEUE_WAIT: STAGE_INGRESS,
+    STAGE_DISPATCH: STAGE_INGRESS,
+    STAGE_PARSE: STAGE_CLASSIFY,
+    STAGE_TRANSITION: STAGE_DISPATCH,
+    STAGE_TRANSLATE: STAGE_TRANSITION,
+    STAGE_COMPOSE: STAGE_TRANSITION,
+}
+
+#: Default span sampling: one traced datagram in 64.  Histograms are
+#: unconditional regardless.
+DEFAULT_SAMPLE_RATE = 1.0 / 64.0
+
+#: Default spans kept per recorder before the ring wraps.  A span tuple
+#: is ~100 bytes, so the default costs ~400 KiB per worker; a full
+#: chaos-schedule wave at ``sample=1.0`` fits comfortably (a datagram
+#: contributes < 10 spans).
+DEFAULT_RING_SIZE = 4096
+
+
+class LatencyHistogram:
+    """Power-of-two-bucket latency histogram (nanosecond resolution).
+
+    Bucket ``k`` holds durations whose nanosecond count has bit length
+    ``k`` — i.e. ``[2**(k-1), 2**k)`` ns, with bucket 0 catching zero/
+    sub-nanosecond durations (virtual-clock waits of width 0 land
+    there).  64 buckets cover everything up to ~292 years, so there is
+    no overflow path.  Recording is two int ops and two adds — cheap
+    enough to stay on unconditionally.
+
+    Live threads record without a lock: bucket increments may race and
+    very occasionally drop a count, which is acceptable for a latency
+    *distribution* (the conserved counters live elsewhere).
+    """
+
+    BUCKET_COUNT = 64
+
+    __slots__ = ("buckets", "count", "total_seconds")
+
+    def __init__(self) -> None:
+        self.buckets = [0] * self.BUCKET_COUNT
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        ns = int(seconds * 1e9)
+        index = ns.bit_length() if ns > 0 else 0
+        if index >= self.BUCKET_COUNT:
+            index = self.BUCKET_COUNT - 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total_seconds += seconds
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket edge (seconds) at quantile ``q`` in ``[0, 1]``.
+
+        Power-of-two buckets bound the answer within 2× of the true
+        value — plenty for "where did the time go" attribution.
+        """
+        if self.count <= 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, occupancy in enumerate(self.buckets):
+            cumulative += occupancy
+            if cumulative >= target and occupancy:
+                return (1 << index) * 1e-9 if index else 0.0
+        return (1 << (self.BUCKET_COUNT - 1)) * 1e-9
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index in range(self.BUCKET_COUNT):
+            self.buckets[index] += other.buckets[index]
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyHistogram(count={self.count}, "
+            f"p50={self.percentile(0.5) * 1e6:.1f}us, "
+            f"p99={self.percentile(0.99) * 1e6:.1f}us)"
+        )
+
+
+class SpanRecorder:
+    """One component's span ring + per-stage histograms.
+
+    Created via :meth:`Tracer.recorder` by the router and by each worker
+    engine.  The ring is a preallocated fixed-size list with a
+    monotonically increasing head; once full, the oldest span is
+    overwritten (``dropped`` counts the overwrites).  All methods are
+    single-writer (see the module docstring) and lock-free.
+    """
+
+    __slots__ = ("name", "_tracer", "_size", "_ring", "_head", "hists")
+
+    def __init__(self, name: str, tracer: "Tracer") -> None:
+        self.name = name
+        self._tracer = tracer
+        self._size = tracer.ring_size
+        self._ring: List[Optional[Tuple[int, str, float, float]]] = (
+            [None] * self._size
+        )
+        self._head = 0
+        self.hists: Dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram() for stage in STAGES
+        }
+
+    # -- hot-path recording -------------------------------------------
+    def record(self, trace: int, stage: str, started: float) -> float:
+        """Record a CPU-stage duration from ``started`` to *now*.
+
+        ``started`` is a ``perf_counter`` reading; the return value is
+        this call's own reading, so consecutive stages chain with one
+        clock read per boundary::
+
+            p = perf_counter()
+            ...translate...
+            p = recorder.record(trace, STAGE_TRANSLATE, p)
+            ...compose...
+            recorder.record(trace, STAGE_COMPOSE, p)
+        """
+        ended = perf_counter()
+        duration = ended - started
+        # The histogram update is inlined (not hist.record(duration)):
+        # this method runs per stage per datagram, and the extra method
+        # call is measurable against a microsecond-scale parse.
+        hist = self.hists[stage]
+        ns = int(duration * 1e9)
+        index = ns.bit_length() if ns > 0 else 0
+        if index > 63:
+            index = 63
+        hist.buckets[index] += 1
+        hist.count += 1
+        hist.total_seconds += duration
+        if trace & 1:
+            self._push((trace >> 1, stage, self._tracer.clock(), duration))
+        return ended
+
+    def record_span(self, trace: int, stage: str, duration: float) -> None:
+        """Record a stage whose duration the caller already measured."""
+        self.hists[stage].record(duration)
+        if trace & 1:
+            self._push((trace >> 1, stage, self._tracer.clock(), duration))
+
+    def record_wait(self, trace: int, stage: str, t0: float, t1: float) -> None:
+        """Record a wait stage measured on the tracer's timeline clock.
+
+        ``t0``/``t1`` are *timeline* readings (virtual seconds on the
+        simulation, ``perf_counter`` live), so queue waits are in the
+        same domain as the span positions.
+        """
+        duration = t1 - t0
+        self.hists[stage].record(duration)
+        if trace & 1:
+            self._push((trace >> 1, stage, t1, duration))
+
+    def _push(self, span: Tuple[int, str, float, float]) -> None:
+        head = self._head
+        self._ring[head % self._size] = span
+        self._head = head + 1
+
+    # -- export-side reads --------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Spans overwritten because the ring wrapped."""
+        return max(0, self._head - self._size)
+
+    def spans(self) -> List[Tuple[int, str, float, float]]:
+        """The retained spans, oldest first."""
+        head = self._head
+        if head <= self._size:
+            return [span for span in self._ring[:head] if span is not None]
+        start = head % self._size
+        window = self._ring[start:] + self._ring[:start]
+        return [span for span in window if span is not None]
+
+    def clear(self) -> None:
+        self._ring = [None] * self._size
+        self._head = 0
+
+
+class Tracer:
+    """Stamps datagrams, hands out recorders, owns the timeline clock.
+
+    One tracer per runtime deployment.  ``sample`` is the fraction of
+    datagrams whose spans are captured (``1.0`` → every datagram,
+    ``0.0`` → spans off, histograms still on); internally it becomes a
+    1-in-N stride so the stamp path is one counter increment and one
+    modulo.
+    """
+
+    def __init__(
+        self,
+        sample: float = DEFAULT_SAMPLE_RATE,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"trace sample must be in [0, 1], got {sample}")
+        if ring_size <= 0:
+            raise ValueError(f"trace ring size must be positive, got {ring_size}")
+        self.sample = sample
+        #: Stride: every Nth stamped datagram is sampled (0 = never).
+        self._every = 0 if sample <= 0.0 else max(1, round(1.0 / sample))
+        self.ring_size = ring_size
+        self._seq = itertools.count(1)
+        #: Timeline clock (span positions, wait durations): perf_counter
+        #: until a runtime deploy rebinds it via :meth:`use_clock`.
+        self.clock: Callable[[], float] = perf_counter
+        self.clock_domain = "perf_counter"
+        self._recorders: Dict[str, SpanRecorder] = {}
+        self._recorder_lock = threading.Lock()
+
+    def use_clock(self, clock: Callable[[], float], domain: str) -> None:
+        """Bind the timeline clock (called by the runtime at deploy)."""
+        self.clock = clock
+        self.clock_domain = domain
+
+    def stamp(self) -> int:
+        """Stamp one inbound datagram; returns its trace id.
+
+        The low bit carries the sampling decision (``trace & 1`` →
+        record spans); the rest is a process-unique sequence number.
+        ``next`` on :func:`itertools.count` is atomic under the GIL, so
+        live receiver threads stamp without a lock.
+        """
+        seq = next(self._seq)
+        sampled = 1 if self._every and seq % self._every == 0 else 0
+        return (seq << 1) | sampled
+
+    def recorder(self, name: str) -> SpanRecorder:
+        """The named component's recorder (created on first request)."""
+        with self._recorder_lock:
+            recorder = self._recorders.get(name)
+            if recorder is None:
+                recorder = SpanRecorder(name, self)
+                self._recorders[name] = recorder
+            return recorder
+
+    def recorders(self) -> List[SpanRecorder]:
+        with self._recorder_lock:
+            return list(self._recorders.values())
+
+    def stage_histograms(self) -> Dict[str, LatencyHistogram]:
+        """Per-stage histograms merged across every recorder."""
+        merged = {stage: LatencyHistogram() for stage in STAGES}
+        for recorder in self.recorders():
+            for stage, hist in recorder.hists.items():
+                merged[stage].merge(hist)
+        return merged
+
+    @property
+    def dropped_spans(self) -> int:
+        return sum(recorder.dropped for recorder in self.recorders())
+
+
+def _attach(nodes: List[dict], present: Dict[str, List[dict]]) -> List[dict]:
+    """Attach ``nodes`` (sorted by timeline position) into a span tree.
+
+    Each non-ingress node walks :data:`SPAN_PARENTS` up from its stage
+    until it finds a stage present in the trace.  Among that stage's
+    spans it prefers one recorded by the *same* component (a worker's
+    transition belongs to that worker's dispatch, not another shard's
+    fan-out dispatch), then the one closest on the timeline.  Returns
+    the root nodes.
+    """
+    roots: List[dict] = []
+    for node in nodes:
+        stage = node["stage"]
+        if stage == STAGE_INGRESS:
+            roots.append(node)
+            continue
+        parent_stage = SPAN_PARENTS.get(stage, STAGE_INGRESS)
+        while parent_stage != STAGE_INGRESS and parent_stage not in present:
+            parent_stage = SPAN_PARENTS.get(parent_stage, STAGE_INGRESS)
+        candidates = present.get(parent_stage)
+        if not candidates:
+            roots.append(node)  # orphan: no ingress recorded for the trace
+            continue
+        same = [c for c in candidates if c["recorder"] == node["recorder"]]
+        pool = same or candidates
+        # Timestamps mark the *end* of a stage, so a parent usually ends
+        # after its children: pick the earliest parent ending at/after
+        # this node, falling back to the last one overall.
+        parent = pool[-1]
+        for candidate in pool:
+            if candidate["at"] >= node["at"]:
+                parent = candidate
+                break
+        parent["children"].append(node)
+    return roots
+
+
+def export_traces(tracer: Tracer) -> dict:
+    """Reassemble every recorder's spans into one tree per datagram.
+
+    Returns a JSON-ready dict::
+
+        {"clock": "virtual" | "perf_counter",
+         "sample": 0.015625,
+         "dropped_spans": 0,
+         "traces": [{"trace": 17, "complete": true,
+                     "spans": [{"stage": "ingress", "at": ..,
+                                "duration": .., "recorder": "..",
+                                "children": [...]}]}]}
+
+    A trace is **complete** when it has exactly one root and that root
+    is its ingress span — i.e. no span was orphaned by ring overwrite
+    or a missing edge stamp.
+    """
+    by_trace: Dict[int, List[dict]] = {}
+    for recorder in tracer.recorders():
+        for seq, stage, at, duration in recorder.spans():
+            by_trace.setdefault(seq, []).append(
+                {
+                    "stage": stage,
+                    "at": at,
+                    "duration": duration,
+                    "recorder": recorder.name,
+                    "children": [],
+                }
+            )
+    traces = []
+    for seq in sorted(by_trace):
+        nodes = sorted(by_trace[seq], key=lambda node: node["at"])
+        present: Dict[str, List[dict]] = {}
+        for node in nodes:
+            present.setdefault(node["stage"], []).append(node)
+        roots = _attach(nodes, present)
+        complete = len(roots) == 1 and roots[0]["stage"] == STAGE_INGRESS
+        traces.append({"trace": seq, "complete": complete, "spans": roots})
+    return {
+        "clock": tracer.clock_domain,
+        "sample": tracer.sample,
+        "dropped_spans": tracer.dropped_spans,
+        "traces": traces,
+    }

@@ -47,6 +47,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from dataclasses import replace
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -54,6 +55,7 @@ from ..core.engine.automata_engine import AutomataEngine
 from ..core.errors import ConfigurationError, EngineError
 from ..network.addressing import Endpoint
 from ..network.engine import NetworkEngine, NetworkNode
+from ..obs.tracing import STAGE_QUEUE_WAIT, Tracer
 from .metrics import WorkerMetrics
 from .router import ShardRouter
 from .runtime import DEFAULT_WORKERS, ShardedRuntime
@@ -216,9 +218,15 @@ class WorkerLoop:
         self._thread.join(timeout)
         return not self._thread.is_alive()
 
-    def post(self, job: Callable[[], None]) -> None:
-        """Enqueue ``job`` to run on the worker's thread."""
-        self._jobs.put(job)
+    def post(self, job: Callable[[], None], trace: int = 0) -> None:
+        """Enqueue ``job`` to run on the worker's thread.
+
+        ``trace`` is the :mod:`repro.obs` trace id of the datagram the job
+        delivers (0 for timers and untraced traffic); the loop measures
+        queue wait — post to dequeue — for every job into the worker's
+        stage histograms, and emits a span when the trace is sampled.
+        """
+        self._jobs.put((job, trace, perf_counter()))
 
     @property
     def queue_depth(self) -> int:
@@ -237,12 +245,22 @@ class WorkerLoop:
 
     def _run(self) -> None:
         while True:
-            job = self._jobs.get()
-            if job is _STOP:
+            item = self._jobs.get()
+            if item is _STOP:
                 return
-            waited = perf_counter()
+            job, trace, posted = item
+            dequeued = perf_counter()
             with self.lock:
-                self.lock_wait_seconds += perf_counter() - waited
+                self.lock_wait_seconds += perf_counter() - dequeued
+                # Queue wait is recorded under the lock so this recorder
+                # only ever has one writer at a time (engine spans from
+                # fan-out dispatch run on the router thread, also under
+                # this lock); the wait itself is post → dequeue, measured
+                # before the lock so lock contention stays a separate
+                # signal (lock_wait_seconds).
+                recorder = getattr(self.worker, "_recorder", None)
+                if recorder is not None:
+                    recorder.record_wait(trace, STAGE_QUEUE_WAIT, posted, dequeued)
                 try:
                     job()
                 except Exception as exc:  # noqa: BLE001 - keep the loop alive
@@ -323,6 +341,7 @@ class LiveShardRouter(ShardRouter):
         name: str = "live-shard-router",
         prune_interval: float = 15.0,
         worker_ids: Optional[Sequence[int]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._loops: Dict[int, WorkerLoop] = {
             id(loop.worker): loop for loop in loops
@@ -339,6 +358,7 @@ class LiveShardRouter(ShardRouter):
             prune_interval=prune_interval,
             name=name,
             worker_ids=worker_ids,
+            tracer=tracer,
         )
 
     def _loop_for(self, worker: AutomataEngine) -> WorkerLoop:
@@ -413,13 +433,20 @@ class LiveShardRouter(ShardRouter):
             super().on_datagram(engine, data, source, destination)
 
     def _hand_off(
-        self, engine: NetworkEngine, worker, deliver, delay: float = 0.0
+        self,
+        engine: NetworkEngine,
+        worker,
+        deliver,
+        delay: float = 0.0,
+        trace: int = 0,
     ) -> None:
         # ``delay`` (the simulated routing_delay charge) is ignored: on
         # real sockets the router's cost is *measured* wall time, not a
-        # modelled virtual charge.
+        # modelled virtual charge.  The trace rides on the posted job so
+        # the worker loop attributes the real queue wait to it (the base
+        # class's virtual-clock wait measurement never runs here).
         if worker is not None:
-            self._loop_for(worker).post(deliver)
+            self._loop_for(worker).post(deliver, trace)
         else:
             # Fan-out: the strict pass over all shards must finish before
             # the lenient pass starts, so it cannot be split across worker
@@ -434,6 +461,7 @@ class LiveShardRouter(ShardRouter):
         message,
         source: Endpoint,
         strict: bool = False,
+        trace: int = 0,
     ) -> bool:
         try:
             loop = self._loop_for(worker)
@@ -454,6 +482,7 @@ class LiveShardRouter(ShardRouter):
                 source,
                 count_unrouted=False,
                 strict=strict,
+                trace=trace,
             )
 
     def _record_outcome(self, routed: bool) -> None:
@@ -563,6 +592,10 @@ class LiveShardedRuntime(ShardedRuntime):
             raise ConfigurationError(
                 f"live sharded runtime '{self.merged.name}' is already deployed"
             )
+        # Live spans sit on the wall clock: stage durations and timeline
+        # positions share one domain here (unlike the simulation, where
+        # positions are virtual seconds).
+        self.tracer.use_clock(perf_counter, "perf_counter")
         loops = [WorkerLoop(worker, network) for worker in self._workers]
         shells = [_WorkerShell(loop) for loop in loops]
         router: Optional[LiveShardRouter] = None
@@ -576,6 +609,7 @@ class LiveShardedRuntime(ShardedRuntime):
                 loops,
                 name=f"live-router:{self.merged.name}",
                 worker_ids=self._worker_ids,
+                tracer=self.tracer,
             )
             network.attach(router)
             for worker in self._workers:
@@ -615,6 +649,8 @@ class LiveShardedRuntime(ShardedRuntime):
         for worker in self._workers:
             worker.session_close_listener = None
         self._shutdown_loops(self._loops)
+        if self._router is not None:
+            self._retire_router(self._router)
         self._loops = []
         self._shells = []
         self._router = None
@@ -822,7 +858,30 @@ class LiveShardedRuntime(ShardedRuntime):
                 worker_id=worker_id,
                 discriminator_misses=worker.discriminator_misses,
                 garbage_rejects=worker.garbage_rejects,
+                errors=len(loop.errors),
             )
+
+    def metrics(self):
+        """The shard snapshot plus the socket substrate's error counters.
+
+        ``network_errors`` is the length of ``SocketNetwork.errors`` (loop
+        exceptions on receiver threads, send failures);
+        ``tcp_replies_dropped`` counts replies whose client connection had
+        already gone away.  Both land on the router row — they are
+        properties of the shared substrate, not of any one worker.
+        """
+        snapshot = super().metrics()
+        network = self._network
+        return replace(
+            snapshot,
+            router=replace(
+                snapshot.router,
+                network_errors=len(getattr(network, "errors", ()) or ()),
+                tcp_replies_dropped=int(
+                    getattr(network, "tcp_replies_dropped", 0) or 0
+                ),
+            ),
+        )
 
     @property
     def worker_errors(self) -> List[BaseException]:

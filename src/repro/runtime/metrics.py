@@ -28,7 +28,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-__all__ = ["WorkerMetrics", "RouterMetrics", "ShardMetrics"]
+__all__ = ["StageLatency", "WorkerMetrics", "RouterMetrics", "ShardMetrics"]
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Per-stage latency distribution aggregated across every recorder.
+
+    Built from the always-on power-of-two-bucket histograms of
+    :mod:`repro.obs` — unlike span capture these are unconditional, so
+    the percentiles cover *every* datagram, not the sampled subset.
+    Percentiles are bucket upper bounds in seconds (factor-of-two
+    resolution by construction).
+    """
+
+    stage: str
+    count: int
+    total_seconds: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def mean_us(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return 1e6 * self.total_seconds / self.count
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "count": self.count,
+            "mean_us": round(self.mean_us, 2),
+            "p50_us": round(self.p50 * 1e6, 2),
+            "p95_us": round(self.p95 * 1e6, 2),
+            "p99_us": round(self.p99 * 1e6, 2),
+        }
 
 
 @dataclass(frozen=True)
@@ -62,6 +97,9 @@ class WorkerMetrics:
     #: Datagrams rejected by the first-bytes discriminators alone, without
     #: running any parser (garbage floods become cheap rejects).
     garbage_rejects: int = 0
+    #: Live runtime only: exceptions the worker loop caught while running
+    #: jobs (``WorkerLoop.errors``); always 0 on the simulation.
+    errors: int = 0
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -77,6 +115,7 @@ class WorkerMetrics:
             "lock_wait_s": round(self.lock_wait_seconds, 6),
             "discriminator_misses": self.discriminator_misses,
             "garbage_rejects": self.garbage_rejects,
+            "errors": self.errors,
         }
 
 
@@ -108,6 +147,12 @@ class RouterMetrics:
     #: Datagrams the router's classify rejected on first bytes alone,
     #: before any parser ran.
     garbage_rejects: int = 0
+    #: Live runtime only: socket-layer errors the network recorded
+    #: (``SocketNetwork.errors``); always 0 on the simulation.
+    network_errors: int = 0
+    #: Live runtime only: TCP replies dropped because the client
+    #: connection was already gone (``SocketNetwork.tcp_replies_dropped``).
+    tcp_replies_dropped: int = 0
 
     @property
     def classify_cost_avg_us(self) -> float:
@@ -128,6 +173,8 @@ class RouterMetrics:
             "charged_routing_s": round(self.charged_routing_seconds, 6),
             "discriminator_misses": self.discriminator_misses,
             "garbage_rejects": self.garbage_rejects,
+            "network_errors": self.network_errors,
+            "tcp_replies_dropped": self.tcp_replies_dropped,
         }
 
 
@@ -146,6 +193,9 @@ class ShardMetrics:
     #: ``worker_count`` while a drain is in progress (the tail workers
     #: serve only their pinned sessions).
     active_workers: int = 0
+    #: Per-stage latency distributions (stages with at least one sample),
+    #: aggregated across the router and every worker recorder.
+    latency: Tuple[StageLatency, ...] = field(default_factory=tuple)
 
     @property
     def worker_count(self) -> int:
@@ -175,4 +225,5 @@ class ShardMetrics:
             "sessions_per_worker": round(self.sessions_per_worker, 2),
             "workers": [worker.as_row() for worker in self.workers],
             "router": self.router.as_row(),
+            "latency": [stage.as_row() for stage in self.latency],
         }

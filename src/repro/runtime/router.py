@@ -63,6 +63,14 @@ from ..core.engine.automata_engine import AutomataEngine
 from ..core.errors import ConfigurationError
 from ..network.addressing import Endpoint
 from ..network.engine import NetworkEngine, NetworkNode
+from ..obs.tracing import (
+    STAGE_CLASSIFY,
+    STAGE_FANOUT,
+    STAGE_INGRESS,
+    STAGE_PLACE,
+    STAGE_QUEUE_WAIT,
+    Tracer,
+)
 from .metrics import RouterMetrics
 from .sharding import HashRing
 
@@ -84,6 +92,7 @@ class ShardRouter(NetworkNode):
         name: str = "shard-router",
         worker_ids: Optional[Sequence[Hashable]] = None,
         routing_delay: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not workers:
             raise ConfigurationError("a shard router needs at least one worker")
@@ -130,11 +139,22 @@ class ShardRouter(NetworkNode):
         #: Live router only (accumulated by the subclass): seconds receiver
         #: threads spent waiting for the route lock.
         self.route_lock_wait_seconds = 0.0
-        #: Router-edge classify outcomes, accumulated from the classify
-        #: core's discriminator counters: trial-parse fallbacks and
-        #: first-bytes garbage rejects observed at this edge.
+        #: The router's *own* classify outcome counters: edge classifies
+        #: run against worker 0's read-only model but are charged here via
+        #: the classify ``counters=`` redirect, so router + worker counters
+        #: are a conserved sum over all classify outcomes (nothing is ever
+        #: double-counted or attributed to worker 0 by delta).
+        self.discriminator_hits = 0
         self.discriminator_misses = 0
         self.garbage_rejects = 0
+        #: Edge parse failures (timestamp, automaton, error), same shape
+        #: as the engines' list; the runtime aggregates both.
+        self.parse_failures: List = []
+        #: Optional :mod:`repro.obs` tracer: the router stamps every
+        #: inbound datagram's trace id and records the edge spans
+        #: (ingress/classify/place/fan-out) into its own recorder.
+        self.tracer = tracer
+        self._recorder = tracer.recorder(name) if tracer is not None else None
         self._prune_scheduled = False
         self._engine: Optional[NetworkEngine] = None
         self.set_workers(workers, worker_ids)
@@ -269,6 +289,9 @@ class ShardRouter(NetworkNode):
         destination: Endpoint,
     ) -> None:
         self._engine = engine
+        tracer = self.tracer
+        recorder = self._recorder
+        trace = tracer.stamp() if tracer is not None else 0
         started = perf_counter()
         try:
             self._flush_closed_keys()
@@ -278,16 +301,26 @@ class ShardRouter(NetworkNode):
                 # output.
                 self.echoes_dropped += 1
                 return
+            # The edge classify runs against worker 0's read-only model,
+            # but its outcome counters (and the parse span) are charged to
+            # the router via the redirect — router + worker counters stay
+            # a conserved sum.
             core = self._workers[0]
-            misses_before = core.discriminator_misses
-            rejects_before = core.garbage_rejects
-            classified = core.classify(data, destination, now=engine.now())
-            # The edge classify runs on worker 0's engine; attribute its
-            # fast-reject outcomes to the router, where they happened.
-            self.discriminator_misses += core.discriminator_misses - misses_before
-            self.garbage_rejects += core.garbage_rejects - rejects_before
+            classified = core.classify(
+                data,
+                destination,
+                now=engine.now(),
+                counters=self,
+                trace=trace,
+                recorder=recorder,
+            )
             if classified is None:
                 return
+            marker = (
+                recorder.record(trace, STAGE_CLASSIFY, started)
+                if recorder is not None
+                else 0.0
+            )
             # The modelled serial router compute: every classified datagram
             # occupies the router for ``routing_delay`` virtual seconds, so
             # its hand-off leaves only when the router would actually be
@@ -296,15 +329,24 @@ class ShardRouter(NetworkNode):
             automaton_name, message = classified
             key = core.routing_key(automaton_name, message, source)
             if key is not None:
-                self._route_keyed(engine, key, automaton_name, message, source, charge)
+                self._route_keyed(
+                    engine, key, automaton_name, message, source, charge, trace
+                )
+                if recorder is not None:
+                    recorder.record(trace, STAGE_PLACE, marker)
             else:
-                self._fan_out(engine, automaton_name, message, source, charge)
+                self._fan_out(
+                    engine, automaton_name, message, source, charge, trace
+                )
         finally:
             # The classify-and-place cost in real seconds (hand-off
             # execution is deferred, so it is not included): the router's
             # own serial compute per datagram.
-            self.classify_seconds += perf_counter() - started
+            duration = perf_counter() - started
+            self.classify_seconds += duration
             self.classify_count += 1
+            if recorder is not None:
+                recorder.record_span(trace, STAGE_INGRESS, duration)
 
     # ------------------------------------------------------------------
     # routing
@@ -332,16 +374,33 @@ class ShardRouter(NetworkNode):
         return self._route_busy_until - now
 
     def _hand_off(
-        self, engine: NetworkEngine, worker, deliver, delay: float = 0.0
+        self,
+        engine: NetworkEngine,
+        worker,
+        deliver,
+        delay: float = 0.0,
+        trace: int = 0,
     ) -> None:
         """Run ``deliver`` as a fresh event owned by ``worker``.
 
         On the simulation every hand-off is a ``call_later`` event on the
         shared virtual clock — the analogue of posting to a worker process'
         queue.  ``worker`` is ``None`` for fan-out deliveries, which touch
-        every shard; ``delay`` carries the modelled router compute charge.
+        every shard; ``delay`` carries the modelled router compute charge,
+        recorded as the delivery's queue wait (virtual seconds between
+        hand-off and execution) into the owning worker's recorder.
         """
-        engine.call_later(self.hop_delay + delay, deliver)
+        recorder = getattr(worker, "_recorder", None) if worker is not None else None
+        if recorder is None:
+            engine.call_later(self.hop_delay + delay, deliver)
+            return
+        queued_at = engine.now()
+
+        def timed_deliver() -> None:
+            recorder.record_wait(trace, STAGE_QUEUE_WAIT, queued_at, engine.now())
+            deliver()
+
+        engine.call_later(self.hop_delay + delay, timed_deliver)
 
     def _dispatch_to(
         self,
@@ -351,10 +410,17 @@ class ShardRouter(NetworkNode):
         message,
         source: Endpoint,
         strict: bool = False,
+        trace: int = 0,
     ) -> bool:
         """Invoke one worker's :meth:`~repro.core.engine.core.EngineCore.dispatch`."""
         return worker.dispatch(
-            engine, automaton_name, message, source, count_unrouted=False, strict=strict
+            engine,
+            automaton_name,
+            message,
+            source,
+            count_unrouted=False,
+            strict=strict,
+            trace=trace,
         )
 
     def _record_outcome(self, routed: bool) -> None:
@@ -372,6 +438,7 @@ class ShardRouter(NetworkNode):
         message,
         source: Endpoint,
         delay: float = 0.0,
+        trace: int = 0,
     ) -> None:
         worker_id = self.shard_for_key(key)
         self._sticky[key] = worker_id
@@ -380,10 +447,12 @@ class ShardRouter(NetworkNode):
 
         def deliver() -> None:
             self._record_outcome(
-                self._dispatch_to(worker, engine, automaton_name, message, source)
+                self._dispatch_to(
+                    worker, engine, automaton_name, message, source, trace=trace
+                )
             )
 
-        self._hand_off(engine, worker, deliver, delay)
+        self._hand_off(engine, worker, deliver, delay, trace)
 
     def _fan_out(
         self,
@@ -392,23 +461,36 @@ class ShardRouter(NetworkNode):
         message,
         source: Endpoint,
         delay: float = 0.0,
+        trace: int = 0,
     ) -> None:
         workers = list(self._workers)
+        recorder = self._recorder
 
         def deliver() -> None:
             # Strict first: only a shard with hard evidence (reply token or
             # matching client host) may claim the datagram; the lenient
             # FIFO pass runs only when every shard declined.
-            for strict in (True, False):
-                for worker in workers:
-                    if self._dispatch_to(
-                        worker, engine, automaton_name, message, source, strict=strict
-                    ):
-                        self._record_outcome(True)
-                        return
-            self._record_outcome(False)
+            started = perf_counter() if recorder is not None else 0.0
+            try:
+                for strict in (True, False):
+                    for worker in workers:
+                        if self._dispatch_to(
+                            worker,
+                            engine,
+                            automaton_name,
+                            message,
+                            source,
+                            strict=strict,
+                            trace=trace,
+                        ):
+                            self._record_outcome(True)
+                            return
+                self._record_outcome(False)
+            finally:
+                if recorder is not None:
+                    recorder.record(trace, STAGE_FANOUT, started)
 
-        self._hand_off(engine, None, deliver, delay)
+        self._hand_off(engine, None, deliver, delay, trace)
 
     # ------------------------------------------------------------------
     # sticky-table pruning

@@ -56,7 +56,13 @@ from ..core.engine.session import SessionCorrelator, SessionRecord
 from ..core.errors import ConfigurationError
 from ..core.mdl.spec import MDLSpec
 from ..network.engine import NetworkEngine
-from .metrics import ShardMetrics, WorkerMetrics
+from ..obs.tracing import (
+    DEFAULT_RING_SIZE,
+    DEFAULT_SAMPLE_RATE,
+    Tracer,
+    export_traces,
+)
+from .metrics import ShardMetrics, StageLatency, WorkerMetrics
 from .router import ShardRouter
 
 __all__ = ["ShardedRuntime", "ScaleEvent", "VICTIM_STRATEGIES"]
@@ -113,6 +119,8 @@ class ShardedRuntime:
         worker_port_stride: int = 0,
         routing_delay: float = 0.0,
         interpreted: bool = False,
+        trace_sample: float = DEFAULT_SAMPLE_RATE,
+        trace_ring_size: int = DEFAULT_RING_SIZE,
     ) -> None:
         if workers <= 0:
             raise ConfigurationError(
@@ -152,6 +160,12 @@ class ShardedRuntime:
         #: (the simulation default), workers share ``base_port`` under
         #: derived per-worker hostnames.
         self.worker_port_stride = worker_port_stride
+        #: One :mod:`repro.obs` tracer shared by the router and every
+        #: worker (current and future): per-stage latency histograms are
+        #: always on, span capture samples ``trace_sample`` of datagrams
+        #: (1.0 = all, 0.0 = spans off) into per-component rings of
+        #: ``trace_ring_size`` spans.  ``deploy`` binds the timeline clock.
+        self.tracer = Tracer(sample=trace_sample, ring_size=trace_ring_size)
         #: The advertised (router-owned) endpoint per component automaton.
         self.public_endpoints = binding_plan(merged, host, base_port)
         #: Stable worker ids, parallel to the worker list.  Ids are
@@ -178,6 +192,15 @@ class ShardedRuntime:
         self._retired_parse_failures: List = []
         self._retired_unrouted = 0
         self._retired_ignored = 0
+        self._retired_discriminator_hits = 0
+        self._retired_discriminator_misses = 0
+        self._retired_garbage_rejects = 0
+        #: Same idea for routers discarded at undeploy: edge classify
+        #: outcomes are charged to the router (never to a worker), so a
+        #: redeploy must not forget the previous router's counts.
+        self._retired_router_discriminator_hits = 0
+        self._retired_router_discriminator_misses = 0
+        self._retired_router_garbage_rejects = 0
 
     @classmethod
     def from_bridge(
@@ -241,6 +264,7 @@ class ShardedRuntime:
             join_groups=False,
             ephemeral_ports=self.ephemeral_ports,
             interpreted=self.interpreted,
+            tracer=self.tracer,
         )
 
     def deploy(self, network: NetworkEngine) -> ShardRouter:
@@ -257,6 +281,9 @@ class ShardedRuntime:
             raise ConfigurationError(
                 f"sharded runtime '{self.merged.name}' is already deployed"
             )
+        # Span timeline positions follow the deployment's clock: virtual
+        # seconds here, so traces interleave with scale events exactly.
+        self.tracer.use_clock(network.now, "virtual")
         for worker in self._workers:
             network.attach(worker)
         router = ShardRouter(
@@ -266,6 +293,7 @@ class ShardedRuntime:
             name=f"router:{self.merged.name}",
             worker_ids=self._worker_ids,
             routing_delay=self.routing_delay,
+            tracer=self.tracer,
         )
         network.attach(router)
         for worker in self._workers:
@@ -288,9 +316,23 @@ class ShardedRuntime:
                 self._network.detach(worker)
         for worker in self._workers:
             worker.session_close_listener = None
+        if self._router is not None:
+            self._retire_router(self._router)
         self._router = None
         self._network = None
         self._drain_victims = None
+
+    def _retire_router(self, router: ShardRouter) -> None:
+        """Keep a discarded router's edge parse failures in the aggregate.
+
+        The router object dies with the deployment; its classify outcomes
+        (now charged to the router, not worker 0) must survive so the
+        post-teardown views stay complete.
+        """
+        self._retired_parse_failures.extend(router.parse_failures)
+        self._retired_router_discriminator_hits += router.discriminator_hits
+        self._retired_router_discriminator_misses += router.discriminator_misses
+        self._retired_router_garbage_rejects += router.garbage_rejects
 
     # ------------------------------------------------------------------
     # scaling (grow / drain / arbitrary removal)
@@ -508,6 +550,9 @@ class ShardedRuntime:
         self._retired_parse_failures.extend(worker.parse_failures)
         self._retired_unrouted += worker.unrouted_datagrams
         self._retired_ignored += worker.ignored_datagrams
+        self._retired_discriminator_hits += worker.discriminator_hits
+        self._retired_discriminator_misses += worker.discriminator_misses
+        self._retired_garbage_rejects += worker.garbage_rejects
 
     def _pop_worker(self, worker_id: int) -> AutomataEngine:
         """Remove ``worker_id`` from the pool lists, returning its engine."""
@@ -602,9 +647,65 @@ class ShardedRuntime:
 
     @property
     def parse_failures(self) -> List:
-        return self._retired_parse_failures + [
-            failure for worker in self._workers for failure in worker.parse_failures
-        ]
+        """Parse failures across the router edge and every worker."""
+        router_failures = (
+            list(self._router.parse_failures) if self._router is not None else []
+        )
+        return (
+            self._retired_parse_failures
+            + router_failures
+            + [
+                failure
+                for worker in self._workers
+                for failure in worker.parse_failures
+            ]
+        )
+
+    @property
+    def discriminator_hits(self) -> int:
+        """Worker-side one-probe classifications (drain-retired included)."""
+        return self._retired_discriminator_hits + sum(
+            worker.discriminator_hits for worker in self._workers
+        )
+
+    @property
+    def discriminator_misses(self) -> int:
+        """Worker-side trial-parse fallbacks (drain-retired included);
+        edge classifies are counted on the router, never here."""
+        return self._retired_discriminator_misses + sum(
+            worker.discriminator_misses for worker in self._workers
+        )
+
+    @property
+    def garbage_rejects(self) -> int:
+        """Worker-side discriminator-only rejects (drain-retired included)."""
+        return self._retired_garbage_rejects + sum(
+            worker.garbage_rejects for worker in self._workers
+        )
+
+    @property
+    def router_discriminator_hits(self) -> int:
+        """Router-edge one-probe classifications (undeploy-retired included)."""
+        live = self._router.discriminator_hits if self._router is not None else 0
+        return self._retired_router_discriminator_hits + live
+
+    @property
+    def router_discriminator_misses(self) -> int:
+        """Router-edge trial-parse fallbacks (undeploy-retired included)."""
+        live = self._router.discriminator_misses if self._router is not None else 0
+        return self._retired_router_discriminator_misses + live
+
+    @property
+    def router_garbage_rejects(self) -> int:
+        """Router-edge discriminator-only rejects (undeploy-retired included).
+
+        Together with the worker-side properties this keeps the classify
+        outcomes a conserved sum: every datagram any classify rejected is
+        in exactly one of router/worker x hits/misses/rejects, through
+        drains, replacements and full teardown.
+        """
+        live = self._router.garbage_rejects if self._router is not None else 0
+        return self._retired_router_garbage_rejects + live
 
     def worker_session_counts(self) -> List[int]:
         """Completed sessions per worker (the shard-balance view)."""
@@ -636,6 +737,40 @@ class ShardedRuntime:
             garbage_rejects=worker.garbage_rejects,
         )
 
+    def stage_latency(self) -> List[StageLatency]:
+        """Per-stage latency rows from the tracer's always-on histograms.
+
+        Aggregated across the router and every worker recorder (retired
+        recorders included — the tracer outlives deployments), listing
+        only stages that observed at least one sample, in pipeline order.
+        Works on an undeployed runtime, so a scenario can harvest after
+        teardown.
+        """
+        rows: List[StageLatency] = []
+        for stage, hist in self.tracer.stage_histograms().items():
+            if hist.count == 0:
+                continue
+            rows.append(
+                StageLatency(
+                    stage=stage,
+                    count=hist.count,
+                    total_seconds=hist.total_seconds,
+                    p50=hist.percentile(0.5),
+                    p95=hist.percentile(0.95),
+                    p99=hist.percentile(0.99),
+                )
+            )
+        return rows
+
+    def trace_export(self) -> Dict[str, Any]:
+        """Structured JSON export of every captured span, as trees.
+
+        See :func:`repro.obs.tracing.export_traces`; usable before or
+        after :meth:`undeploy` (the tracer and its rings outlive the
+        deployment).
+        """
+        return export_traces(self.tracer)
+
     def metrics(self) -> ShardMetrics:
         """One coherent :class:`ShardMetrics` snapshot of the deployment.
 
@@ -661,6 +796,7 @@ class ShardedRuntime:
             workers=workers,
             router=self._router.metrics(),
             active_workers=self._router.active_worker_count,
+            latency=tuple(self.stage_latency()),
         )
 
     def __repr__(self) -> str:

@@ -50,6 +50,7 @@ def test_documents_are_scanned():
     names = {os.path.basename(path) for path in _DOCUMENTS}
     assert "README.md" in names
     assert "architecture.md" in names
+    assert "observability.md" in names
 
 
 @pytest.mark.parametrize("document", _DOCUMENTS, ids=lambda p: os.path.relpath(p, _ROOT))

@@ -1,0 +1,492 @@
+"""Tests for :mod:`repro.obs` — tracing, histograms and stage latency.
+
+The observability layer makes three promises this suite pins down:
+
+* **Mechanics** — power-of-two histogram buckets bound every percentile
+  within 2x, the stamp encodes the sampling decision in the trace id's
+  low bit, rings wrap (and count drops) instead of growing, and the
+  exporter reassembles spans into one complete tree per datagram.
+* **Wiring** — both runtimes populate per-stage histograms and span
+  trees end to end: the simulated runtimes on the virtual timeline
+  (where membership events interleave with spans), the live runtime on
+  ``perf_counter`` including the queue-wait stage only it has.
+* **Cost** — tracing at default sampling stays under the 5 % end-to-end
+  overhead gate, asserted via :func:`run_trace_overhead`.
+
+The conserved-counter accounting (router + workers summing to the
+traffic actually sent, stable ids and monotonic counters across churn)
+lives here too: the same PR moved the router's classify outcomes onto
+its own counters, and these tests are the invariant's regression net.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from case2_utils import attach_clients, deploy_case2, mdns_answer
+from repro.bridges.specs import BRIDGE_BUILDERS
+from repro.evaluation.chaos import run_chaos_simulated
+from repro.evaluation.harness import LatencySummary, run_latency
+from repro.evaluation.micro import run_trace_overhead
+from repro.evaluation.tables import format_latency
+from repro.evaluation.workloads import (
+    concurrent_scenario,
+    live_sharded_scenario,
+    sharded_scenario,
+)
+from repro.network.addressing import Endpoint, Transport
+from repro.network.sockets import SocketNetwork, loopback_available
+from repro.obs.tracing import (
+    STAGE_DISPATCH,
+    STAGE_INGRESS,
+    STAGE_PARSE,
+    STAGE_QUEUE_WAIT,
+    STAGE_TRANSITION,
+    STAGES,
+    LatencyHistogram,
+    SpanRecorder,
+    Tracer,
+    export_traces,
+)
+from repro.protocols.mdns import BonjourResponder
+from repro.runtime import LiveShardedRuntime
+
+live_only = pytest.mark.skipif(
+    not loopback_available(), reason="loopback sockets unavailable in this environment"
+)
+
+#: The colour group the case-2 router joins — garbage sent here lands on
+#: the router's edge classify.
+SLP_GROUP = Endpoint("239.255.255.253", 427, Transport.UDP)
+
+GARBAGE = (b"", b"\x00", b"\xff" * 64, b"junk\r\n", bytes(range(40)))
+
+
+# ---------------------------------------------------------------------------
+# histogram mechanics
+
+
+class TestLatencyHistogram:
+    def test_percentile_brackets_the_sample_within_2x(self):
+        hist = LatencyHistogram()
+        hist.record(1e-6)  # 1000 ns -> bucket 10 (512..1024 ns]
+        assert hist.count == 1
+        assert hist.total_seconds == pytest.approx(1e-6)
+        p50 = hist.percentile(0.5)
+        assert 1e-6 <= p50 <= 2e-6  # upper bucket edge, within 2x
+
+    def test_zero_duration_lands_in_bucket_zero(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        assert hist.buckets[0] == 1
+        assert hist.percentile(0.5) == 0.0
+
+    def test_percentiles_are_monotone_in_q(self):
+        hist = LatencyHistogram()
+        for exponent in range(10):
+            hist.record(1e-6 * (2**exponent))
+        quantiles = [hist.percentile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    def test_merge_sums_counts_and_buckets(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.record(1e-6)
+        right.record(1e-3)
+        right.record(1e-6)
+        left.merge(right)
+        assert left.count == 3
+        assert left.total_seconds == pytest.approx(1e-3 + 2e-6)
+
+    def test_huge_duration_clamps_to_last_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(1e12)  # ~31,000 years -> clamped, no IndexError
+        assert hist.buckets[-1] == 1
+
+
+# ---------------------------------------------------------------------------
+# tracer stamping and sampling
+
+
+class TestTracer:
+    def test_sample_one_marks_every_datagram(self):
+        tracer = Tracer(sample=1.0)
+        assert all(tracer.stamp() & 1 for _ in range(10))
+
+    def test_sample_zero_marks_none(self):
+        tracer = Tracer(sample=0.0)
+        assert not any(tracer.stamp() & 1 for _ in range(10))
+
+    def test_default_sampling_is_one_in_64(self):
+        tracer = Tracer()
+        sampled = sum(tracer.stamp() & 1 for _ in range(640))
+        assert sampled == 10
+
+    def test_half_sampling_is_every_other(self):
+        tracer = Tracer(sample=0.5)
+        bits = [tracer.stamp() & 1 for _ in range(8)]
+        assert bits == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_trace_ids_are_unique_even_unsampled(self):
+        tracer = Tracer(sample=0.0)
+        stamps = [tracer.stamp() for _ in range(100)]
+        assert len(set(stamps)) == 100
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample=1.5)
+        with pytest.raises(ValueError):
+            Tracer(sample=-0.1)
+        with pytest.raises(ValueError):
+            Tracer(ring_size=0)
+
+
+# ---------------------------------------------------------------------------
+# recorders and rings
+
+
+class TestSpanRecorder:
+    def test_histogram_records_even_when_span_does_not(self):
+        tracer = Tracer(sample=0.0)
+        recorder = tracer.recorder("unit")
+        trace = tracer.stamp()
+        assert trace & 1 == 0
+        recorder.record_span(trace, STAGE_PARSE, 1e-6)
+        assert recorder.hists[STAGE_PARSE].count == 1
+        assert recorder.spans() == []
+
+    def test_sampled_trace_records_a_span(self):
+        tracer = Tracer(sample=1.0)
+        recorder = tracer.recorder("unit")
+        trace = tracer.stamp()
+        recorder.record_span(trace, STAGE_PARSE, 1e-6)
+        ((seq, stage, _at, duration),) = recorder.spans()
+        assert (seq, stage, duration) == (trace >> 1, STAGE_PARSE, 1e-6)
+
+    def test_record_chains_clock_readings(self):
+        tracer = Tracer(sample=1.0)
+        recorder = tracer.recorder("unit")
+        from time import perf_counter
+
+        started = perf_counter()
+        ended = recorder.record(tracer.stamp(), STAGE_PARSE, started)
+        assert ended >= started
+        assert recorder.hists[STAGE_PARSE].count == 1
+
+    def test_ring_wraps_and_counts_drops(self):
+        tracer = Tracer(sample=1.0, ring_size=4)
+        recorder = tracer.recorder("unit")
+        for _ in range(10):
+            recorder.record_span(tracer.stamp(), STAGE_PARSE, 1e-6)
+        spans = recorder.spans()
+        assert len(spans) == 4
+        assert recorder.dropped == 6
+        # Oldest first, and only the newest four survive.
+        sequences = [seq for seq, _, _, _ in spans]
+        assert sequences == sorted(sequences)
+        assert sequences[0] == 7  # stamps 7..10 retained
+
+    def test_recorder_is_cached_by_name(self):
+        tracer = Tracer()
+        assert tracer.recorder("router") is tracer.recorder("router")
+        assert tracer.recorder("router") is not tracer.recorder("w0")
+
+
+# ---------------------------------------------------------------------------
+# export: span trees
+
+
+class TestExport:
+    def test_spans_reassemble_into_one_complete_tree(self):
+        tracer = Tracer(sample=1.0)
+        recorder = tracer.recorder("engine")
+        trace = tracer.stamp()
+        recorder.record_span(trace, STAGE_PARSE, 1e-6)
+        recorder.record_span(trace, STAGE_TRANSITION, 2e-6)
+        recorder.record_span(trace, STAGE_DISPATCH, 5e-6)
+        recorder.record_span(trace, STAGE_INGRESS, 9e-6)
+        export = export_traces(tracer)
+        (entry,) = export["traces"]
+        assert entry["complete"]
+        (root,) = entry["spans"]
+        assert root["stage"] == STAGE_INGRESS
+        stages_in_tree = set()
+
+        def walk(node):
+            stages_in_tree.add(node["stage"])
+            for child in node["children"]:
+                walk(child)
+
+        walk(root)
+        assert stages_in_tree == {
+            STAGE_INGRESS,
+            STAGE_PARSE,
+            STAGE_DISPATCH,
+            STAGE_TRANSITION,
+        }
+
+    def test_trace_without_ingress_is_incomplete(self):
+        tracer = Tracer(sample=1.0)
+        recorder = tracer.recorder("engine")
+        recorder.record_span(tracer.stamp(), STAGE_PARSE, 1e-6)
+        export = export_traces(tracer)
+        (entry,) = export["traces"]
+        assert not entry["complete"]
+
+    def test_export_carries_clock_domain_and_sample(self):
+        tracer = Tracer(sample=0.25)
+        tracer.use_clock(lambda: 42.0, "virtual")
+        export = export_traces(tracer)
+        assert export["clock"] == "virtual"
+        assert export["sample"] == 0.25
+        assert export["dropped_spans"] == 0
+
+
+def _assert_all_complete(export):
+    assert export["traces"], "expected at least one captured trace"
+    incomplete = [t["trace"] for t in export["traces"] if not t["complete"]]
+    assert incomplete == [], f"orphaned span trees for traces {incomplete}"
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: simulated runtimes
+
+
+class TestSimulatedTracing:
+    def test_single_engine_bridge_produces_complete_traces(self):
+        tracer = Tracer(sample=1.0)
+        scenario = concurrent_scenario(2, clients=5, tracer=tracer)
+        assert scenario.run().all_found
+        _assert_all_complete(export_traces(tracer))
+        hists = tracer.stage_histograms()
+        for stage in (STAGE_INGRESS, STAGE_PARSE, STAGE_DISPATCH):
+            assert hists[stage].count > 0
+        # The simulation has no worker queues.
+        assert hists[STAGE_QUEUE_WAIT].count == 0
+
+    def test_sharded_runtime_attributes_router_stages(self):
+        scenario = sharded_scenario(2, clients=8, workers=2, trace_sample=1.0)
+        assert scenario.run().all_found
+        runtime = scenario.bridge
+        rows = {row.stage: row for row in runtime.stage_latency()}
+        for stage in ("ingress", "router.classify", "router.place", "mdl.parse"):
+            assert rows[stage].count > 0, stage
+        # stage_latency is ordered like STAGES and skips empty stages.
+        order = [stage for stage in STAGES if stage in rows]
+        assert list(rows) == order
+        _assert_all_complete(runtime.trace_export())
+        # The same rows ride the metrics snapshot.
+        snapshot = runtime.metrics()
+        assert {s.stage for s in snapshot.latency} == set(rows)
+
+    def test_spans_share_the_virtual_timeline_with_scale_events(self):
+        """Acceptance: a chaos run exports complete span trees whose
+        timeline positions interleave with membership events."""
+        result = run_chaos_simulated(seed=7, trace_sample=1.0)
+        assert result.ok
+        assert result.trace is not None
+        assert result.trace["clock"] == "virtual"
+        _assert_all_complete(result.trace)
+        assert result.scale_events, "chaos schedule never changed membership"
+        span_times = [
+            span["at"]
+            for entry in result.trace["traces"]
+            for span in entry["spans"]
+        ]
+        first_scale = min(event.at for event in result.scale_events)
+        last_scale = max(event.at for event in result.scale_events)
+        # Datagram spans exist on both sides of membership changes — the
+        # two event kinds genuinely interleave on one clock.
+        assert any(at < first_scale for at in span_times)
+        assert any(at > last_scale for at in span_times)
+
+    def test_chaos_rows_carry_stage_latency(self):
+        result = run_chaos_simulated(seed=3)
+        assert result.ok
+        stages = {row["stage"] for row in result.stage_latency}
+        assert "ingress" in stages and "mdl.parse" in stages
+        assert "stage_latency" in result.as_row()
+
+    def test_unsampled_run_still_fills_histograms(self):
+        scenario = sharded_scenario(2, clients=6, workers=2, trace_sample=0.0)
+        assert scenario.run().all_found
+        runtime = scenario.bridge
+        rows = {row.stage: row for row in runtime.stage_latency()}
+        assert rows["ingress"].count > 0
+        assert runtime.trace_export()["traces"] == []
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: live runtime
+
+
+@live_only
+class TestLiveTracing:
+    def test_live_run_records_queue_wait_and_completes_trees(self):
+        scenario = live_sharded_scenario(2, clients=6, workers=2, trace_sample=1.0)
+        assert scenario.run().all_found
+        tracer = scenario.runtime.tracer  # survives undeploy
+        hists = tracer.stage_histograms()
+        assert hists[STAGE_QUEUE_WAIT].count > 0
+        assert hists[STAGE_INGRESS].count > 0
+        export = export_traces(tracer)
+        assert export["clock"] == "perf_counter"
+        _assert_all_complete(export)
+
+    def test_live_metrics_surface_error_counters(self):
+        runtime = LiveShardedRuntime.from_bridge(
+            BRIDGE_BUILDERS[2](host="127.0.0.1", base_port=47200), workers=2
+        )
+        with SocketNetwork() as network:
+            runtime.deploy(network)
+            snapshot = runtime.metrics()
+            runtime.undeploy()
+        assert snapshot.router.network_errors == 0
+        assert snapshot.router.tcp_replies_dropped == 0
+        assert all(worker.errors == 0 for worker in snapshot.workers)
+        assert "errors" in snapshot.workers[0].as_row()
+        assert "network_errors" in snapshot.router.as_row()
+
+
+# ---------------------------------------------------------------------------
+# harness: the latency table
+
+
+class TestLatencyTable:
+    def test_run_latency_covers_both_scenarios(self):
+        rows = run_latency(clients=8, workers=2, include_live=False)
+        assert all(isinstance(row, LatencySummary) for row in rows)
+        scenarios = {(row.scenario, row.runtime) for row in rows}
+        assert ("concurrency", "simulated") in scenarios
+        assert ("sharding", "simulated") in scenarios
+        by_key = {(r.scenario, r.stage): r for r in rows}
+        parse = by_key[("sharding", "mdl.parse")]
+        assert parse.count > 0
+        assert parse.p50_us <= parse.p95_us <= parse.p99_us
+        table = format_latency(rows)
+        assert "mdl.parse" in table and "p99" in table
+
+    @live_only
+    def test_run_latency_live_rows(self):
+        rows = run_latency(clients=8, workers=2, include_live=True)
+        live_stages = {row.stage for row in rows if row.runtime == "live"}
+        assert "queue.wait" in live_stages
+
+
+# ---------------------------------------------------------------------------
+# the overhead gate
+
+
+class TestOverheadGate:
+    def test_tracing_overhead_under_five_percent(self):
+        result = run_trace_overhead()
+        assert result.ok, (
+            f"tracing overhead {result.overhead_pct:.2f}% breaches the "
+            f"5% gate (bare {result.bare_ms:.1f}ms, "
+            f"traced {result.traced_ms:.1f}ms)"
+        )
+        row = result.as_row()
+        assert row["threshold_pct"] == 5.0
+
+
+# ---------------------------------------------------------------------------
+# conserved counters and stable ids under churn (satellite accounting)
+
+
+class TestConservedCounters:
+    def test_garbage_flood_is_a_conserved_sum_across_rows(self, network):
+        """Every flooded datagram appears exactly once across the
+        RouterMetrics row and the WorkerMetrics rows."""
+        runtime = deploy_case2(network, workers=3, serialize=False)
+        source = Endpoint("attacker.local", 9999, Transport.UDP)
+        for payload in GARBAGE * 4:
+            network.send(payload, source=source, destination=SLP_GROUP)
+        network.run()
+        snapshot = runtime.metrics()
+        rejects = snapshot.router.garbage_rejects + sum(
+            worker.garbage_rejects for worker in snapshot.workers
+        )
+        misses = snapshot.router.discriminator_misses + sum(
+            worker.discriminator_misses for worker in snapshot.workers
+        )
+        failures = len(runtime.parse_failures)
+        assert rejects + misses == len(GARBAGE) * 4
+        assert failures == len(GARBAGE) * 4
+        # The aggregate properties agree with the row-level sum (worker
+        # and router outcomes are kept on separate properties).
+        aggregate = (
+            runtime.garbage_rejects
+            + runtime.discriminator_misses
+            + runtime.router_garbage_rejects
+            + runtime.router_discriminator_misses
+        )
+        assert aggregate == rejects + misses
+
+    def test_counters_monotonic_and_ids_stable_across_churn(self, network):
+        """begin_drain / remove_worker / replace_worker never reset the
+        aggregate counters and never disturb surviving worker ids."""
+        runtime = deploy_case2(network, workers=4, serialize=False)
+        network.attach(BonjourResponder())
+        clients = attach_clients(network, 8)
+        for client in clients:
+            client.start_lookup(network)
+        network.run_for(0.01)
+        source = Endpoint("attacker.local", 9999, Transport.UDP)
+        for payload in GARBAGE:
+            network.send(payload, source=source, destination=SLP_GROUP)
+        network.run()
+
+        def totals():
+            return (
+                runtime.garbage_rejects
+                + runtime.discriminator_misses
+                + runtime.router_garbage_rejects
+                + runtime.router_discriminator_misses,
+                runtime.discriminator_hits + runtime.router_discriminator_hits,
+                len(runtime.parse_failures),
+            )
+
+        assert runtime.worker_ids == [0, 1, 2, 3]
+        before = totals()
+        assert before[0] == len(GARBAGE)
+
+        runtime.remove_worker(1)
+        network.run()
+        assert runtime.worker_ids == [0, 2, 3]
+        assert totals() == before  # retirement folded, nothing lost
+
+        new_id = runtime.replace_worker(2)
+        network.run()
+        # Survivors keep their ids; the victim's id is gone; the fresh
+        # worker joins under a distinct id (pool order is not pinned).
+        assert set(runtime.worker_ids) == {0, 3, new_id}
+        assert len(runtime.worker_ids) == 3
+        assert new_id not in (0, 2, 3)
+        assert totals() == before
+
+        runtime.undeploy()
+        assert totals() == before  # router retirement folds too
+
+    @live_only
+    def test_live_counters_survive_churn_too(self):
+        runtime = LiveShardedRuntime.from_bridge(
+            BRIDGE_BUILDERS[2](host="127.0.0.1", base_port=47300), workers=3
+        )
+        with SocketNetwork() as network:
+            runtime.deploy(network)
+            assert runtime.worker_ids == [0, 1, 2]
+            before = (
+                runtime.garbage_rejects + runtime.router_garbage_rejects,
+                runtime.discriminator_misses + runtime.router_discriminator_misses,
+                len(runtime.parse_failures),
+            )
+            runtime.remove_worker(1)
+            assert runtime.worker_ids == [0, 2]
+            new_id = runtime.replace_worker(2)
+            assert runtime.worker_ids == [0, new_id]
+            after = (
+                runtime.garbage_rejects + runtime.router_garbage_rejects,
+                runtime.discriminator_misses + runtime.router_discriminator_misses,
+                len(runtime.parse_failures),
+            )
+            assert after == before
+            runtime.undeploy()
