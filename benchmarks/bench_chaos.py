@@ -19,14 +19,25 @@ appended to ``CHAOS_seeds.log`` next to ``BENCH_chaos.json``, so a red CI
 run always names the seed to replay locally::
 
     PYTHONPATH=src python -m repro.evaluation --table chaos --seed <seed>
+
+The **self-healing** sweep rides along: seeded schedules that wedge a
+worker mid-wave (and open live UDP loss windows) while the failure
+detector alone must quarantine, drain and replace the victim.  Its rows
+land in ``BENCH_heal.json`` and its seeds append to the same
+``CHAOS_seeds.log`` (``--table heal --seed <seed>`` replays one).
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.evaluation.chaos import DEFAULT_CHAOS_SEEDS, run_chaos
-from repro.evaluation.tables import format_chaos
+from repro.evaluation.chaos import (
+    DEFAULT_CHAOS_SEEDS,
+    DEFAULT_HEAL_SEEDS,
+    run_chaos,
+    run_heal,
+)
+from repro.evaluation.tables import format_chaos, format_heal
 from repro.network.sockets import loopback_available
 
 #: The benchmarked case: SLP clients, Bonjour service (cheap legacy legs,
@@ -41,23 +52,47 @@ SEEDS_LOG = os.path.join(
 )
 
 
+def _seed_line(result, detail: str) -> str:
+    """One log line for one seeded run, pass or fail."""
+    if result.ok:
+        return (
+            f"seed={result.seed} runtime={result.runtime_kind} ok ({detail})"
+        )
+    return (
+        f"seed={result.seed} runtime={result.runtime_kind} FAILED: "
+        f"{result.failure_reason()} — reproduce with "
+        f"`{result.repro_command()}`"
+    )
+
+
 def _write_seeds_log(results) -> str:
-    """One line per seeded run: the failing-seed log CI archives."""
-    lines = []
-    for result in results:
-        if result.ok:
-            lines.append(
-                f"seed={result.seed} runtime={result.runtime_kind} ok "
-                f"(clients={result.clients} ops={result.membership_ops} "
-                f"arbitrary_removals={result.arbitrary_removals})"
-            )
-        else:
-            lines.append(
-                f"seed={result.seed} runtime={result.runtime_kind} FAILED: "
-                f"{result.failure_reason()} — reproduce with "
-                f"`{result.repro_command()}`"
-            )
+    """One line per seeded chaos run: the failing-seed log CI archives."""
+    lines = [
+        _seed_line(
+            result,
+            f"clients={result.clients} ops={result.membership_ops} "
+            f"arbitrary_removals={result.arbitrary_removals}",
+        )
+        for result in results
+    ]
     with open(SEEDS_LOG, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return SEEDS_LOG
+
+
+def _append_heal_seeds_log(results) -> str:
+    """Append the heal sweep's seed lines to the same log (``kind=heal``
+    distinguishes them — its repro command is ``--table heal``)."""
+    lines = [
+        _seed_line(
+            result,
+            f"kind=heal clients={result.clients} wedges={result.wedges} "
+            f"replaces={result.replaces} "
+            f"detect_max={max(result.detection_seconds, default=0.0):.3f}s",
+        )
+        for result in results
+    ]
+    with open(SEEDS_LOG, "a", encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
     return SEEDS_LOG
 
@@ -101,3 +136,45 @@ def test_chaos_loss_free_across_seeds(capsys, benchmark, bench_results):
     assert all(result.membership_ops >= 1 for result in results)
     if include_live:
         assert results[-1].runtime_kind == "live"
+
+
+def test_heal_detector_replaces_wedged_workers(capsys, benchmark, bench_results):
+    """The self-healing sweep: every wedged worker replaced by the
+    detector alone, loss-free, within the probe budget — on both runtimes
+    when loopback sockets are available."""
+    include_live = loopback_available()
+    results = benchmark.pedantic(
+        run_heal,
+        kwargs={
+            "case": CASE,
+            "seeds": DEFAULT_HEAL_SEEDS,
+            "include_live": include_live,
+            "raise_on_failure": False,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_heal(results))
+    bench_results(
+        "heal",
+        [result.as_row() for result in results],
+        case=CASE,
+        seeds=list(DEFAULT_HEAL_SEEDS),
+        include_live=include_live,
+    )
+    log_path = _append_heal_seeds_log(results)
+
+    failures = [result for result in results if not result.ok]
+    assert not failures, (
+        f"heal seeds failed: "
+        f"{[(f.seed, f.runtime_kind, f.failure_reason()) for f in failures]}; "
+        f"see {log_path}"
+    )
+    # The sweep genuinely injected wedges, and healed each exactly once.
+    assert sum(result.wedges for result in results) >= len(results)
+    assert all(result.replaces == result.wedges for result in results)
+    if include_live:
+        assert results[-1].runtime_kind == "live"
+        assert results[-1].loss_windows >= 1

@@ -413,6 +413,29 @@ class AutomataEngine(NetworkNode, EngineCore):
             return 0.0
         return max(0.0, self._busy_until - now)
 
+    def stall_processing(self, now: float, seconds: float) -> None:
+        """Fault injection: wedge this engine's serialised-compute clock.
+
+        Pushes the busy-until clock ``seconds`` beyond wherever it stands
+        (at least ``seconds`` beyond ``now``), so every subsequent
+        translated send — and anything else scheduled through the busy
+        clock, such as health-probe heartbeats — queues behind a stall, as
+        if the worker's compute thread stopped making progress.  Delivered
+        messages are still processed eventually (correctness is
+        preserved); only their timing degrades, which is exactly the
+        signature a failure detector must pick up.  Requires
+        ``serialize_processing``: without a serial compute resource there
+        is no clock to stall.
+        """
+        if not self.serialize_processing:
+            raise ConfigurationError(
+                f"engine '{self.name}' does not serialise processing; "
+                "there is no busy clock to stall"
+            )
+        if seconds < 0:
+            raise ConfigurationError(f"cannot stall for {seconds!r} seconds")
+        self._busy_until = max(now, self._busy_until) + seconds
+
     def owns_endpoint(self, endpoint: Endpoint) -> bool:
         """Whether ``endpoint`` is one of this engine's source addresses.
 

@@ -41,7 +41,17 @@ from ..bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
 from ..core.errors import ConfigurationError
 from ..network.addressing import Endpoint, Transport
 from ..network.simulated import SimulatedNetwork
-from ..runtime import LiveShardedRuntime, ScaleEvent, ShardedRuntime
+from ..runtime import (
+    FailureDetector,
+    HealthController,
+    HealthPolicy,
+    LiveHealthController,
+    LiveShardedRuntime,
+    ScaleEvent,
+    ShardedRuntime,
+    wedge_live_worker,
+    wedge_simulated_worker,
+)
 from .workloads import (
     _elastic_calibration,
     _fast_calibration,
@@ -59,6 +69,11 @@ __all__ = [
     "run_chaos",
     "DEFAULT_CHAOS_SEEDS",
     "GARBAGE_PAYLOADS",
+    "HealResult",
+    "run_heal_simulated",
+    "run_heal_live",
+    "run_heal",
+    "DEFAULT_HEAL_SEEDS",
 ]
 
 #: Seeds of the default chaos sweep (the acceptance criterion's ">= 3").
@@ -702,6 +717,573 @@ def run_chaos(
         first = failures[0]
         raise RuntimeError(
             f"chaos run {first.name} (seed {first.seed}, {first.runtime_kind}) "
+            f"failed: {first.failure_reason()} — reproduce with "
+            f"`{first.repro_command()}`"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# self-healing chaos: the failure detector under injected faults
+# ----------------------------------------------------------------------
+#: Seeds of the default heal sweep.
+DEFAULT_HEAL_SEEDS: Tuple[int, ...] = (5, 17)
+
+#: Faults a heal round can fire.  ``wedge`` stalls one worker (the
+#: detector must replace it), ``skew`` delays heartbeat pulses below the
+#: hysteresis budget (the detector must NOT replace anything), ``loss``
+#: opens a packet-loss window over garbage, ``hold`` does nothing.
+_HEAL_FAULT_KINDS = ("wedge", "skew", "loss", "hold")
+
+#: Simulated heal-run detection knobs.  Snappier than the
+#: :class:`~repro.runtime.health.HealthPolicy` defaults because the
+#: virtual clock makes probes free: the heartbeat threshold sits well
+#: above the probe interval (healthy age ~ one interval plus backlog)
+#: and the backlog ceiling well above the per-delivery compute
+#: (:data:`SIM_PROCESSING_DELAY`), while a 0.5 s+ wedge crosses both
+#: ceilings on the first probe after the stall.
+_SIM_HEAL_POLICY = HealthPolicy(
+    heartbeat_wedge_threshold=0.15,
+    busy_backlog_ceiling=0.3,
+    suspect_after=2,
+    fail_after=4,
+    cooldown=0.5,
+)
+_SIM_HEAL_PROBE_INTERVAL = 0.02
+
+#: Live heal-run detection knobs.  The live loops run with zero
+#: processing delay, so the wedge signature is a stale ``heartbeat_at``
+#: stamp (plus a backed-up queue): the threshold leaves several probe
+#: intervals of scheduler jitter before a probe reads bad, and
+#: ``fail_after`` keeps one contended tick from replacing anything.
+_LIVE_HEAL_POLICY = HealthPolicy(
+    heartbeat_wedge_threshold=0.25,
+    suspect_after=2,
+    fail_after=3,
+    cooldown=1.0,
+)
+_LIVE_HEAL_PROBE_INTERVAL = 0.05
+
+
+@dataclass
+class HealResult:
+    """Outcome of one seeded self-healing run (plus its twin check).
+
+    The contract is the chaos one — loss-free, byte-identical to the
+    fixed-shard twin — **plus** the healing clauses: every wedged worker
+    was detected and replaced by the :class:`FailureDetector` alone
+    (the harness never calls ``replace_worker``), every detection landed
+    within :attr:`detection_budget` seconds of the wedge, and nothing
+    *else* was replaced (a clock skew or a load spike must never cost a
+    worker — that is what the hysteresis is for).
+    """
+
+    name: str
+    seed: int
+    #: ``simulated`` | ``live``
+    runtime_kind: str
+    rounds: int
+    clients: int
+    completed: int
+    events: List[ChaosEvent] = field(default_factory=list)
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    #: Faults injected, by kind.
+    wedges: int = 0
+    skews: int = 0
+    loss_windows: int = 0
+    garbage_sent: int = 0
+    datagrams_dropped: int = 0
+    #: Actions the controller executed, by kind.
+    quarantines: int = 0
+    releases: int = 0
+    replaces: int = 0
+    #: Seconds from each wedge to its detector-driven replace decision
+    #: (virtual on the simulation, wall on the live runtime).
+    detection_seconds: List[float] = field(default_factory=list)
+    #: The probe budget every detection must land within.
+    detection_budget: float = 0.0
+    #: The detector's conserved counter row (``probes == sum(probe
+    #: counts) + retired_probes`` — checked by the tier-1 soak).
+    detector_counters: Dict[str, int] = field(default_factory=dict)
+    abandoned_sessions: int = 0
+    unrouted: int = 0
+    worker_errors: int = 0
+    #: Exceptions the live control thread swallowed (always 0 simulated).
+    controller_errors: int = 0
+    final_workers: int = 0
+    outputs_match_twin: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Loss-free AND self-healing, as one boolean."""
+        return (
+            self.error is None
+            and self.completed == self.clients
+            and self.abandoned_sessions == 0
+            and self.unrouted == 0
+            and self.worker_errors == 0
+            and self.controller_errors == 0
+            and self.outputs_match_twin
+            # Every wedge healed, nothing else replaced: exactly one
+            # detector-driven replacement per wedged worker.
+            and self.replaces == self.wedges
+            and len(self.detection_seconds) == self.wedges
+            and all(d <= self.detection_budget for d in self.detection_seconds)
+        )
+
+    def repro_command(self) -> str:
+        """The exact shell line that replays this run's schedule."""
+        command = (
+            "PYTHONPATH=src python -m repro.evaluation --table heal "
+            f"--seed {self.seed}"
+        )
+        if self.runtime_kind == "live":
+            command += " --chaos-live"
+        return command
+
+    def failure_reason(self) -> Optional[str]:
+        """Why :attr:`ok` is false (``None`` on a clean run)."""
+        if self.error is not None:
+            return f"harness exception: {self.error}"
+        if self.completed != self.clients:
+            return f"{self.clients - self.completed} of {self.clients} lookups unanswered"
+        if self.abandoned_sessions:
+            return f"{self.abandoned_sessions} sessions abandoned (evicted)"
+        if self.unrouted:
+            return f"{self.unrouted} datagrams unrouted"
+        if self.worker_errors:
+            return f"{self.worker_errors} worker-loop exceptions"
+        if self.controller_errors:
+            return f"{self.controller_errors} health-controller exceptions"
+        if not self.outputs_match_twin:
+            return "client bytes differ from the fixed-shard twin"
+        if self.replaces < self.wedges or len(self.detection_seconds) < self.wedges:
+            return (
+                f"{self.wedges - len(self.detection_seconds)} wedged worker(s) "
+                "never replaced by the detector"
+            )
+        if self.replaces > self.wedges:
+            return (
+                f"{self.replaces - self.wedges} spurious replacement(s) — "
+                "hysteresis failed to absorb a transient"
+            )
+        late = [d for d in self.detection_seconds if d > self.detection_budget]
+        if late:
+            return (
+                f"detection took {max(late):.3f}s "
+                f"(budget {self.detection_budget:.3f}s)"
+            )
+        return None
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "runtime": self.runtime_kind,
+            "rounds": self.rounds,
+            "clients": self.clients,
+            "completed": self.completed,
+            "wedges": self.wedges,
+            "skews": self.skews,
+            "loss_windows": self.loss_windows,
+            "garbage_sent": self.garbage_sent,
+            "datagrams_dropped": self.datagrams_dropped,
+            "quarantines": self.quarantines,
+            "releases": self.releases,
+            "replaces": self.replaces,
+            "detection_seconds": [round(d, 6) for d in self.detection_seconds],
+            "detection_budget": self.detection_budget,
+            "detector": dict(self.detector_counters),
+            "abandoned": self.abandoned_sessions,
+            "unrouted": self.unrouted,
+            "worker_errors": self.worker_errors,
+            "controller_errors": self.controller_errors,
+            "final_workers": self.final_workers,
+            "outputs_match_twin": self.outputs_match_twin,
+            "error": self.error,
+            "ok": self.ok,
+            "events": [event.as_row() for event in self.events],
+        }
+
+
+def _harvest_controller(result: HealResult, controller: HealthController) -> None:
+    """Fold the controller's audit log into the result row."""
+    result.quarantines = sum(
+        1 for a in controller.actions if a.kind == "quarantine"
+    )
+    result.releases = sum(1 for a in controller.actions if a.kind == "release")
+    result.replaces = len(controller.replaced_ids)
+    result.detector_counters = controller.detector.counters()
+
+
+def run_heal_simulated(
+    case: int = 2,
+    seed: int = 5,
+    rounds: int = 3,
+    clients_per_round: int = 4,
+    start_workers: int = 2,
+    twin_workers: int = 2,
+    wave_timeout: float = 40.0,
+    detection_budget: float = 1.0,
+) -> HealResult:
+    """One seeded self-healing run on the simulated runtime.
+
+    Round 0 always wedges a worker mid-wave (the acceptance scenario:
+    detection and replacement must be driven solely by the
+    :class:`HealthController` started below — the harness never touches
+    ``replace_worker``); later rounds draw wedge / skew / loss / hold
+    from the seeded rng.  A wedge round's settle predicate additionally
+    waits for the controller to have replaced the victim, and the time
+    from wedge to the replace *decision* is checked against
+    ``detection_budget`` (virtual seconds).  Skews stay below the
+    ``fail_after`` hysteresis, so a run in which a skew costs a worker
+    fails the ``replaces == wedges`` clause.
+    """
+    rng = random.Random(seed)
+    total = rounds * clients_per_round
+    network, runtime, clients, target = _deploy_simulated(
+        case, seed, total, start_workers, live_topology=False
+    )
+    controller = HealthController(
+        runtime,
+        FailureDetector(_SIM_HEAL_POLICY),
+        interval=_SIM_HEAL_PROBE_INTERVAL,
+    )
+    controller.start(network)
+
+    result = HealResult(
+        name=f"heal-case-{case}-seed-{seed}",
+        seed=seed,
+        runtime_kind="simulated",
+        rounds=rounds,
+        clients=total,
+        completed=0,
+        detection_budget=detection_budget,
+    )
+    injector = Endpoint("heal-injector.local", 9998, Transport.UDP)
+    started: List[Tuple[object, object]] = []
+    dropped_before = network.dropped
+
+    for round_index in range(rounds):
+        wave = clients[
+            round_index * clients_per_round : (round_index + 1) * clients_per_round
+        ]
+        wave_started = [
+            (client, client.start_lookup(network, target)) for client in wave
+        ]
+        started.extend(wave_started)
+        network.run_for(0.004)
+        kind = "wedge" if round_index == 0 else rng.choice(_HEAL_FAULT_KINDS)
+        victim: Optional[int] = None
+        wedge_at = 0.0
+        if kind == "wedge":
+            victim = rng.choice(list(runtime.worker_ids))
+            duration = rng.uniform(0.5, 0.9)
+            wedge_at = network.now()
+            wedge_simulated_worker(runtime, network, victim, duration)
+            result.wedges += 1
+            result.events.append(
+                ChaosEvent(
+                    round_index, "wedge", f"worker {victim} for {duration:.2f}s"
+                )
+            )
+        elif kind == "skew":
+            skewed = rng.choice(list(runtime.worker_ids))
+            controller.skew_probes(
+                skewed, _SIM_HEAL_POLICY.heartbeat_wedge_threshold, probes=3
+            )
+            result.skews += 1
+            result.events.append(
+                ChaosEvent(round_index, "skew", f"worker {skewed} x3 pulses")
+            )
+        elif kind == "hold":
+            result.events.append(ChaosEvent(round_index, "hold"))
+        result.garbage_sent += _send_garbage(network, runtime, injector)
+        result.events.append(ChaosEvent(round_index, "garbage"))
+        wave_settled = network.run_until(
+            lambda: all(
+                client.lookup_result(key) is not None
+                for client, key in wave_started
+            )
+            and not runtime.scaling_in_progress
+            and (victim is None or victim in controller.replaced_ids),
+            timeout=wave_timeout,
+        )
+        if victim is not None:
+            decisions = [
+                a
+                for a in controller.actions
+                if a.kind == "replace"
+                and a.worker_id == victim
+                and a.at >= wedge_at
+            ]
+            if decisions:
+                result.detection_seconds.append(decisions[0].at - wedge_at)
+            result.events.append(
+                ChaosEvent(
+                    round_index,
+                    "replace",
+                    f"worker {victim} healed"
+                    if decisions
+                    else f"worker {victim} NOT healed",
+                )
+            )
+        network.run_for(3 * runtime.drain_poll_interval)
+        if kind == "loss" and wave_settled:
+            loss = rng.uniform(0.5, 1.0)
+            network.loss_rate = loss
+            result.garbage_sent += _send_garbage(network, runtime, injector)
+            network.run_for(0.05)
+            network.loss_rate = 0.0
+            result.loss_windows += 1
+            result.events.append(
+                ChaosEvent(round_index, "loss", f"rate={loss:.2f}")
+            )
+
+    network.run_until(
+        lambda: all(client.lookup_result(key) is not None for client, key in started)
+        and not runtime.scaling_in_progress,
+        timeout=wave_timeout,
+    )
+    controller.stop()
+    result.completed = sum(
+        1
+        for client, key in started
+        if (found := client.lookup_result(key)) is not None and found.found
+    )
+    result.datagrams_dropped = network.dropped - dropped_before
+    result.abandoned_sessions = len(runtime.evicted_sessions)
+    result.unrouted = runtime.unrouted_datagrams
+    result.final_workers = runtime.worker_count
+    result.scale_events = list(runtime.scale_events)
+    _harvest_controller(result, controller)
+    heal_bytes = _collect_bytes(clients)
+
+    result.outputs_match_twin = heal_bytes == _twin_bytes(
+        case, seed, total, twin_workers, wave_timeout, live_topology=False
+    )
+    return result
+
+
+def run_heal_live(
+    case: int = 2,
+    seed: int = 5,
+    rounds: int = 2,
+    clients_per_round: int = 4,
+    start_workers: int = 2,
+    twin_workers: int = 2,
+    wave_timeout: float = 20.0,
+    detection_budget: float = 2.0,
+) -> HealResult:
+    """One seeded self-healing run on the **live** runtime.
+
+    The network itself is the fault injector: a
+    :class:`~repro.network.sockets.FaultyNetwork` whose seeded loss
+    windows drop / duplicate / reorder real UDP datagrams.  Round 0
+    wedges a worker loop mid-wave (a blocking job posted to its queue)
+    and polls until the :class:`LiveHealthController`'s thread replaces
+    it; the last round opens a loss window over a garbage burst — only
+    after its wave settled, so loss can only eat garbage and the
+    zero-drop contract stays meaningful.  Detection times are wall-clock
+    (``SocketNetwork.now()``, the same monotonic clock the worker loops
+    stamp their heartbeats with).
+    """
+    import time as _time
+
+    from ..network.sockets import FaultyNetwork
+
+    rng = random.Random(seed)
+    total = rounds * clients_per_round
+    clients, service, target = _case_parts(case, total, live=True)
+    network = FaultyNetwork(seed=seed)
+    runtime = LiveShardedRuntime.from_bridge(
+        _live_bridge(case, 0.0), workers=start_workers
+    )
+    controller = LiveHealthController(
+        runtime,
+        FailureDetector(_LIVE_HEAL_POLICY),
+        interval=_LIVE_HEAL_PROBE_INTERVAL,
+    )
+    result = HealResult(
+        name=f"heal-live-case-{case}-seed-{seed}",
+        seed=seed,
+        runtime_kind="live",
+        rounds=rounds,
+        clients=total,
+        completed=0,
+        detection_budget=detection_budget,
+    )
+    injector = Endpoint(_LIVE_HOST, 45998, Transport.UDP)
+    started: List[Tuple[object, object]] = []
+
+    def wave_done(pairs) -> bool:
+        return all(client.lookup_result(key) is not None for client, key in pairs)
+
+    def await_wave(pairs) -> None:
+        deadline = _time.monotonic() + wave_timeout
+        while _time.monotonic() < deadline and not wave_done(pairs):
+            if runtime.worker_errors:
+                return
+            _time.sleep(0.002)
+
+    try:
+        runtime.deploy(network)
+        network.attach(service)
+        for client in clients:
+            network.attach(client)
+        controller.start()
+        for round_index in range(rounds):
+            wave = clients[
+                round_index * clients_per_round : (round_index + 1) * clients_per_round
+            ]
+            wave_started = [
+                (client, client.start_lookup(network, target)) for client in wave
+            ]
+            started.extend(wave_started)
+            if round_index == 0:
+                # The acceptance wedge: stall one loop mid-wave, then
+                # wait for the control thread — and only it — to notice
+                # and replace the worker.
+                victim = rng.choice(list(runtime.worker_ids))
+                duration = 0.8
+                wedge_at = _time.monotonic()
+                wedge_live_worker(runtime, victim, duration)
+                result.wedges += 1
+                result.events.append(
+                    ChaosEvent(
+                        round_index, "wedge", f"worker {victim} for {duration:.2f}s"
+                    )
+                )
+                result.garbage_sent += _send_garbage(network, runtime, injector)
+                result.events.append(ChaosEvent(round_index, "garbage"))
+                heal_deadline = _time.monotonic() + wave_timeout
+                while (
+                    _time.monotonic() < heal_deadline
+                    and victim not in controller.replaced_ids
+                ):
+                    if runtime.worker_errors or controller.errors:
+                        break
+                    _time.sleep(0.01)
+                decisions = [
+                    a
+                    for a in controller.actions
+                    if a.kind == "replace"
+                    and a.worker_id == victim
+                    and a.at >= wedge_at
+                ]
+                if decisions:
+                    result.detection_seconds.append(decisions[0].at - wedge_at)
+                result.events.append(
+                    ChaosEvent(
+                        round_index,
+                        "replace",
+                        f"worker {victim} healed"
+                        if decisions
+                        else f"worker {victim} NOT healed",
+                    )
+                )
+                await_wave(wave_started)
+            else:
+                result.garbage_sent += _send_garbage(network, runtime, injector)
+                result.events.append(ChaosEvent(round_index, "garbage"))
+                await_wave(wave_started)
+                # The wave settled: a loss window now can only eat the
+                # garbage burst below (plus its duplicates/reorders).
+                plan = network.open_loss_window()
+                result.garbage_sent += _send_garbage(network, runtime, injector)
+                _time.sleep(0.05)
+                network.close_loss_window()
+                result.loss_windows += 1
+                result.events.append(
+                    ChaosEvent(
+                        round_index,
+                        "loss",
+                        f"window {plan.window}: {len(plan.decisions)} verdicts, "
+                        f"{network.udp_dropped} dropped",
+                    )
+                )
+        await_wave(started)
+        result.completed = sum(
+            1
+            for client, key in started
+            if (found := client.lookup_result(key)) is not None and found.found
+        )
+        result.datagrams_dropped = network.udp_dropped
+        result.abandoned_sessions = len(runtime.evicted_sessions)
+        result.unrouted = runtime.unrouted_datagrams
+        result.worker_errors = len(runtime.worker_errors)
+        result.final_workers = runtime.worker_count
+        result.scale_events = list(runtime.scale_events)
+        heal_bytes = _collect_bytes(clients)
+    finally:
+        controller.stop()
+        runtime.undeploy()
+        network.close()
+
+    result.controller_errors = len(controller.errors)
+    _harvest_controller(result, controller)
+    result.outputs_match_twin = heal_bytes == _twin_bytes(
+        case, seed, total, twin_workers, wave_timeout, live_topology=True
+    )
+    return result
+
+
+def run_heal(
+    case: int = 2,
+    seeds: Sequence[int] = DEFAULT_HEAL_SEEDS,
+    include_live: bool = False,
+    raise_on_failure: bool = True,
+    **options,
+) -> List[HealResult]:
+    """The self-healing sweep: one simulated run per seed (plus one live).
+
+    Mirrors :func:`run_chaos`: with ``raise_on_failure`` a red run raises
+    ``RuntimeError`` naming its seed and repro command; a run that
+    *crashes* is folded into a failed row carrying its seed; only
+    pre-flight configuration mistakes raise directly.
+    """
+    if not seeds:
+        raise ConfigurationError(
+            "a heal sweep needs at least one seed — an empty sweep would "
+            "report 'all wedges healed' having injected nothing"
+        )
+    _check_options(case, options)
+    for key in ("wave_timeout", "detection_budget"):
+        value = options.get(key)
+        if value is not None and (
+            not isinstance(value, (int, float)) or value <= 0
+        ):
+            raise ConfigurationError(
+                f"heal option {key!r} must be a positive number, got {value!r}"
+            )
+
+    def _guarded(runner, kind: str, seed: int, **runner_options) -> HealResult:
+        try:
+            return runner(case=case, seed=seed, **runner_options)
+        except Exception as exc:  # noqa: BLE001 - every seed must report
+            prefix = "heal-live" if kind == "live" else "heal"
+            return HealResult(
+                name=f"{prefix}-case-{case}-seed-{seed}",
+                seed=seed,
+                runtime_kind=kind,
+                rounds=0,
+                clients=0,
+                completed=0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    results = [
+        _guarded(run_heal_simulated, "simulated", seed, **options)
+        for seed in seeds
+    ]
+    if include_live:
+        results.append(_guarded(run_heal_live, "live", seeds[0], **options))
+    failures = [result for result in results if not result.ok]
+    if failures and raise_on_failure:
+        first = failures[0]
+        raise RuntimeError(
+            f"heal run {first.name} (seed {first.seed}, {first.runtime_kind}) "
             f"failed: {first.failure_reason()} — reproduce with "
             f"`{first.repro_command()}`"
         )

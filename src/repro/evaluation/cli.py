@@ -25,6 +25,14 @@ fixed-shard twin) and writes ``BENCH_chaos.json``.  Also excluded from
 soak test and benchmark print when a seed fails; ``--chaos-live`` adds a
 real-socket run.
 
+``--table heal`` runs the self-healing sweep: seeded schedules that wedge
+a worker mid-wave (and, live, open real UDP loss windows through a
+:class:`~repro.network.sockets.FaultyNetwork`) while a
+:class:`~repro.runtime.health.FailureDetector` alone must notice,
+quarantine, drain and replace the victim — loss-free and byte-identical
+to the fixed-shard twin.  Writes ``BENCH_heal.json``; ``--seed N``
+replays one schedule and ``--chaos-live`` adds the real-socket run.
+
 ``--table micro`` runs the compiled-vs-interpreted MDL codec micro
 benchmarks of :mod:`repro.evaluation.micro` (gated on the byte-identity
 differential) and writes ``BENCH_micro.json``.  Also excluded from
@@ -49,7 +57,13 @@ import platform
 import sys
 from typing import List, Optional, Sequence
 
-from .chaos import DEFAULT_CHAOS_SEEDS, run_chaos, run_chaos_simulated
+from .chaos import (
+    DEFAULT_CHAOS_SEEDS,
+    DEFAULT_HEAL_SEEDS,
+    run_chaos,
+    run_chaos_simulated,
+    run_heal,
+)
 from .harness import (
     DEFAULT_LIVE_CLIENTS,
     DEFAULT_LIVE_WORKER_COUNTS,
@@ -72,6 +86,7 @@ from .micro import (
 from .tables import (
     format_chaos,
     format_concurrency,
+    format_heal,
     format_elastic,
     format_fig12a,
     format_fig12b,
@@ -87,6 +102,7 @@ __all__ = [
     "build_parser",
     "write_live_sharding_results",
     "write_chaos_results",
+    "write_heal_results",
     "write_micro_results",
     "write_latency_results",
     "write_trace_sample",
@@ -125,6 +141,16 @@ def write_chaos_results(results, case: int) -> str:
     """Write the chaos rows to ``BENCH_chaos.json``."""
     return _write_bench_json(
         "chaos",
+        case=case,
+        seeds=[result.seed for result in results],
+        rows=[result.as_row() for result in results],
+    )
+
+
+def write_heal_results(results, case: int) -> str:
+    """Write the self-healing rows to ``BENCH_heal.json``."""
+    return _write_bench_json(
+        "heal",
         case=case,
         seeds=[result.seed for result in results],
         rows=[result.as_row() for result in results],
@@ -201,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
             "sharding",
             "elastic",
             "chaos",
+            "heal",
             "micro",
             "live-sharding",
             "latency",
@@ -219,12 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="simulation seed (default 7); with --table chaos an explicit "
-        "seed runs exactly that one schedule — the failing-seed repro path",
+        "seed runs exactly that one schedule — the failing-seed repro path "
+        "(same for --table heal)",
     )
     parser.add_argument(
         "--chaos-live",
         action="store_true",
-        help="include a live (real-socket) run in the chaos sweep",
+        help="include a live (real-socket) run in the chaos or heal sweep",
     )
     parser.add_argument(
         "--concurrency-case",
@@ -321,6 +349,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append(f"(rows written to {path})")
         lines.append("")
         if not all(result.ok for result in chaos_results):
+            print("\n".join(lines).rstrip())
+            return 2
+    if args.table == "heal":
+        # Same replay contract as chaos: an explicit --seed runs exactly
+        # that one self-healing schedule.
+        seeds = (args.seed,) if args.seed is not None else DEFAULT_HEAL_SEEDS
+        try:
+            heal_results = run_heal(
+                case=args.concurrency_case,
+                seeds=seeds,
+                include_live=args.chaos_live,
+                raise_on_failure=False,
+            )
+        except ValueError as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_heal(heal_results))
+        path = write_heal_results(heal_results, case=args.concurrency_case)
+        lines.append(f"(rows written to {path})")
+        lines.append("")
+        if not all(result.ok for result in heal_results):
             print("\n".join(lines).rstrip())
             return 2
     if args.table == "micro":

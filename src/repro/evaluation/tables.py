@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .chaos import ChaosResult
+from .chaos import ChaosResult, HealResult
 from .harness import (
     ConcurrencySummary,
     LatencySummary,
@@ -32,6 +32,7 @@ __all__ = [
     "format_live_sharding",
     "format_elastic",
     "format_chaos",
+    "format_heal",
     "format_latency",
     "format_micro",
     "overhead_ratios",
@@ -272,6 +273,52 @@ def format_chaos(results: Sequence[ChaosResult]) -> str:
         lines.append(
             "All runs loss-free: zero dropped/abandoned sessions, "
             "bytes identical to the fixed-shard twin."
+        )
+    return "\n".join(lines)
+
+
+def format_heal(results: Sequence[HealResult]) -> str:
+    """Render the self-healing sweep as a text table.
+
+    One row per seeded run.  ``Replaced`` must equal ``Wedged`` on a
+    green row — every wedged worker healed by the failure detector, no
+    worker lost to a clock skew or a load spike — and ``Detect`` is the
+    worst wedge-to-replace-decision time against the run's budget.
+    """
+    header = (
+        f"{'Run':<28} {'Seed':>5} {'Clients':>8} {'Done':>5} "
+        f"{'Wedged':>7} {'Replaced':>9} {'Quar':>5} {'Detect':>8} "
+        f"{'Dropped':>8} {'Bytes=twin':>11} {'OK':>4}"
+    )
+    lines = [
+        "Self-healing harness - failure detector under injected faults",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for result in results:
+        worst = max(result.detection_seconds, default=0.0)
+        lines.append(
+            f"{result.name:<28} {result.seed:>5} {result.clients:>8} "
+            f"{result.completed:>5} {result.wedges:>7} {result.replaces:>9} "
+            f"{result.quarantines:>5} {worst:>7.3f}s "
+            f"{result.datagrams_dropped:>8} "
+            f"{'yes' if result.outputs_match_twin else 'NO':>11} "
+            f"{'ok' if result.ok else 'FAIL':>4}"
+        )
+    lines.append("-" * len(header))
+    failures = [result for result in results if not result.ok]
+    if failures:
+        for failure in failures:
+            lines.append(
+                f"FAILED seed {failure.seed} ({failure.runtime_kind}): "
+                f"{failure.failure_reason()} — reproduce with "
+                f"`{failure.repro_command()}`"
+            )
+    else:
+        lines.append(
+            "All wedges healed by the detector alone; no spurious "
+            "replacements; outputs byte-identical to the fixed-shard twin."
         )
     return "\n".join(lines)
 

@@ -35,6 +35,16 @@ from .elastic import (
     ElasticController,
     LiveElasticController,
 )
+from .health import (
+    FailureDetector,
+    HealthAction,
+    HealthController,
+    HealthPolicy,
+    HealthProbe,
+    LiveHealthController,
+    wedge_live_worker,
+    wedge_simulated_worker,
+)
 from .live import LiveShardedRuntime, LiveShardRouter, WorkerLoop
 from .metrics import RouterMetrics, ShardMetrics, WorkerMetrics
 from .router import ShardRouter
@@ -60,4 +70,12 @@ __all__ = [
     "AutoscalerPolicy",
     "ElasticController",
     "LiveElasticController",
+    "HealthPolicy",
+    "HealthProbe",
+    "HealthAction",
+    "FailureDetector",
+    "HealthController",
+    "LiveHealthController",
+    "wedge_simulated_worker",
+    "wedge_live_worker",
 ]

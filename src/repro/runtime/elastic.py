@@ -77,6 +77,17 @@ class AutoscalerPolicy:
     #: Consecutive below-watermark observations required before shrinking
     #: (scale-up reacts immediately; scale-down must be sure).
     scale_down_patience: int = 3
+    #: Weight of the serialised-compute backlog (seconds) in the load
+    #: signal: each weighted backlog second counts like that many
+    #: in-flight sessions.  0.0 (the default) keeps the historical
+    #: sessions-only signal.  Session counts miss a worker whose few
+    #: sessions each carry expensive translations; the backlog does not.
+    busy_backlog_weight: float = 0.0
+    #: Weight of the live worker loops' queue depth in the load signal:
+    #: each weighted queued job counts like that many in-flight sessions.
+    #: 0.0 (the default) keeps the historical behaviour; the signal is
+    #: always 0 on the simulation (no queues there).
+    queue_depth_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.min_workers <= 0 or self.max_workers < self.min_workers:
@@ -92,6 +103,27 @@ class AutoscalerPolicy:
             raise ConfigurationError("target_sessions_per_worker must be positive")
         if self.scale_down_patience < 1:
             raise ConfigurationError("scale_down_patience must be >= 1")
+        if self.busy_backlog_weight < 0 or self.queue_depth_weight < 0:
+            raise ConfigurationError(
+                "load-signal weights must be >= 0, got "
+                f"busy_backlog_weight={self.busy_backlog_weight}, "
+                f"queue_depth_weight={self.queue_depth_weight}"
+            )
+
+    def effective_load(self, snapshot: ShardMetrics) -> float:
+        """The weighted load the pool is sized against.
+
+        In-flight sessions plus (optionally) weighted busy-backlog
+        seconds and queued jobs — signals already carried by every
+        snapshot but historically unused, so a worker drowning in
+        expensive translations (or a live loop with a deep queue) now
+        registers as load even while its session count looks modest.
+        """
+        return (
+            snapshot.total_active_sessions
+            + self.busy_backlog_weight * snapshot.total_busy_backlog
+            + self.queue_depth_weight * snapshot.total_queue_depth
+        )
 
 
 class AutoscaleDecision(NamedTuple):
@@ -129,8 +161,8 @@ class Autoscaler:
         policy = self.policy
         now = snapshot.at
         current = snapshot.active_workers or snapshot.worker_count
-        load = snapshot.total_active_sessions
-        per_worker = snapshot.sessions_per_worker
+        load = policy.effective_load(snapshot)
+        per_worker = load / max(1, current)
 
         in_cooldown = (
             self._last_action_at is not None

@@ -188,6 +188,12 @@ class WorkerLoop:
         #: Mutated only while holding the lock, read for metrics.
         self.lock_wait_seconds = 0.0
         self.jobs_executed = 0
+        #: ``time.monotonic()`` of the last job this loop *finished* (the
+        #: same clock as ``SocketNetwork.now()``, so snapshot ages are a
+        #: plain subtraction).  Written only by the loop thread, read
+        #: lock-free for metrics: a wedged loop cannot be asked politely,
+        #: so the liveness signal must not require its lock.
+        self.heartbeat_at = time.monotonic()
         #: Notified after every job, so a drain waiter observes session
         #: completions promptly instead of polling blind.
         self._progress = threading.Condition()
@@ -199,6 +205,7 @@ class WorkerLoop:
     def start(self) -> None:
         if not self._started:
             self._started = True
+            self.heartbeat_at = time.monotonic()
             self._thread.start()
 
     def stop(self) -> None:
@@ -267,6 +274,7 @@ class WorkerLoop:
                     self.errors.append(exc)
                 finally:
                     self.jobs_executed += 1
+            self.heartbeat_at = time.monotonic()
             with self._progress:
                 self._progress.notify_all()
 
@@ -838,13 +846,41 @@ class LiveShardedRuntime(ShardedRuntime):
         self._record_scale("drain-complete", before, target)
 
     # ------------------------------------------------------------------
+    def post_to_worker(self, worker_id: int, job: Callable[[], None]) -> None:
+        """Enqueue ``job`` on one worker's loop (health pings, fault
+        injection); raises for an unknown id."""
+        if worker_id not in self._worker_ids:
+            raise ConfigurationError(f"no worker with id {worker_id!r}")
+        self._loops[self._worker_ids.index(worker_id)].post(job)
+
+    def ping_workers(self) -> None:
+        """Post a no-op job to every worker loop.
+
+        The loops stamp :attr:`WorkerLoop.heartbeat_at` after *every* job,
+        so pinging turns "has this loop made progress lately?" into a
+        question idle loops also answer — without pings an idle-but-fine
+        loop would look exactly like a wedged one.  The health controller
+        calls this once per probe tick.
+        """
+        for loop in list(self._loops):
+            loop.post(lambda: None)
+
     def _worker_metrics(self, index, worker, now, draining, worker_id):
         """The live worker row: engine state read under the loop lock,
-        plus the loop's queue depth and accumulated lock-wait time."""
+        plus the loop's queue depth and accumulated lock-wait time.
+
+        The lock is acquired *non-blocking*: a loop wedged inside a job
+        holds its lock for the whole stall, and a failure detector that
+        blocked here would go blind exactly when it matters.  When the
+        lock is unavailable the row is built from the lock-free signals
+        (queue depth, heartbeat age, error count, session-table sizes read
+        as heuristics) — precisely the probes that reveal the wedge.
+        """
         loop = self._loops[index] if index < len(self._loops) else None
         if loop is None:
             return super()._worker_metrics(index, worker, now, draining, worker_id)
-        with loop.lock:
+        locked = loop.lock.acquire(blocking=False)
+        try:
             return WorkerMetrics(
                 index=index,
                 name=worker.name,
@@ -859,7 +895,11 @@ class LiveShardedRuntime(ShardedRuntime):
                 discriminator_misses=worker.discriminator_misses,
                 garbage_rejects=worker.garbage_rejects,
                 errors=len(loop.errors),
+                heartbeat_age=max(0.0, now - loop.heartbeat_at),
             )
+        finally:
+            if locked:
+                loop.lock.release()
 
     def metrics(self):
         """The shard snapshot plus the socket substrate's error counters.

@@ -100,6 +100,12 @@ class WorkerMetrics:
     #: Live runtime only: exceptions the worker loop caught while running
     #: jobs (``WorkerLoop.errors``); always 0 on the simulation.
     errors: int = 0
+    #: Seconds since the worker last proved liveness: on the live runtime,
+    #: since its loop last finished a job; on the simulation, since the
+    #: health controller's last heartbeat pulse came back through the
+    #: worker's busy clock.  0.0 when no heartbeat has ever been recorded
+    #: (a fresh worker is presumed healthy until probed).
+    heartbeat_age: float = 0.0
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -116,6 +122,7 @@ class WorkerMetrics:
             "discriminator_misses": self.discriminator_misses,
             "garbage_rejects": self.garbage_rejects,
             "errors": self.errors,
+            "heartbeat_age_s": round(self.heartbeat_age, 6),
         }
 
 
@@ -215,6 +222,11 @@ class ShardMetrics:
     @property
     def total_busy_backlog(self) -> float:
         return sum(worker.busy_backlog for worker in self.workers)
+
+    @property
+    def total_queue_depth(self) -> int:
+        """Jobs waiting across every worker loop (0 on the simulation)."""
+        return sum(worker.queue_depth for worker in self.workers)
 
     def as_row(self) -> Dict[str, object]:
         return {

@@ -180,6 +180,12 @@ class ShardedRuntime:
         self._network: Optional[NetworkEngine] = None
         #: Worker ids of the drain in progress, ``None`` when idle.
         self._drain_victims: Optional[List[int]] = None
+        #: Last heartbeat per worker id, in network-clock seconds.  Fed by
+        #: :meth:`note_heartbeat` (the health controller's probe pulses on
+        #: the simulation; the live runtime reads its loops' own
+        #: timestamps instead) — empty until a controller probes, so plain
+        #: deployments schedule nothing and quiesce as before.
+        self._worker_heartbeats: Dict[int, float] = {}
         #: Seconds between drain-completion checks (virtual clock).
         self.drain_poll_interval = DEFAULT_DRAIN_POLL_INTERVAL
         #: The scaling timeline (grow / drain-start / drain-complete).
@@ -321,6 +327,7 @@ class ShardedRuntime:
         self._router = None
         self._network = None
         self._drain_victims = None
+        self._worker_heartbeats.clear()
 
     def _retire_router(self, router: ShardRouter) -> None:
         """Keep a discarded router's edge parse failures in the aggregate.
@@ -558,6 +565,7 @@ class ShardedRuntime:
         """Remove ``worker_id`` from the pool lists, returning its engine."""
         position = self._worker_ids.index(worker_id)
         self._worker_ids.pop(position)
+        self._worker_heartbeats.pop(worker_id, None)
         return self._workers.pop(position)
 
     def _drain_step(self) -> None:
@@ -714,6 +722,31 @@ class ShardedRuntime:
     # ------------------------------------------------------------------
     # metrics plane
     # ------------------------------------------------------------------
+    def note_heartbeat(self, worker_id: int) -> None:
+        """Record that ``worker_id`` proved liveness *now*.
+
+        Called by the health controller's probe pulses (scheduled through
+        the worker's busy clock, so a stalled compute clock delays them —
+        exactly the wedge signature).  A pulse for a worker that has since
+        been retired, or arriving after undeploy, is ignored: heartbeat
+        timers race drains by design.
+        """
+        if self._network is None or worker_id not in self._worker_ids:
+            return
+        self._worker_heartbeats[worker_id] = self._network.now()
+
+    def heartbeat_age(self, worker_id: int, now: float) -> float:
+        """Seconds since ``worker_id``'s last heartbeat; 0.0 if never probed.
+
+        The never-probed default is deliberate: a fresh worker (or a
+        runtime without a health controller) must read as healthy, not as
+        infinitely stale.
+        """
+        last = self._worker_heartbeats.get(worker_id)
+        if last is None:
+            return 0.0
+        return max(0.0, now - last)
+
     def _worker_metrics(
         self,
         index: int,
@@ -735,6 +768,7 @@ class ShardedRuntime:
             worker_id=worker_id,
             discriminator_misses=worker.discriminator_misses,
             garbage_rejects=worker.garbage_rejects,
+            heartbeat_age=self.heartbeat_age(worker_id, now),
         )
 
     def stage_latency(self) -> List[StageLatency]:

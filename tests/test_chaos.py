@@ -9,6 +9,12 @@ reproduction command, so a red run is replayable locally without digging
 through CI logs::
 
     PYTHONPATH=src python -m repro.evaluation --table chaos --seed <seed>
+
+The self-healing soak rides along: seeded schedules that wedge a worker
+loop (and skew probes, flood garbage, open loss windows) mid-wave, where
+the ``FailureDetector`` alone must quarantine, drain and replace the
+victim — still loss-free and byte-exact.  Its repro command is
+``--table heal --seed <seed>``.
 """
 
 from __future__ import annotations
@@ -17,12 +23,16 @@ import pytest
 
 from repro.evaluation.chaos import (
     DEFAULT_CHAOS_SEEDS,
+    DEFAULT_HEAL_SEEDS,
     GARBAGE_PAYLOADS,
     run_chaos,
     run_chaos_live,
     run_chaos_simulated,
+    run_heal,
+    run_heal_live,
+    run_heal_simulated,
 )
-from repro.evaluation.tables import format_chaos
+from repro.evaluation.tables import format_chaos, format_heal
 from repro.network.sockets import loopback_available
 
 live_only = pytest.mark.skipif(
@@ -142,6 +152,103 @@ class TestSimulatedSoak:
         assert "FAILED seed 13" in text and "--seed 13" in text
 
 
+def _heal_repro(seed: int) -> str:
+    return (
+        f"seed {seed} failed — reproduce with "
+        f"`PYTHONPATH=src python -m repro.evaluation --table heal --seed {seed}`"
+    )
+
+
+@pytest.fixture(scope="module")
+def heal_results():
+    """One self-healing run (plus twin) per default heal seed."""
+    return {seed: run_heal_simulated(seed=seed) for seed in DEFAULT_HEAL_SEEDS}
+
+
+class TestHealSoak:
+    @pytest.mark.parametrize("seed", DEFAULT_HEAL_SEEDS)
+    def test_wedges_healed_loss_free_and_byte_exact(self, heal_results, seed):
+        """Acceptance: the detector alone replaces every wedged worker —
+        no spurious replacements, no losses, bytes equal the twin."""
+        result = heal_results[seed]
+        assert result.wedges >= 1, _heal_repro(seed)
+        assert result.replaces == result.wedges, _heal_repro(seed)
+        assert len(result.detection_seconds) == result.wedges, _heal_repro(seed)
+        assert all(
+            detect <= result.detection_budget
+            for detect in result.detection_seconds
+        ), _heal_repro(seed)
+        assert result.completed == result.clients, _heal_repro(seed)
+        assert result.abandoned_sessions == 0, _heal_repro(seed)
+        assert result.unrouted == 0, _heal_repro(seed)
+        assert result.outputs_match_twin, _heal_repro(seed)
+        assert result.ok, _heal_repro(seed)
+
+    def test_detector_ledger_conserved_through_the_schedule(self, heal_results):
+        """Probe accounting survives the churn the schedule causes."""
+        for seed, result in heal_results.items():
+            counters = result.detector_counters
+            assert counters["replaces"] == result.replaces, _heal_repro(seed)
+            # A replaced worker's probe history retires rather than leaks.
+            assert counters["retired_probes"] > 0, _heal_repro(seed)
+            assert counters["probes"] >= counters["bad_probes"], _heal_repro(seed)
+            # Every replacement went through a FAILED trip first.
+            assert counters["trips"] >= counters["replaces"], _heal_repro(seed)
+
+    def test_same_seed_same_heal_schedule(self):
+        """Determinism: one heal seed replays the identical fault schedule
+        (victims, durations, fault kinds) and the identical outcome."""
+        first = run_heal_simulated(seed=17)
+        second = run_heal_simulated(seed=17)
+        assert [(e.kind, e.detail) for e in first.events] == [
+            (e.kind, e.detail) for e in second.events
+        ]
+        assert first.wedges == second.wedges
+        assert first.skews == second.skews
+        assert first.replaces == second.replaces
+        assert first.garbage_sent == second.garbage_sent
+
+    def test_run_heal_raises_with_failing_seed_in_message(self, monkeypatch):
+        import repro.evaluation.chaos as chaos_module
+
+        real = chaos_module.run_heal_simulated
+
+        def sabotage(case=2, seed=5, **kwargs):
+            result = real(case=case, seed=seed, **kwargs)
+            if seed == 17:
+                result.outputs_match_twin = False
+            return result
+
+        monkeypatch.setattr(chaos_module, "run_heal_simulated", sabotage)
+        with pytest.raises(RuntimeError) as excinfo:
+            chaos_module.run_heal(seeds=(5, 17))
+        assert "seed 17" in str(excinfo.value)
+        assert "--table heal --seed 17" in str(excinfo.value)
+
+    def test_crashed_heal_run_becomes_a_failed_row(self, monkeypatch):
+        import repro.evaluation.chaos as chaos_module
+
+        def explode(case=2, seed=5, **kwargs):
+            raise RuntimeError("controller thread died")
+
+        monkeypatch.setattr(chaos_module, "run_heal_simulated", explode)
+        results = chaos_module.run_heal(seeds=(17,), raise_on_failure=False)
+        (row,) = results
+        assert not row.ok
+        assert row.seed == 17
+        assert "RuntimeError: controller thread died" in row.failure_reason()
+
+    def test_format_heal_renders_rows_and_failures(self):
+        results = run_heal(seeds=(5,), raise_on_failure=False)
+        text = format_heal(results)
+        assert "Seed" in text and "Bytes=twin" in text
+        assert "Wedged" in text and "Detect" in text
+        assert "healed by the detector alone" in text
+        results[0].outputs_match_twin = False
+        text = format_heal(results)
+        assert "FAILED seed 5" in text and "--seed 5" in text
+
+
 @live_only
 class TestLiveSoak:
     def test_live_schedule_is_loss_free_and_byte_exact(self):
@@ -157,3 +264,20 @@ class TestLiveSoak:
         assert result.outputs_match_twin, _repro(seed)
         assert result.ok, _repro(seed)
         assert result.membership_ops >= 1, _repro(seed)
+
+    def test_live_wedge_and_loss_window_healed_loss_free(self):
+        """The live heal schedule: a wedged worker thread replaced by the
+        control-thread detector, then a seeded UDP loss window over real
+        sockets — every client answered, bytes equal the simulated twin."""
+        seed = DEFAULT_HEAL_SEEDS[0]
+        result = run_heal_live(seed=seed)
+        assert result.wedges >= 1, _heal_repro(seed)
+        assert result.replaces == result.wedges, _heal_repro(seed)
+        assert result.loss_windows >= 1, _heal_repro(seed)
+        assert result.controller_errors == 0, _heal_repro(seed)
+        assert result.worker_errors == 0, _heal_repro(seed)
+        assert result.completed == result.clients, _heal_repro(seed)
+        assert result.abandoned_sessions == 0, _heal_repro(seed)
+        assert result.unrouted == 0, _heal_repro(seed)
+        assert result.outputs_match_twin, _heal_repro(seed)
+        assert result.ok, _heal_repro(seed)

@@ -11,6 +11,8 @@ the tail workers immediately, but they serve their pinned sessions
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.bridges.specs import slp_to_bonjour_bridge
@@ -245,6 +247,13 @@ def _snapshot(at, workers, sessions, active=None):
     )
 
 
+def _weighted_snapshot(at, sessions, busy_backlog=0.0, queue_depth=0):
+    """A one-worker snapshot carrying the optional load signals."""
+    snap = _snapshot(at, 1, sessions)
+    row = replace(snap.workers[0], busy_backlog=busy_backlog, queue_depth=queue_depth)
+    return replace(snap, workers=(row,))
+
+
 class TestAutoscaler:
     def test_scale_up_reacts_immediately(self):
         scaler = Autoscaler(AutoscalerPolicy())
@@ -318,6 +327,52 @@ class TestAutoscaler:
             AutoscalerPolicy(target_sessions_per_worker=0.0)
         with pytest.raises(ConfigurationError):
             AutoscalerPolicy(scale_down_patience=0)
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(busy_backlog_weight=-0.1)
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(queue_depth_weight=-1.0)
+
+    def test_busy_backlog_weight_counts_backlog_as_load(self):
+        """A worker drowning in expensive translations registers as load
+        even while its session count looks modest."""
+        policy = AutoscalerPolicy(
+            scale_up_at=10.0, busy_backlog_weight=10.0, cooldown=0.0
+        )
+        scaler = Autoscaler(policy)
+        quiet = _weighted_snapshot(0.0, sessions=2)
+        assert policy.effective_load(quiet) == 2.0
+        assert scaler.desired_workers(quiet) is None
+        # Same two sessions, but two seconds of committed compute behind
+        # them: effective load 2 + 10*2 = 22 crosses the watermark.
+        backlogged = _weighted_snapshot(1.0, sessions=2, busy_backlog=2.0)
+        assert policy.effective_load(backlogged) == 22.0
+        assert scaler.desired_workers(backlogged) == 4
+
+    def test_queue_depth_weight_counts_queued_jobs_as_load(self):
+        """A live loop with a deep job queue registers as load even while
+        its session table is small."""
+        policy = AutoscalerPolicy(
+            scale_up_at=10.0, queue_depth_weight=1.0, cooldown=0.0
+        )
+        scaler = Autoscaler(policy)
+        quiet = _weighted_snapshot(0.0, sessions=2)
+        assert scaler.desired_workers(quiet) is None
+        deep = _weighted_snapshot(1.0, sessions=2, queue_depth=28)
+        assert policy.effective_load(deep) == 30.0
+        assert scaler.desired_workers(deep) == 4
+
+    def test_default_weights_preserve_sessions_only_signal(self):
+        """With the default zero weights, backlog and queue depth are
+        invisible: the historical sessions-only behaviour is unchanged."""
+        weighted = Autoscaler(AutoscalerPolicy())
+        plain = Autoscaler(AutoscalerPolicy())
+        hot = _weighted_snapshot(
+            0.0, sessions=30, busy_backlog=99.0, queue_depth=999
+        )
+        assert AutoscalerPolicy().effective_load(hot) == 30.0
+        assert weighted.desired_workers(hot) == plain.desired_workers(
+            _snapshot(0.0, 1, 30)
+        )
 
 
 class TestElasticController:
