@@ -1,0 +1,72 @@
+"""Telemetry benchmark: the collector-overhead gate and the /metrics lint.
+
+The continuous telemetry pipeline (PR 9) must be cheap enough to leave on:
+a :class:`repro.obs.timeseries.MetricsCollector` sampling every deployment
+window may cost at most 5 % of end-to-end throughput — the same ceiling
+the tracing layer promised in PR 7, measured with the same noise control
+(interleaved bare/collected pairs, min of each side, GC disabled, best of
+several attempts; retrying is sound for a *less-than* assertion).
+
+The sweep times the simulated runtime at the shipped collection cadence
+and — when loopback sockets are available — the live runtime at a denser
+one (the live wave finishes in well under a default window).  The live
+half also attaches a :class:`repro.obs.recorder.MetricsEndpoint` to a
+real deployment and scrapes it twice over TCP: both bodies must pass the
+Prometheus text-format lint and every counter must be monotone between
+the scrapes.
+
+Rows land in ``BENCH_telemetry.json``.  To regenerate interactively::
+
+    PYTHONPATH=src python -m repro.evaluation --table telemetry
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.tables import format_telemetry
+from repro.evaluation.telemetry import (
+    COLLECTOR_OVERHEAD_THRESHOLD_PCT,
+    run_telemetry,
+)
+from repro.network.sockets import loopback_available
+
+#: The benchmarked case: SLP clients, Bonjour service (the cheap legacy
+#: legs keep the workload CPU-bound, which is the hard case for an
+#: overhead gate — latency-bound runs hide collection cost in waits).
+CASE = 2
+
+
+def test_collector_overhead_under_gate(capsys, benchmark, bench_results):
+    include_live = loopback_available()
+    result = benchmark.pedantic(
+        run_telemetry,
+        kwargs={"case": CASE, "include_live": include_live},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_telemetry(result))
+    bench_results(
+        "telemetry",
+        [row.as_row() for row in result.rows],
+        case=CASE,
+        include_live=include_live,
+        scrape=result.scrape.as_row() if result.scrape is not None else None,
+        live_skipped=result.live_skipped,
+        ok=result.ok,
+    )
+
+    # The acceptance criterion: always-on collection under the gate on
+    # every runtime that ran, with real windows collected.
+    failures = [row for row in result.rows if not row.ok]
+    assert not failures, (
+        f"collector overhead over the {COLLECTOR_OVERHEAD_THRESHOLD_PCT}% "
+        f"gate: {[(f.runtime_kind, round(f.overhead_pct, 2)) for f in failures]}"
+    )
+    assert all(row.windows > 0 for row in result.rows)
+    if include_live:
+        # The live /metrics endpoint served two lint-clean scrapes with
+        # monotone counters over a real TCP connection.
+        assert result.scrape is not None
+        assert result.scrape.ok, result.scrape.problems[:5]
+        assert any(row.runtime_kind == "live" for row in result.rows)

@@ -41,6 +41,12 @@ from ..bridges.specs import BRIDGE_BUILDERS, CASE_NAMES
 from ..core.errors import ConfigurationError
 from ..network.addressing import Endpoint, Transport
 from ..network.simulated import SimulatedNetwork
+from ..obs import (
+    EventJournal,
+    FlightRecorder,
+    LiveMetricsCollector,
+    MetricsCollector,
+)
 from ..runtime import (
     FailureDetector,
     HealthController,
@@ -764,6 +770,11 @@ _LIVE_HEAL_POLICY = HealthPolicy(
 )
 _LIVE_HEAL_PROBE_INTERVAL = 0.05
 
+#: Telemetry cadence of the heal runs (timeline seconds per window):
+#: denser than the production default so the windows around a wedge and
+#: its replacement resolve the incident, not just bracket it.
+_HEAL_COLLECTOR_WINDOW = 0.05
+
 
 @dataclass
 class HealResult:
@@ -813,6 +824,16 @@ class HealResult:
     final_workers: int = 0
     outputs_match_twin: bool = False
     error: Optional[str] = None
+    #: Telemetry windows the run's collector closed (PR 9 pipeline).
+    telemetry_windows: int = 0
+    #: Structured events the run's journal recorded (faults, scale
+    #: events, health actions, session-loss incidents).
+    journal_events: int = 0
+    #: Postmortem bundles the flight recorder captured — one per
+    #: detector quarantine/replace.  Simulated bundles are deterministic
+    #: (byte-stable per seed); the CLI persists them as
+    #: ``POSTMORTEM_*.json``.
+    postmortems: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -903,6 +924,9 @@ class HealResult:
             "outputs_match_twin": self.outputs_match_twin,
             "error": self.error,
             "ok": self.ok,
+            "telemetry_windows": self.telemetry_windows,
+            "journal_events": self.journal_events,
+            "postmortems": len(self.postmortems),
             "events": [event.as_row() for event in self.events],
         }
 
@@ -915,6 +939,32 @@ def _harvest_controller(result: HealResult, controller: HealthController) -> Non
     result.releases = sum(1 for a in controller.actions if a.kind == "release")
     result.replaces = len(controller.replaced_ids)
     result.detector_counters = controller.detector.counters()
+
+
+def _harvest_telemetry(
+    result: HealResult,
+    runtime,
+    collector: MetricsCollector,
+    journal: EventJournal,
+    flight: FlightRecorder,
+) -> None:
+    """Fold the run's telemetry pipeline into the result row.
+
+    Session-loss incidents land on the journal timeline first (a green
+    run records none — ``evicted_sessions`` must be empty), then the
+    counters and the captured postmortem bundles are carried over.  A
+    run whose detector never acted still gets one on-demand bundle, so
+    every heal row has a postmortem to persist.
+    """
+    for record in runtime.evicted_sessions:
+        journal.append(
+            "session-loss", at=record.finished_at, key=str(record.session_key)
+        )
+    if not flight.bundles:
+        flight.capture("run-complete")
+    result.telemetry_windows = collector.samples
+    result.journal_events = journal.appended
+    result.postmortems = list(flight.bundles)
 
 
 def run_heal_simulated(
@@ -942,13 +992,36 @@ def run_heal_simulated(
     """
     rng = random.Random(seed)
     total = rounds * clients_per_round
+    # Full span sampling: the postmortem bundles below must carry
+    # complete span trees (tracing never changes outputs or the virtual
+    # timeline, so the twin comparison and detector decisions are
+    # unaffected).
     network, runtime, clients, target = _deploy_simulated(
-        case, seed, total, start_workers, live_topology=False
+        case, seed, total, start_workers, live_topology=False,
+        trace_sample=1.0,
     )
+    # The telemetry pipeline rides along: windowed time-series on the
+    # virtual timer wheel, a structured journal on the virtual clock,
+    # and a *deterministic* flight recorder — every wall-clock-derived
+    # field is stripped from its bundles, so one seed dumps byte-stable
+    # postmortems.
+    collector = MetricsCollector(runtime, window=_HEAL_COLLECTOR_WINDOW)
+    journal = EventJournal(clock=network.now)
+    flight = FlightRecorder(
+        collector=collector,
+        journal=journal,
+        tracer=runtime.tracer,
+        deterministic=True,
+    )
+    runtime.journal = journal
+    collector.start(network)
     controller = HealthController(
         runtime,
         FailureDetector(_SIM_HEAL_POLICY),
         interval=_SIM_HEAL_PROBE_INTERVAL,
+        collector=collector,
+        journal=journal,
+        flight_recorder=flight,
     )
     controller.start(network)
 
@@ -983,6 +1056,13 @@ def run_heal_simulated(
             wedge_at = network.now()
             wedge_simulated_worker(runtime, network, victim, duration)
             result.wedges += 1
+            journal.append(
+                "fault",
+                at=wedge_at,
+                fault="wedge",
+                worker_id=victim,
+                seconds=round(duration, 6),
+            )
             result.events.append(
                 ChaosEvent(
                     round_index, "wedge", f"worker {victim} for {duration:.2f}s"
@@ -994,6 +1074,9 @@ def run_heal_simulated(
                 skewed, _SIM_HEAL_POLICY.heartbeat_wedge_threshold, probes=3
             )
             result.skews += 1
+            journal.append(
+                "fault", at=network.now(), fault="skew", worker_id=skewed, probes=3
+            )
             result.events.append(
                 ChaosEvent(round_index, "skew", f"worker {skewed} x3 pulses")
             )
@@ -1033,6 +1116,9 @@ def run_heal_simulated(
         if kind == "loss" and wave_settled:
             loss = rng.uniform(0.5, 1.0)
             network.loss_rate = loss
+            journal.append(
+                "fault", at=network.now(), fault="loss", rate=round(loss, 6)
+            )
             result.garbage_sent += _send_garbage(network, runtime, injector)
             network.run_for(0.05)
             network.loss_rate = 0.0
@@ -1047,6 +1133,7 @@ def run_heal_simulated(
         timeout=wave_timeout,
     )
     controller.stop()
+    collector.stop()
     result.completed = sum(
         1
         for client, key in started
@@ -1058,6 +1145,7 @@ def run_heal_simulated(
     result.final_workers = runtime.worker_count
     result.scale_events = list(runtime.scale_events)
     _harvest_controller(result, controller)
+    _harvest_telemetry(result, runtime, collector, journal, flight)
     heal_bytes = _collect_bytes(clients)
 
     result.outputs_match_twin = heal_bytes == _twin_bytes(
@@ -1100,10 +1188,22 @@ def run_heal_live(
     runtime = LiveShardedRuntime.from_bridge(
         _live_bridge(case, 0.0), workers=start_workers
     )
+    # Live telemetry: a daemon collector thread and a wall-clock journal.
+    # Bundles here are *not* deterministic (real time, real scheduling) —
+    # only the simulated runs promise byte-stable postmortems.
+    collector = LiveMetricsCollector(runtime, window=_HEAL_COLLECTOR_WINDOW)
+    journal = EventJournal(clock=network.now)
+    flight = FlightRecorder(
+        collector=collector, journal=journal, tracer=runtime.tracer
+    )
+    runtime.journal = journal
     controller = LiveHealthController(
         runtime,
         FailureDetector(_LIVE_HEAL_POLICY),
         interval=_LIVE_HEAL_PROBE_INTERVAL,
+        collector=collector,
+        journal=journal,
+        flight_recorder=flight,
     )
     result = HealResult(
         name=f"heal-live-case-{case}-seed-{seed}",
@@ -1132,6 +1232,7 @@ def run_heal_live(
         network.attach(service)
         for client in clients:
             network.attach(client)
+        collector.start()
         controller.start()
         for round_index in range(rounds):
             wave = clients[
@@ -1150,6 +1251,13 @@ def run_heal_live(
                 wedge_at = _time.monotonic()
                 wedge_live_worker(runtime, victim, duration)
                 result.wedges += 1
+                journal.append(
+                    "fault",
+                    at=wedge_at,
+                    fault="wedge",
+                    worker_id=victim,
+                    seconds=round(duration, 6),
+                )
                 result.events.append(
                     ChaosEvent(
                         round_index, "wedge", f"worker {victim} for {duration:.2f}s"
@@ -1191,6 +1299,9 @@ def run_heal_live(
                 # The wave settled: a loss window now can only eat the
                 # garbage burst below (plus its duplicates/reorders).
                 plan = network.open_loss_window()
+                journal.append(
+                    "fault", at=network.now(), fault="loss", window=plan.window
+                )
                 result.garbage_sent += _send_garbage(network, runtime, injector)
                 _time.sleep(0.05)
                 network.close_loss_window()
@@ -1216,12 +1327,17 @@ def run_heal_live(
         result.final_workers = runtime.worker_count
         result.scale_events = list(runtime.scale_events)
         heal_bytes = _collect_bytes(clients)
+        # Stop the collector while the deployment is still up: a collect
+        # racing ``undeploy`` would record a spurious error.
+        collector.stop()
+        _harvest_telemetry(result, runtime, collector, journal, flight)
     finally:
+        collector.stop()
         controller.stop()
         runtime.undeploy()
         network.close()
 
-    result.controller_errors = len(controller.errors)
+    result.controller_errors = len(controller.errors) + len(collector.errors)
     _harvest_controller(result, controller)
     result.outputs_match_twin = heal_bytes == _twin_bytes(
         case, seed, total, twin_workers, wave_timeout, live_topology=True

@@ -38,6 +38,19 @@ benchmarks of :mod:`repro.evaluation.micro` (gated on the byte-identity
 differential) and writes ``BENCH_micro.json``.  Also excluded from
 ``all``: it measures the machine, not the model.
 
+``--table telemetry`` runs the continuous-telemetry checks of
+:mod:`repro.evaluation.telemetry`: the collector-overhead gate (< 5 %
+end-to-end on both runtimes, interleaved min-of-pairs timing) and two
+real-TCP scrapes of a live deployment's ``/metrics`` endpoint, linted
+against the Prometheus text-format grammar with counters checked for
+monotonicity.  Writes ``BENCH_telemetry.json``; the live rows are
+skipped gracefully when loopback sockets cannot be bound.  Also excluded
+from ``all``: the overhead rows time the machine.
+
+``--table heal`` additionally persists every flight-recorder bundle its
+runs captured as ``POSTMORTEM_<run>_<n>.json`` — simulated bundles are
+deterministic per seed (byte-stable across replays).
+
 ``--table latency`` runs the stage-latency attribution of
 :mod:`repro.obs` — the concurrency and sharding workloads with full
 tracing, p50/p95/p99 per pipeline stage on both runtimes — and writes
@@ -94,7 +107,12 @@ from .tables import (
     format_live_sharding,
     format_micro,
     format_sharding,
+    format_telemetry,
     overhead_ratios,
+)
+from .telemetry import (
+    COLLECTOR_OVERHEAD_THRESHOLD_PCT,
+    run_telemetry,
 )
 
 __all__ = [
@@ -105,6 +123,8 @@ __all__ = [
     "write_heal_results",
     "write_micro_results",
     "write_latency_results",
+    "write_telemetry_results",
+    "write_postmortems",
     "write_trace_sample",
 ]
 
@@ -155,6 +175,39 @@ def write_heal_results(results, case: int) -> str:
         seeds=[result.seed for result in results],
         rows=[result.as_row() for result in results],
     )
+
+
+def write_telemetry_results(result) -> str:
+    """Write the telemetry rows to ``BENCH_telemetry.json``."""
+    return _write_bench_json(
+        "telemetry",
+        case=result.case,
+        rows=[row.as_row() for row in result.rows],
+        scrape=result.scrape.as_row() if result.scrape is not None else None,
+        live_skipped=result.live_skipped,
+        ok=result.ok,
+    )
+
+
+def write_postmortems(results) -> List[str]:
+    """Persist every heal run's flight-recorder bundles, one JSON per bundle.
+
+    Files are named ``POSTMORTEM_<run>_<n>.json``.  Simulated bundles
+    are captured with ``deterministic=True`` — same seed, same bytes —
+    so archiving them per CI run makes telemetry regressions diffable.
+    """
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR", os.getcwd())
+    paths: List[str] = []
+    for result in results:
+        for index, bundle in enumerate(result.postmortems):
+            path = os.path.join(
+                results_dir, f"POSTMORTEM_{result.name}_{index}.json"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(bundle, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            paths.append(path)
+    return paths
 
 
 def write_micro_results(result) -> str:
@@ -231,15 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
             "micro",
             "live-sharding",
             "latency",
+            "telemetry",
             "all",
         ],
         default="all",
         help="which table to regenerate ('all' covers the simulated tables; "
-        "chaos, micro, live-sharding and latency must be asked for — chaos "
-        "runs the seeded fault-injection sweep, micro times the compiled "
-        "codecs against the interpreters, live-sharding binds real loopback "
-        "sockets, latency prints per-stage p50/p95/p99 from the tracing "
-        "layer)",
+        "chaos, micro, live-sharding, latency and telemetry must be asked "
+        "for — chaos runs the seeded fault-injection sweep, micro times the "
+        "compiled codecs against the interpreters, live-sharding binds real "
+        "loopback sockets, latency prints per-stage p50/p95/p99 from the "
+        "tracing layer, telemetry gates the metrics collector's overhead "
+        "and lints the live /metrics endpoint)",
     )
     parser.add_argument(
         "--seed",
@@ -369,6 +424,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append(format_heal(heal_results))
         path = write_heal_results(heal_results, case=args.concurrency_case)
         lines.append(f"(rows written to {path})")
+        for postmortem_path in write_postmortems(heal_results):
+            lines.append(f"(postmortem written to {postmortem_path})")
         lines.append("")
         if not all(result.ok for result in heal_results):
             print("\n".join(lines).rstrip())
@@ -438,6 +495,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace_path = write_trace_sample(case=args.concurrency_case, seed=seed)
         lines.append(f"(sample trace export written to {trace_path})")
         lines.append("")
+    if args.table == "telemetry":
+        try:
+            telemetry_result = run_telemetry(case=args.concurrency_case)
+        except (ValueError, RuntimeError, OSError) as exc:
+            print("\n".join(lines).rstrip())
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lines.append(format_telemetry(telemetry_result))
+        path = write_telemetry_results(telemetry_result)
+        lines.append(f"(rows written to {path})")
+        lines.append("")
+        if not telemetry_result.ok:
+            print("\n".join(lines).rstrip())
+            return 2
 
     print("\n".join(lines).rstrip())
     return 0

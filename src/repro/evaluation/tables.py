@@ -19,6 +19,7 @@ from .harness import (
     Summary,
 )
 from .micro import MicroResult
+from .telemetry import TelemetryResult
 from .workloads import ElasticResult
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "format_heal",
     "format_latency",
     "format_micro",
+    "format_telemetry",
     "overhead_ratios",
 ]
 
@@ -349,6 +351,50 @@ def format_latency(rows: Sequence[LatencySummary]) -> str:
             f"{row.p95_us:>9.2f} {row.p99_us:>9.2f}"
         )
     lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def format_telemetry(result: TelemetryResult) -> str:
+    """Render the continuous-telemetry checks as a text table.
+
+    One row per runtime: end-to-end wall time with the metrics collector
+    off vs on (interleaved min-of-pairs, so the delta isolates the
+    collector from machine noise) against the < 5 % gate.  Below the
+    rows, the live ``/metrics`` scrape verdict: two scrapes over real
+    TCP, linted against the Prometheus text-format grammar, counters
+    checked for monotonicity between them.
+    """
+    header = (
+        f"{'Runtime':<10} {'Clients':>8} {'Workers':>8} {'Bare (ms)':>10} "
+        f"{'Collected (ms)':>15} {'Overhead':>9} {'Windows':>8} {'OK':>4}"
+    )
+    lines = [
+        "Continuous telemetry - collector overhead gate and /metrics lint",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.runtime_kind:<10} {row.clients:>8} {row.workers:>8} "
+            f"{row.bare_ms:>10.2f} {row.collected_ms:>15.2f} "
+            f"{row.overhead_pct:>+8.2f}% {row.windows:>8} "
+            f"{'ok' if row.ok else 'FAIL':>4}"
+        )
+    lines.append("-" * len(header))
+    scrape = result.scrape
+    if scrape is not None:
+        lines.append(
+            f"/metrics on port {scrape.port}: {scrape.scrapes} scrapes, "
+            f"{scrape.families} families, {scrape.body_bytes} bytes, "
+            f"lint {'clean' if not scrape.problems else 'FAILED'}, "
+            f"counters {'monotone' if scrape.counters_monotone else 'NOT monotone'}"
+            f" ({'ok' if scrape.ok else 'FAIL'})"
+        )
+        for problem in scrape.problems[:5]:
+            lines.append(f"  lint: {problem}")
+    if result.live_skipped:
+        lines.append(f"live rows skipped: {result.live_skipped}")
     return "\n".join(lines)
 
 

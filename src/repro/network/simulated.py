@@ -164,7 +164,15 @@ class SimulatedNetwork(NetworkEngine):
         if destination.is_multicast:
             members = self._groups.get((destination.host, destination.port), set())
             sender = self.node_for_endpoint(source)
-            return [node for node in members if node is not sender]
+            # Deterministic fan-out order: the per-recipient latency draws
+            # below consume the seeded rng, so iterating the member *set*
+            # (hash order = object addresses) would make delivery times
+            # vary run to run — the byte-stable postmortem contract needs
+            # every draw bound to the same recipient every run.
+            return sorted(
+                (node for node in members if node is not sender),
+                key=lambda node: getattr(node, "name", ""),
+            )
         node = self.node_for_endpoint(destination)
         return [node] if node is not None else []
 

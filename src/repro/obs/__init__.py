@@ -24,6 +24,19 @@ Design notes — sampling encoding, clock domains, ring sizing, and the
 <5 % parse-overhead gate — live in ``docs/observability.md``.
 """
 
+from .recorder import (
+    DEFAULT_JOURNAL_CAPACITY,
+    EventJournal,
+    FlightRecorder,
+    MetricsEndpoint,
+    render_prometheus,
+)
+from .timeseries import (
+    DEFAULT_WINDOW_CAPACITY,
+    DEFAULT_WINDOW_SECONDS,
+    LiveMetricsCollector,
+    MetricsCollector,
+)
 from .tracing import (
     DEFAULT_RING_SIZE,
     DEFAULT_SAMPLE_RATE,
@@ -46,8 +59,11 @@ from .tracing import (
 )
 
 __all__ = [
+    "DEFAULT_JOURNAL_CAPACITY",
     "DEFAULT_RING_SIZE",
     "DEFAULT_SAMPLE_RATE",
+    "DEFAULT_WINDOW_CAPACITY",
+    "DEFAULT_WINDOW_SECONDS",
     "SPAN_PARENTS",
     "STAGES",
     "STAGE_CLASSIFY",
@@ -60,8 +76,14 @@ __all__ = [
     "STAGE_QUEUE_WAIT",
     "STAGE_TRANSITION",
     "STAGE_TRANSLATE",
+    "EventJournal",
+    "FlightRecorder",
     "LatencyHistogram",
+    "LiveMetricsCollector",
+    "MetricsCollector",
+    "MetricsEndpoint",
     "SpanRecorder",
     "Tracer",
     "export_traces",
+    "render_prometheus",
 ]

@@ -182,6 +182,44 @@ class LatencyHistogram:
         self.count += other.count
         self.total_seconds += other.total_seconds
 
+    # -- windowed reads ------------------------------------------------
+    def snapshot(self) -> Tuple[int, float, Tuple[int, ...]]:
+        """An immutable point-in-time view: ``(count, total, buckets)``.
+
+        The snapshot is a plain tuple, so holding one per worker per
+        stage across collection windows costs no histogram objects and
+        no further copies — :meth:`delta` subtracts straight from it.
+        """
+        return (self.count, self.total_seconds, tuple(self.buckets))
+
+    def delta(
+        self, since: Optional[Tuple[int, float, Tuple[int, ...]]] = None
+    ) -> "LatencyHistogram":
+        """The records made *after* ``since`` as a fresh histogram.
+
+        This is what makes quantiles windowed instead of
+        cumulative-since-boot: percentiles of the delta describe only
+        the latest collection window, so warmup never pollutes steady
+        state.  ``since=None`` returns a copy of the whole history.
+        Live threads record without a lock, so a racing snapshot can be
+        momentarily inconsistent; negative differences are clamped to
+        zero rather than poisoning the window.
+        """
+        window = LatencyHistogram()
+        if since is None:
+            window.merge(self)
+            return window
+        count, total, buckets = since
+        window.count = max(0, self.count - count)
+        window.total_seconds = max(0.0, self.total_seconds - total)
+        mine = self.buckets
+        out = window.buckets
+        for index in range(self.BUCKET_COUNT):
+            diff = mine[index] - buckets[index]
+            if diff > 0:
+                out[index] = diff
+        return window
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"LatencyHistogram(count={self.count}, "
@@ -200,7 +238,7 @@ class SpanRecorder:
     single-writer (see the module docstring) and lock-free.
     """
 
-    __slots__ = ("name", "_tracer", "_size", "_ring", "_head", "hists")
+    __slots__ = ("name", "_tracer", "_size", "_ring", "_head", "hists", "seq_high")
 
     def __init__(self, name: str, tracer: "Tracer") -> None:
         self.name = name
@@ -213,6 +251,12 @@ class SpanRecorder:
         self.hists: Dict[str, LatencyHistogram] = {
             stage: LatencyHistogram() for stage in STAGES
         }
+        #: Highest trace sequence number this recorder has seen on a
+        #: sampled span — the ring's high-water mark.  Together with
+        #: :attr:`dropped` it makes ring-sizing regressions visible on
+        #: the metrics rows: a worker whose ``seq_high`` races ahead
+        #: while ``dropped`` climbs needs a bigger ring.
+        self.seq_high = 0
 
     # -- hot-path recording -------------------------------------------
     def record(self, trace: int, stage: str, started: float) -> float:
@@ -267,8 +311,15 @@ class SpanRecorder:
         head = self._head
         self._ring[head % self._size] = span
         self._head = head + 1
+        if span[0] > self.seq_high:
+            self.seq_high = span[0]
 
     # -- export-side reads --------------------------------------------
+    @property
+    def pushed(self) -> int:
+        """Total spans ever pushed (retained + dropped): the conserved sum."""
+        return self._head
+
     @property
     def dropped(self) -> int:
         """Spans overwritten because the ring wrapped."""
@@ -344,6 +395,16 @@ class Tracer:
                 recorder = SpanRecorder(name, self)
                 self._recorders[name] = recorder
             return recorder
+
+    def find(self, name: str) -> Optional[SpanRecorder]:
+        """The named recorder if it already exists (never creates one).
+
+        Metrics readers use this: a worker that has not recorded yet has
+        no recorder, and materialising one per metrics pass would leak
+        empty rings for retired names.
+        """
+        with self._recorder_lock:
+            return self._recorders.get(name)
 
     def recorders(self) -> List[SpanRecorder]:
         with self._recorder_lock:

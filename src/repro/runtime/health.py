@@ -111,6 +111,13 @@ class HealthPolicy:
     #: sick, and the detector then retires whichever worker also shows
     #: the highest local signals.
     network_error_ceiling: int = 8
+    #: Seconds of per-worker windowed worst-stage p99 latency the probe
+    #: tolerates — the grey-failure on-ramp.  **Default off** (``None``):
+    #: the latency term then contributes nothing and detector decisions
+    #: are bit-identical to the gauge-only policy, so existing heal seeds
+    #: are unaffected.  Enable it with a telemetry collector attached
+    #: (the controller feeds ``MetricsCollector.latency_signal()``).
+    latency_p99_ceiling: Optional[float] = None
     #: Consecutive bad probes before a worker is quarantined.
     suspect_after: int = 2
     #: Consecutive bad probes before a worker is replaced.
@@ -129,6 +136,10 @@ class HealthPolicy:
         ):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+        if self.latency_p99_ceiling is not None and self.latency_p99_ceiling <= 0:
+            raise ConfigurationError(
+                "latency_p99_ceiling must be positive when set (None disables)"
+            )
         if self.suspect_after < 1 or self.fail_after < self.suspect_after:
             raise ConfigurationError(
                 "hysteresis must satisfy 1 <= suspect_after <= fail_after, "
@@ -144,21 +155,27 @@ class HealthPolicy:
         busy_backlog: float,
         errors: int = 0,
         network_errors: int = 0,
+        latency_p99: float = 0.0,
     ) -> float:
         """One worker's health score: max of normalised signal ratios.
 
         0.0 is perfectly healthy, >= 1.0 is a bad probe.  Monotone
         non-decreasing in every input (the property tests pin this), and
         an all-zero probe always scores 0.0 — a healthy worker can never
-        trip the detector.
+        trip the detector.  ``latency_p99`` (the worker's windowed
+        worst-stage p99, seconds) only contributes when
+        :attr:`latency_p99_ceiling` is set.
         """
-        return max(
+        score = max(
             max(0.0, heartbeat_age) / self.heartbeat_wedge_threshold,
             max(0, queue_depth) / self.queue_depth_ceiling,
             max(0.0, busy_backlog) / self.busy_backlog_ceiling,
             max(0, errors) / self.error_ceiling,
             max(0, network_errors) / self.network_error_ceiling,
         )
+        if self.latency_p99_ceiling is not None:
+            score = max(score, max(0.0, latency_p99) / self.latency_p99_ceiling)
+        return score
 
 
 class HealthProbe(NamedTuple):
@@ -242,7 +259,11 @@ class FailureDetector:
         }
 
     # ------------------------------------------------------------------
-    def observe(self, snapshot: ShardMetrics) -> List[HealthAction]:
+    def observe(
+        self,
+        snapshot: ShardMetrics,
+        latency: Optional[Dict[int, float]] = None,
+    ) -> List[HealthAction]:
         """Score every worker row; return the actions the caller should take.
 
         At most one ``replace`` per call (the worst-scoring failed
@@ -251,6 +272,12 @@ class FailureDetector:
         would only act on stale state.  ``quarantine`` and ``release``
         carry no such limit — they are ring-membership marks, not
         membership surgery.
+
+        ``latency`` optionally maps worker id → windowed worst-stage p99
+        seconds (``MetricsCollector.latency_signal()``); it feeds the
+        score's latency term, which is inert unless the policy sets
+        ``latency_p99_ceiling`` — so passing it never changes decisions
+        under a gauge-only policy.
         """
         policy = self.policy
         now = snapshot.at
@@ -280,6 +307,7 @@ class FailureDetector:
                 row.busy_backlog,
                 error_delta,
                 net_delta,
+                latency.get(worker_id, 0.0) if latency is not None else 0.0,
             )
             self.probes += 1
             self._probe_counts[worker_id] = (
@@ -368,10 +396,22 @@ class HealthController:
         runtime: ShardedRuntime,
         detector: Optional[FailureDetector] = None,
         interval: float = DEFAULT_PROBE_INTERVAL,
+        collector: Optional[object] = None,
+        journal: Optional[object] = None,
+        flight_recorder: Optional[object] = None,
     ) -> None:
         self.runtime = runtime
         self.detector = detector if detector is not None else FailureDetector()
         self.interval = interval
+        #: Optional telemetry hookups (duck-typed so ``repro.runtime``
+        #: never needs more of :mod:`repro.obs` than it already imports):
+        #: a ``MetricsCollector`` whose ``latency_signal()`` feeds the
+        #: probe scores, an ``EventJournal`` mirroring executed actions,
+        #: and a ``FlightRecorder`` capturing a postmortem bundle on
+        #: every quarantine/replace.  All default off.
+        self.collector = collector
+        self.journal = journal
+        self.flight_recorder = flight_recorder
         #: Actions actually executed, in order (the healing audit log).
         self.actions: List[HealthAction] = []
         #: Worker ids this controller currently holds in quarantine.
@@ -414,7 +454,10 @@ class HealthController:
             return
         self._reassert_quarantine()
         self._pulse()
-        for action in self.detector.observe(runtime.metrics()):
+        latency = (
+            self.collector.latency_signal() if self.collector is not None else None
+        )
+        for action in self.detector.observe(runtime.metrics(), latency=latency):
             self._execute(action)
 
     # ------------------------------------------------------------------
@@ -491,6 +534,23 @@ class HealthController:
                 else:
                     router.cancel_drain()
         self.actions.append(action)
+        if self.journal is not None:
+            self.journal.append(
+                "health",
+                at=action.at,
+                action=action.kind,
+                worker_id=action.worker_id,
+                score=round(action.score, 6),
+            )
+        if self.flight_recorder is not None and action.kind in (
+            "quarantine",
+            "replace",
+        ):
+            self.flight_recorder.capture(
+                f"health:{action.kind}",
+                detail={"worker_id": action.worker_id},
+                at=action.at,
+            )
 
     @property
     def replaced_ids(self) -> List[int]:
@@ -519,8 +579,18 @@ class LiveHealthController(HealthController):
         runtime: ShardedRuntime,
         detector: Optional[FailureDetector] = None,
         interval: float = DEFAULT_PROBE_INTERVAL,
+        collector: Optional[object] = None,
+        journal: Optional[object] = None,
+        flight_recorder: Optional[object] = None,
     ) -> None:
-        super().__init__(runtime, detector, interval)
+        super().__init__(
+            runtime,
+            detector,
+            interval,
+            collector=collector,
+            journal=journal,
+            flight_recorder=flight_recorder,
+        )
         #: Exceptions the control thread swallowed (inspect after a run).
         self.errors: List[BaseException] = []
         self._stop_event = threading.Event()

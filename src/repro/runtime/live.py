@@ -879,6 +879,10 @@ class LiveShardedRuntime(ShardedRuntime):
         loop = self._loops[index] if index < len(self._loops) else None
         if loop is None:
             return super()._worker_metrics(index, worker, now, draining, worker_id)
+        # Ring counters are lock-free reads (single-writer under the loop
+        # lock, but ints tear nowhere under the GIL) — safe even when the
+        # non-blocking acquire below fails on a wedged loop.
+        recorder = self.tracer.find(worker.name)
         locked = loop.lock.acquire(blocking=False)
         try:
             return WorkerMetrics(
@@ -896,12 +900,14 @@ class LiveShardedRuntime(ShardedRuntime):
                 garbage_rejects=worker.garbage_rejects,
                 errors=len(loop.errors),
                 heartbeat_age=max(0.0, now - loop.heartbeat_at),
+                spans_dropped=recorder.dropped if recorder is not None else 0,
+                span_seq_high=recorder.seq_high if recorder is not None else 0,
             )
         finally:
             if locked:
                 loop.lock.release()
 
-    def metrics(self):
+    def metrics(self, include_latency: bool = True):
         """The shard snapshot plus the socket substrate's error counters.
 
         ``network_errors`` is the length of ``SocketNetwork.errors`` (loop
@@ -910,7 +916,7 @@ class LiveShardedRuntime(ShardedRuntime):
         already gone away.  Both land on the router row — they are
         properties of the shared substrate, not of any one worker.
         """
-        snapshot = super().metrics()
+        snapshot = super().metrics(include_latency=include_latency)
         network = self._network
         return replace(
             snapshot,

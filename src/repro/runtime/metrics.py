@@ -106,6 +106,14 @@ class WorkerMetrics:
     #: worker's busy clock.  0.0 when no heartbeat has ever been recorded
     #: (a fresh worker is presumed healthy until probed).
     heartbeat_age: float = 0.0
+    #: Spans overwritten in the worker's trace ring because it wrapped
+    #: (``SpanRecorder.dropped``); a climbing value under default
+    #: sampling means the ring is undersized for the traffic.
+    spans_dropped: int = 0
+    #: Highest trace sequence number the worker's recorder has seen on a
+    #: sampled span (``SpanRecorder.seq_high``).  Read next to
+    #: ``spans_dropped`` it bounds how much history the ring holds.
+    span_seq_high: int = 0
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -123,6 +131,8 @@ class WorkerMetrics:
             "garbage_rejects": self.garbage_rejects,
             "errors": self.errors,
             "heartbeat_age_s": round(self.heartbeat_age, 6),
+            "spans_dropped": self.spans_dropped,
+            "span_seq_high": self.span_seq_high,
         }
 
 

@@ -190,6 +190,12 @@ class ShardedRuntime:
         self.drain_poll_interval = DEFAULT_DRAIN_POLL_INTERVAL
         #: The scaling timeline (grow / drain-start / drain-complete).
         self.scale_events: List[ScaleEvent] = []
+        #: Optional :class:`repro.obs.recorder.EventJournal` (duck-typed:
+        #: anything with ``append(kind, at=..., **fields)``).  When set,
+        #: every scale event is mirrored onto the journal's timeline so
+        #: membership changes interleave with spans and health actions in
+        #: postmortem bundles.  ``None`` (the default) costs nothing.
+        self.journal: Optional[Any] = None
         #: Measurements inherited from workers retired by a drain: their
         #: completed/evicted records and drop counters keep contributing to
         #: the aggregate views below after the worker itself is detached.
@@ -537,6 +543,11 @@ class ShardedRuntime:
     def _record_scale(self, kind: str, before: int, after: int) -> None:
         now = self._network.now() if self._network is not None else 0.0
         self.scale_events.append(ScaleEvent(now, kind, before, after))
+        if self.journal is not None:
+            self.journal.append(
+                "scale", at=now, scale=kind, workers_before=before,
+                workers_after=after,
+            )
 
     def _worker_drained(self, worker_id: int) -> bool:
         """No in-flight sessions and no sticky pins on worker ``worker_id``."""
@@ -757,6 +768,7 @@ class ShardedRuntime:
     ) -> WorkerMetrics:
         """One worker's load row (the live subclass reads under the loop
         lock and adds queue depth and lock-wait time)."""
+        recorder = self.tracer.find(worker.name)
         return WorkerMetrics(
             index=index,
             name=worker.name,
@@ -769,9 +781,26 @@ class ShardedRuntime:
             discriminator_misses=worker.discriminator_misses,
             garbage_rejects=worker.garbage_rejects,
             heartbeat_age=self.heartbeat_age(worker_id, now),
+            spans_dropped=recorder.dropped if recorder is not None else 0,
+            span_seq_high=recorder.seq_high if recorder is not None else 0,
         )
 
-    def stage_latency(self) -> List[StageLatency]:
+    def latency_baseline(self) -> Dict[str, tuple]:
+        """Per-stage histogram snapshots to window :meth:`stage_latency` on.
+
+        Take one before the interval you care about and pass it back as
+        ``since=``: the rows then describe only the records made after
+        the baseline.  The snapshots are plain tuples (cheap to hold,
+        impossible to mutate), merged across every recorder.
+        """
+        return {
+            stage: hist.snapshot()
+            for stage, hist in self.tracer.stage_histograms().items()
+        }
+
+    def stage_latency(
+        self, since: Optional[Dict[str, tuple]] = None
+    ) -> List[StageLatency]:
         """Per-stage latency rows from the tracer's always-on histograms.
 
         Aggregated across the router and every worker recorder (retired
@@ -779,9 +808,19 @@ class ShardedRuntime:
         only stages that observed at least one sample, in pipeline order.
         Works on an undeployed runtime, so a scenario can harvest after
         teardown.
+
+        **Windowing:** by default the quantiles are cumulative since the
+        tracer's creation — which conflates warmup with steady state, so
+        a p99 taken mid-run still carries the first cold parses.  Pass
+        ``since=`` (a :meth:`latency_baseline` taken earlier) to get rows
+        for just that window; the :class:`~repro.obs.timeseries
+        .MetricsCollector` publishes per-worker windowed quantiles the
+        same way, one window at a time.
         """
         rows: List[StageLatency] = []
         for stage, hist in self.tracer.stage_histograms().items():
+            if since is not None:
+                hist = hist.delta(since.get(stage))
             if hist.count == 0:
                 continue
             rows.append(
@@ -805,11 +844,15 @@ class ShardedRuntime:
         """
         return export_traces(self.tracer)
 
-    def metrics(self) -> ShardMetrics:
+    def metrics(self, include_latency: bool = True) -> ShardMetrics:
         """One coherent :class:`ShardMetrics` snapshot of the deployment.
 
         Requires a deployed runtime (the router's counters are part of the
-        snapshot); the autoscaler consumes these.
+        snapshot); the autoscaler consumes these.  ``include_latency=False``
+        skips the merged :meth:`stage_latency` table — merging every
+        recorder's histograms dominates the snapshot's cost, and periodic
+        consumers like the :class:`~repro.obs.timeseries.MetricsCollector`
+        publish per-recorder windowed quantiles instead.
         """
         if self._router is None or self._network is None:
             raise ConfigurationError("metrics() requires a deployed runtime")
@@ -830,7 +873,7 @@ class ShardedRuntime:
             workers=workers,
             router=self._router.metrics(),
             active_workers=self._router.active_worker_count,
-            latency=tuple(self.stage_latency()),
+            latency=tuple(self.stage_latency()) if include_latency else (),
         )
 
     def __repr__(self) -> str:
