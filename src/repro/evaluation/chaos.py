@@ -859,8 +859,10 @@ class HealResult:
             "PYTHONPATH=src python -m repro.evaluation --table heal "
             f"--seed {self.seed}"
         )
-        if self.runtime_kind == "live":
+        if self.runtime_kind.startswith("live"):
             command += " --chaos-live"
+        if self.runtime_kind == "live-aio":
+            command += " --live-runtime aio"
         return command
 
     def failure_reason(self) -> Optional[str]:
@@ -1163,19 +1165,27 @@ def run_heal_live(
     twin_workers: int = 2,
     wave_timeout: float = 20.0,
     detection_budget: float = 2.0,
+    runtime: str = "thread",
 ) -> HealResult:
     """One seeded self-healing run on the **live** runtime.
 
     The network itself is the fault injector: a
     :class:`~repro.network.sockets.FaultyNetwork` whose seeded loss
     windows drop / duplicate / reorder real UDP datagrams.  Round 0
-    wedges a worker loop mid-wave (a blocking job posted to its queue)
+    wedges a worker loop mid-wave (a stalling job posted to its queue)
     and polls until the :class:`LiveHealthController`'s thread replaces
     it; the last round opens a loss window over a garbage burst — only
     after its wave settled, so loss can only eat garbage and the
     zero-drop contract stays meaningful.  Detection times are wall-clock
     (``SocketNetwork.now()``, the same monotonic clock the worker loops
     stamp their heartbeats with).
+
+    ``runtime`` picks the live substrate: ``"thread"`` runs the
+    thread-per-worker runtime on :class:`FaultyNetwork`; ``"aio"`` runs
+    the event-loop runtime on
+    :class:`~repro.network.aio.AsyncFaultyNetwork` — same seeded fault
+    plan, same heal choreography, the wedge being an awaited
+    ``asyncio.sleep`` so only the victim's queue stalls.
     """
     import time as _time
 
@@ -1184,8 +1194,22 @@ def run_heal_live(
     rng = random.Random(seed)
     total = rounds * clients_per_round
     clients, service, target = _case_parts(case, total, live=True)
-    network = FaultyNetwork(seed=seed)
-    runtime = LiveShardedRuntime.from_bridge(
+    if runtime == "thread":
+        network = FaultyNetwork(seed=seed)
+        runtime_class = LiveShardedRuntime
+        kind = "live"
+    elif runtime == "aio":
+        from ..network.aio import AsyncFaultyNetwork
+        from ..runtime.aio_live import AsyncLiveShardedRuntime
+
+        network = AsyncFaultyNetwork(seed=seed)
+        runtime_class = AsyncLiveShardedRuntime
+        kind = "live-aio"
+    else:
+        raise ConfigurationError(
+            f"unknown live runtime {runtime!r}; use 'thread' or 'aio'"
+        )
+    runtime = runtime_class.from_bridge(
         _live_bridge(case, 0.0), workers=start_workers
     )
     # Live telemetry: a daemon collector thread and a wall-clock journal.
@@ -1206,9 +1230,9 @@ def run_heal_live(
         flight_recorder=flight,
     )
     result = HealResult(
-        name=f"heal-live-case-{case}-seed-{seed}",
+        name=f"heal-{kind}-case-{case}-seed-{seed}",
         seed=seed,
-        runtime_kind="live",
+        runtime_kind=kind,
         rounds=rounds,
         clients=total,
         completed=0,
@@ -1350,6 +1374,7 @@ def run_heal(
     seeds: Sequence[int] = DEFAULT_HEAL_SEEDS,
     include_live: bool = False,
     raise_on_failure: bool = True,
+    live_runtime: str = "thread",
     **options,
 ) -> List[HealResult]:
     """The self-healing sweep: one simulated run per seed (plus one live).
@@ -1357,8 +1382,15 @@ def run_heal(
     Mirrors :func:`run_chaos`: with ``raise_on_failure`` a red run raises
     ``RuntimeError`` naming its seed and repro command; a run that
     *crashes* is folded into a failed row carrying its seed; only
-    pre-flight configuration mistakes raise directly.
+    pre-flight configuration mistakes raise directly.  ``live_runtime``
+    picks the substrate of the live run — ``"thread"``, ``"aio"``, or
+    ``"both"`` for one live row per substrate.
     """
+    if live_runtime not in ("thread", "aio", "both"):
+        raise ConfigurationError(
+            f"unknown live runtime {live_runtime!r}; use 'thread', 'aio' "
+            "or 'both'"
+        )
     if not seeds:
         raise ConfigurationError(
             "a heal sweep needs at least one seed — an empty sweep would "
@@ -1378,7 +1410,7 @@ def run_heal(
         try:
             return runner(case=case, seed=seed, **runner_options)
         except Exception as exc:  # noqa: BLE001 - every seed must report
-            prefix = "heal-live" if kind == "live" else "heal"
+            prefix = f"heal-{kind}" if kind.startswith("live") else "heal"
             return HealResult(
                 name=f"{prefix}-case-{case}-seed-{seed}",
                 seed=seed,
@@ -1394,7 +1426,16 @@ def run_heal(
         for seed in seeds
     ]
     if include_live:
-        results.append(_guarded(run_heal_live, "live", seeds[0], **options))
+        flavours = (
+            ("thread", "aio") if live_runtime == "both" else (live_runtime,)
+        )
+        for flavour in flavours:
+            kind = "live" if flavour == "thread" else "live-aio"
+            results.append(
+                _guarded(
+                    run_heal_live, kind, seeds[0], runtime=flavour, **options
+                )
+            )
     failures = [result for result in results if not result.ok]
     if failures and raise_on_failure:
         first = failures[0]

@@ -310,6 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="include a live (real-socket) run in the chaos or heal sweep",
     )
     parser.add_argument(
+        "--live-runtime",
+        choices=["thread", "aio", "both"],
+        default="thread",
+        help="live substrate for the live-sharding, heal and telemetry "
+        "tables: the thread-per-worker runtime, the asyncio event-loop "
+        "runtime, or (live-sharding and heal only) both side by side",
+    )
+    parser.add_argument(
         "--concurrency-case",
         type=int,
         default=2,
@@ -416,6 +424,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seeds=seeds,
                 include_live=args.chaos_live,
                 raise_on_failure=False,
+                live_runtime=args.live_runtime,
             )
         except ValueError as exc:
             print("\n".join(lines).rstrip())
@@ -450,12 +459,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append(f"(rows written to {path})")
         lines.append("")
     if args.table == "live-sharding":
+        flavours = (
+            ("thread", "aio")
+            if args.live_runtime == "both"
+            else (args.live_runtime,)
+        )
+        live_rows = []
         try:
-            live_rows = run_live_sharding(
-                case=args.concurrency_case,
-                clients=args.live_clients,
-                worker_counts=DEFAULT_LIVE_WORKER_COUNTS,
-            )
+            for flavour in flavours:
+                live_rows.extend(
+                    run_live_sharding(
+                        case=args.concurrency_case,
+                        clients=args.live_clients,
+                        worker_counts=DEFAULT_LIVE_WORKER_COUNTS,
+                        runtime=flavour,
+                    )
+                )
         except (ValueError, OSError, RuntimeError) as exc:
             print("\n".join(lines).rstrip())
             print(f"error: {exc}", file=sys.stderr)
@@ -496,8 +515,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lines.append(f"(sample trace export written to {trace_path})")
         lines.append("")
     if args.table == "telemetry":
+        # Telemetry gates one live substrate per invocation; "both" falls
+        # back to the thread default (run twice to compare substrates).
+        telemetry_runtime = (
+            args.live_runtime if args.live_runtime != "both" else "thread"
+        )
         try:
-            telemetry_result = run_telemetry(case=args.concurrency_case)
+            telemetry_result = run_telemetry(
+                case=args.concurrency_case, live_runtime=telemetry_runtime
+            )
         except (ValueError, RuntimeError, OSError) as exc:
             print("\n".join(lines).rstrip())
             print(f"error: {exc}", file=sys.stderr)

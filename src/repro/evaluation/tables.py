@@ -161,7 +161,7 @@ def format_live_sharding(rows: Sequence[LiveShardingSummary]) -> str:
     the deterministic simulated twin of the same topology.
     """
     header = (
-        f"{'Case':<22} {'Clients':>8} {'Workers':>8} "
+        f"{'Case':<22} {'Runtime':>8} {'Clients':>8} {'Workers':>8} "
         f"{'Makespan (s)':>13} {'Sessions/s':>11} {'Speedup':>8} "
         f"{'Bytes=sim':>10}  {'Shard balance'}"
     )
@@ -175,7 +175,7 @@ def format_live_sharding(rows: Sequence[LiveShardingSummary]) -> str:
         balance = "/".join(str(count) for count in row.worker_sessions)
         identical = "yes" if row.outputs_match_simulated else "NO"
         lines.append(
-            f"{row.label:<22} {row.clients:>8} {row.workers:>8} "
+            f"{row.label:<22} {row.runtime:>8} {row.clients:>8} {row.workers:>8} "
             f"{row.makespan_s:>13.3f} {row.throughput:>11.1f} "
             f"{row.speedup:>7.2f}x {identical:>10}  {balance}"
         )

@@ -552,7 +552,10 @@ class LiveScenario:
     """
 
     name: str
+    #: A :class:`SocketNetwork` or :class:`~repro.network.aio.AsyncSocketNetwork`.
     network: SocketNetwork
+    #: A :class:`LiveShardedRuntime` or
+    #: :class:`~repro.runtime.aio_live.AsyncLiveShardedRuntime`.
     runtime: LiveShardedRuntime
     clients: List
     target: str
@@ -624,52 +627,74 @@ def _live_bridge(case: int, processing_delay: float) -> StarlinkBridge:
     return bridge
 
 
+def _live_runtime_parts(runtime: str):
+    """The (network factory, runtime class, name suffix) for a live flavour.
+
+    ``"thread"`` is the thread-per-worker stack
+    (:class:`SocketNetwork` + :class:`LiveShardedRuntime`); ``"aio"`` is
+    the single-event-loop stack (:class:`~repro.network.aio.AsyncSocketNetwork`
+    + :class:`~repro.runtime.aio_live.AsyncLiveShardedRuntime`).
+    """
+    if runtime == "thread":
+        return SocketNetwork, LiveShardedRuntime, ""
+    if runtime == "aio":
+        from ..network.aio import AsyncSocketNetwork
+        from ..runtime.aio_live import AsyncLiveShardedRuntime
+
+        return AsyncSocketNetwork, AsyncLiveShardedRuntime, "-aio"
+    raise ValueError(f"unknown live runtime {runtime!r}; use 'thread' or 'aio'")
+
+
 def live_sharded_scenario(
     case: int,
     clients: int = 24,
     workers: int = 4,
     processing_delay: float = LIVE_PROCESSING_DELAY,
     trace_sample: Optional[float] = None,
+    runtime: str = "thread",
 ) -> LiveScenario:
     """``clients`` real-socket lookups through a ``workers``-shard runtime.
 
     Deploys a :class:`~repro.runtime.live.LiveShardedRuntime` (router +
-    thread-per-worker engines) on a fresh :class:`SocketNetwork`, with the
+    thread-per-worker engines) — or, with ``runtime="aio"``, an
+    :class:`~repro.runtime.aio_live.AsyncLiveShardedRuntime` (router +
+    worker tasks on one event loop) — on a fresh socket engine, with the
     legacy service and N OS-socket clients of the case attached alongside.
     Throughput here is *real wall-clock* throughput: ``processing_delay``
     seconds of serialised translation compute per translated send is what
     the workers parallelise.
     """
-    network = SocketNetwork()
+    network_factory, runtime_class, suffix = _live_runtime_parts(runtime)
+    network = network_factory()
     concurrent_clients, service, target, service_protocol = _live_case_parts(
         case, clients
     )
     overrides: Dict[str, object] = {}
     if trace_sample is not None:
         overrides["trace_sample"] = trace_sample
-    runtime = LiveShardedRuntime.from_bridge(
+    live_runtime = runtime_class.from_bridge(
         _live_bridge(case, processing_delay), workers=workers, **overrides
     )
     try:
-        runtime.deploy(network)
+        live_runtime.deploy(network)
         network.attach(service)
         for client in concurrent_clients:
             network.attach(client)
     except Exception:
-        runtime.undeploy()
+        live_runtime.undeploy()
         network.close()
         raise
     client_protocol, _, _ = CASE_NAMES[case].partition(" to ")
     return LiveScenario(
-        name=f"live-case-{case}-x{clients}-w{workers}",
+        name=f"live-case-{case}-x{clients}-w{workers}{suffix}",
         network=network,
-        runtime=runtime,
+        runtime=live_runtime,
         clients=concurrent_clients,
         target=target,
         description=(
             f"{clients} legacy {client_protocol} lookups over real loopback "
-            f"sockets through a {workers}-shard live Starlink runtime answering "
-            f"from a legacy {service_protocol} service"
+            f"sockets through a {workers}-shard live Starlink runtime "
+            f"({runtime}) answering from a legacy {service_protocol} service"
         ),
     )
 

@@ -41,7 +41,13 @@ from ..core.errors import ConfigurationError, NetworkError
 from .addressing import Endpoint, Transport
 from .engine import NetworkEngine, NetworkNode
 
-__all__ = ["SocketNetwork", "FaultyNetwork", "FaultPlan", "loopback_available"]
+__all__ = [
+    "SocketNetwork",
+    "FaultyNetwork",
+    "FaultInjectorMixin",
+    "FaultPlan",
+    "loopback_available",
+]
 
 
 def loopback_available() -> bool:
@@ -160,23 +166,77 @@ class SocketNetwork(NetworkEngine):
         #: thread; inspect after a run, like ``WorkerLoop.errors``.
         self.errors: List[BaseException] = []
         self._lock = threading.Lock()
+        #: The node whose handler is currently executing on *this* thread
+        #: (receiver, acceptor handler, or timer).  ``call_later`` reads it
+        #: to attribute the timer to that node, so :meth:`detach` can make
+        #: the node's outstanding timers no-ops.
+        self._dispatch_owner = threading.local()
         self._running = True
 
     # ------------------------------------------------------------------
     def now(self) -> float:
         return time.monotonic()
 
+    def _current_owner(self) -> Optional[NetworkNode]:
+        return getattr(self._dispatch_owner, "node", None)
+
+    def _dispatch(
+        self,
+        node: NetworkNode,
+        callback: Callable[[], None],
+    ) -> None:
+        """Run ``callback`` with ``node`` as the current dispatch owner.
+
+        Every path that enters node code (datagram delivery, attach,
+        timer callbacks re-entering on behalf of their owner) goes
+        through here, so timers the node schedules — including chained
+        reschedules like the eviction sweep — attribute to it.
+        """
+        previous = self._current_owner()
+        self._dispatch_owner.node = node
+        try:
+            callback()
+        finally:
+            self._dispatch_owner.node = previous
+
+    def _owner_detached(self, owner: Optional[NetworkNode]) -> bool:
+        if owner is None:
+            return False
+        return all(existing is not owner for existing in self._nodes)
+
     def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        owner = self._current_owner()
+        timer_box: List[threading.Timer] = []
+
         def run() -> None:
+            # Remove-on-fire: a long-lived deployment with periodic timer
+            # chains must not accumulate one dead Timer object per tick.
+            with self._lock:
+                if timer_box:
+                    try:
+                        self._timers.remove(timer_box[0])
+                    except ValueError:
+                        pass
+            # A timer that races close() must not fire into closed
+            # sockets; one scheduled by a since-detached node must not
+            # deliver a stale callback (e.g. an eviction sweep) into a
+            # retry deployment on the same network.
+            if not self._running or self._owner_detached(owner):
+                return
             try:
-                callback()
+                if owner is not None:
+                    self._dispatch(owner, callback)
+                else:
+                    callback()
             except Exception as exc:  # noqa: BLE001 - timer threads have no caller
                 self.errors.append(exc)
 
         timer = threading.Timer(max(0.0, delay), run)
+        timer_box.append(timer)
         timer.daemon = True
+        with self._lock:
+            self._timers.append(timer)
         timer.start()
-        self._timers.append(timer)
 
     # ------------------------------------------------------------------
     def attach(self, node: NetworkNode) -> None:
@@ -187,7 +247,7 @@ class SocketNetwork(NetworkEngine):
             self._bind(node, endpoint)
         for group in node.multicast_groups():
             self._groups.setdefault((group.host, group.port), set()).add(node)
-        node.on_attached(self)
+        self._dispatch(node, lambda: node.on_attached(self))
 
     def detach(self, node: NetworkNode) -> None:
         """Remove ``node`` and close the sockets bound on its behalf.
@@ -291,7 +351,9 @@ class SocketNetwork(NetworkEngine):
     def close(self) -> None:
         """Stop receiver threads and close every socket."""
         self._running = False
-        for timer in self._timers:
+        with self._lock:
+            timers, self._timers = self._timers, []
+        for timer in timers:
             timer.cancel()
         for sock in self._udp_sockets.values():
             self._close_socket(sock, wake=False)
@@ -347,7 +409,9 @@ class SocketNetwork(NetworkEngine):
                 source = Endpoint(peer[0], peer[1], Transport.UDP)
                 destination = Endpoint(endpoint.host, actual_port, Transport.UDP)
                 try:
-                    node.on_datagram(self, data, source, destination)
+                    self._dispatch(
+                        node, lambda: node.on_datagram(self, data, source, destination)
+                    )
                 except Exception as exc:  # noqa: BLE001 - keep the port alive
                     # A handler exception must not kill the receiver: the
                     # port would stay bound but permanently deaf.  Record
@@ -417,7 +481,9 @@ class SocketNetwork(NetworkEngine):
             self._tcp_replies[(peer[0], peer[1])] = channel
         try:
             try:
-                node.on_datagram(self, request, source, destination)
+                self._dispatch(
+                    node, lambda: node.on_datagram(self, request, source, destination)
+                )
             except Exception as exc:  # noqa: BLE001 - record, then close below
                 self.errors.append(exc)
             else:
@@ -516,7 +582,9 @@ class SocketNetwork(NetworkEngine):
             raise NetworkError(f"TCP send to {destination} failed: {exc}") from exc
         response = b"".join(chunks)
         if response and owner is not None:
-            owner.on_datagram(self, response, destination, source)
+            self._dispatch(
+                owner, lambda: owner.on_datagram(self, response, destination, source)
+            )
 
 
 class FaultPlan:
@@ -574,35 +642,34 @@ class FaultPlan:
         return verdict
 
 
-class FaultyNetwork(SocketNetwork):
-    """A :class:`SocketNetwork` with seeded UDP fault injection.
+class FaultInjectorMixin:
+    """Seeded UDP fault injection decorating a network's ``_send_udp``.
 
-    Decorates the UDP send path (``_send_udp``): while a **loss window**
-    is open, every outgoing datagram draws a verdict from the window's
+    Mix in *before* a concrete engine class (``class FaultyNetwork(
+    FaultInjectorMixin, SocketNetwork)``): while a **loss window** is
+    open, every outgoing datagram draws a verdict from the window's
     :class:`FaultPlan` — dropped, duplicated, reordered (held back one
     slot and sent after the *next* datagram) or passed through.  Outside
-    a window the engine is byte-for-byte a plain :class:`SocketNetwork`:
-    no verdict is drawn, nothing is counted, and closing a window flushes
-    any held datagram, so faults can never leak past the window bounds
-    (the bounds tests pin this).
+    a window the engine is byte-for-byte the plain engine: no verdict is
+    drawn, nothing is counted, and closing a window flushes any held
+    datagram, so faults can never leak past the window bounds (the
+    bounds tests pin this).
 
     TCP and the receive path are untouched — the injector models a lossy
     UDP segment, which is the fault the paper's discovery protocols
     actually face.  Thread-safe: verdicts and the one-slot holdback are
     serialised under a dedicated lock (receiver threads, worker loops and
-    timer threads all send concurrently).
+    timer threads all send concurrently; on the asyncio engine the loop
+    thread sends while control threads open and close windows).
     """
 
-    def __init__(
+    def _init_fault_state(
         self,
-        host: str = "127.0.0.1",
-        tcp_reply_timeout: float = DEFAULT_TCP_REPLY_TIMEOUT,
-        seed: int = 0,
-        loss: float = 0.35,
-        duplicate: float = 0.15,
-        reorder: float = 0.15,
+        seed: int,
+        loss: float,
+        duplicate: float,
+        reorder: float,
     ) -> None:
-        super().__init__(host=host, tcp_reply_timeout=tcp_reply_timeout)
         self.seed = seed
         self.loss = loss
         self.duplicate = duplicate
@@ -685,3 +752,24 @@ class FaultyNetwork(SocketNetwork):
             if held is not None:
                 held_data, held_source, held_destination = held
                 super()._send_udp(held_data, held_source, held_destination)
+
+
+class FaultyNetwork(FaultInjectorMixin, SocketNetwork):
+    """A :class:`SocketNetwork` with seeded UDP fault injection.
+
+    See :class:`FaultInjectorMixin` for the injection semantics;
+    :class:`~repro.network.aio.AsyncFaultyNetwork` is the same mixin over
+    the asyncio engine.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        tcp_reply_timeout: float = DEFAULT_TCP_REPLY_TIMEOUT,
+        seed: int = 0,
+        loss: float = 0.35,
+        duplicate: float = 0.15,
+        reorder: float = 0.15,
+    ) -> None:
+        super().__init__(host=host, tcp_reply_timeout=tcp_reply_timeout)
+        self._init_fault_state(seed, loss, duplicate, reorder)

@@ -657,7 +657,16 @@ def wedge_live_worker(runtime, worker_id: int, seconds: float) -> None:
     queue backs up, and its heartbeat stamp goes stale — while every job
     posted behind the stall survives to run afterwards, so the drain that
     follows detection still completes loss-free.
+
+    A runtime may provide its own ``wedge_worker`` injector — the asyncio
+    runtime must (a blocking sleep on the shared event loop would wedge
+    *every* worker, not the victim): it posts an awaited ``asyncio.sleep``
+    that stalls only the victim's drain task.
     """
     if seconds < 0:
         raise ConfigurationError(f"cannot wedge for {seconds!r} seconds")
+    wedge = getattr(runtime, "wedge_worker", None)
+    if wedge is not None:
+        wedge(worker_id, seconds)
+        return
     runtime.post_to_worker(worker_id, partial(time.sleep, seconds))

@@ -543,6 +543,12 @@ class LiveShardedRuntime(ShardedRuntime):
             runtime.undeploy()
     """
 
+    #: Factory seams: the asyncio runtime (:mod:`repro.runtime.aio_live`)
+    #: swaps these for its single-loop task equivalents while inheriting
+    #: deploy/undeploy/scale/drain unchanged.
+    loop_class = WorkerLoop
+    router_class = LiveShardRouter
+
     def __init__(self, *args, **kwargs) -> None:
         kwargs.setdefault("host", "127.0.0.1")
         kwargs.setdefault("worker_port_stride", DEFAULT_WORKER_PORT_STRIDE)
@@ -604,14 +610,14 @@ class LiveShardedRuntime(ShardedRuntime):
         # positions share one domain here (unlike the simulation, where
         # positions are virtual seconds).
         self.tracer.use_clock(perf_counter, "perf_counter")
-        loops = [WorkerLoop(worker, network) for worker in self._workers]
+        loops = [self.loop_class(worker, network) for worker in self._workers]
         shells = [_WorkerShell(loop) for loop in loops]
         router: Optional[LiveShardRouter] = None
         try:
             for loop, shell in zip(loops, shells):
                 loop.start()
                 network.attach(shell)
-            router = LiveShardRouter(
+            router = self.router_class(
                 self._workers,
                 self.public_endpoints,
                 loops,
@@ -754,7 +760,7 @@ class LiveShardedRuntime(ShardedRuntime):
             while len(self._workers) < target:
                 worker_id = self._allocate_worker_id()
                 worker = self._build_worker(worker_id)
-                loop = WorkerLoop(worker, self._network)
+                loop = self.loop_class(worker, self._network)
                 shell = _WorkerShell(loop)
                 loop.start()
                 self._network.attach(shell)
@@ -806,11 +812,7 @@ class LiveShardedRuntime(ShardedRuntime):
                 # is stable — a delivery posted before the unpin would
                 # still be visible in the queue depth.
                 if not router.drain_pending(worker_id):
-                    with loop.lock:
-                        empty = (
-                            not worker.active_sessions and loop.queue_depth == 0
-                        )
-                    if empty:
+                    if self._worker_empty(loop, worker):
                         break
                 if time.monotonic() >= deadline:
                     router.cancel_drain()
@@ -844,6 +846,17 @@ class LiveShardedRuntime(ShardedRuntime):
             self._retire_worker(worker)
             router.remove_loop(loop)
         self._record_scale("drain-complete", before, target)
+
+    def _worker_empty(self, loop: WorkerLoop, worker: AutomataEngine) -> bool:
+        """Whether a draining worker has no sessions and no queued jobs.
+
+        Taken under the loop lock so a job mid-execution (dequeued but not
+        yet done creating its session) cannot slip between the two reads.
+        The asyncio runtime overrides this to evaluate on the event loop,
+        where no job is ever mid-flight by construction.
+        """
+        with loop.lock:
+            return not worker.active_sessions and loop.queue_depth == 0
 
     # ------------------------------------------------------------------
     def post_to_worker(self, worker_id: int, job: Callable[[], None]) -> None:
